@@ -1,0 +1,205 @@
+// Package streamsetcover is a from-scratch Go implementation of
+// "Towards Tight Bounds for the Streaming Set Cover Problem"
+// (Har-Peled, Indyk, Mahabadi, Vakilian — PODS 2016).
+//
+// It provides:
+//
+//   - IterSetCover — the paper's main algorithm (Theorem 2.8): 2/δ passes,
+//     Õ(m·n^δ) space, O(ρ/δ)-approximation;
+//   - AlgGeomSC — the geometric variant for points/disks/rectangles/fat
+//     triangles (Theorem 4.6): O(1) passes, Õ(n) space;
+//   - every baseline from the paper's Figure 1.1 (greedy in one or n passes,
+//     SG09 thresholding, Emek–Rosén, Chakrabarti–Wirth, DIMV14 sampling);
+//   - executable versions of the paper's lower-bound constructions
+//     (Sections 3, 5, 6) in repro/internal/comm;
+//   - instance generators, a pass-counting stream model, and explicit space
+//     accounting so the paper's pass/space/approximation trade-offs are
+//     measurable.
+//
+// Quick start:
+//
+//	in, _, opt, _ := streamsetcover.Planted(streamsetcover.PlantedConfig{
+//		N: 1000, M: 2000, K: 20, Seed: 1,
+//	})
+//	repo := streamsetcover.NewRepository(in)
+//	res, err := streamsetcover.IterSetCover(repo, streamsetcover.Options{
+//		Delta: 0.5, Seed: 1,
+//	})
+//	// res.Cover is a verified cover; res.Passes == 4; res.SpaceWords is the
+//	// peak working memory in 64-bit words.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured reproduction results.
+package streamsetcover
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/maxcover"
+	"repro/internal/offline"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// Core problem types.
+type (
+	// Instance is a SetCover input: N elements and a family of sets.
+	Instance = setcover.Instance
+	// Set is one set of the family.
+	Set = setcover.Set
+	// Elem indexes an element of the universe.
+	Elem = setcover.Elem
+	// Stats is the (cover, passes, space, validity) report all algorithms
+	// return.
+	Stats = setcover.Stats
+)
+
+// Streaming model.
+type (
+	// Repository is the read-only, pass-counted set stream.
+	Repository = stream.Repository
+	// SliceRepo is the standard in-memory repository.
+	SliceRepo = stream.SliceRepo
+	// Tracker meters working memory in 64-bit words.
+	Tracker = stream.Tracker
+)
+
+// NewRepository wraps an instance as a pass-counted stream.
+func NewRepository(in *Instance) *SliceRepo { return stream.NewSliceRepo(in) }
+
+// The main algorithm (Figure 1.3 / Theorem 2.8).
+type (
+	// Options configures IterSetCover.
+	Options = core.Options
+	// Result is IterSetCover's extended report.
+	Result = core.Result
+)
+
+// IterSetCover runs the paper's main streaming algorithm.
+func IterSetCover(repo Repository, opts Options) (Result, error) {
+	return core.IterSetCover(repo, opts)
+}
+
+// DefaultOptions returns Theorem 2.8 defaults (δ = 1/2, greedy offline).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Offline solvers (algOfflineSC).
+type (
+	// OfflineSolver solves in-memory SetCover instances.
+	OfflineSolver = offline.Solver
+	// GreedySolver is the ln(n)-approximate greedy (ρ = ln n).
+	GreedySolver = offline.Greedy
+	// ExactSolver is the optimal branch-and-bound (ρ = 1).
+	ExactSolver = offline.Exact
+	// ReducedInstance is the outcome of the dominance preprocessing.
+	ReducedInstance = offline.Reduced
+)
+
+// Reduce applies OPT-preserving dominance reductions (set and element
+// dominance, to a fixpoint). Useful as a preprocessing step before exact
+// solving or before persisting instances.
+var Reduce = offline.Reduce
+
+// OptSize returns the exact optimum of an in-memory instance (ground truth
+// for ratio reporting; exponential worst case).
+var OptSize = offline.OptSize
+
+// Baselines (the upper-bound rows of Figure 1.1).
+var (
+	// OnePassGreedy stores the input in one pass and runs greedy: O(mn) space.
+	OnePassGreedy = baseline.OnePassGreedy
+	// MultiPassGreedy runs greedy with O(n) space and one pass per pick.
+	MultiPassGreedy = baseline.MultiPassGreedy
+	// ThresholdGreedy is the SG09-style O(log n)-pass thresholding greedy.
+	ThresholdGreedy = baseline.ThresholdGreedy
+	// EmekRosen is the ER14 one-pass O(√n)-approximation.
+	EmekRosen = baseline.EmekRosen
+	// ChakrabartiWirth is the CW16 p-pass thresholding algorithm.
+	ChakrabartiWirth = baseline.ChakrabartiWirth
+	// DIMV14 is the element-sampling baseline (exponentially more passes at
+	// the same space as IterSetCover).
+	DIMV14 = baseline.DIMV14
+	// SahaGetoorSetCover is the faithful [SG09] algorithm: SetCover via
+	// repeated one-pass Max k-Cover.
+	SahaGetoorSetCover = maxcover.SahaGetoorSetCover
+
+	// Partial (ε-Partial Set Cover) variants: cover at least a (1-ε)
+	// fraction of U.
+	EmekRosenPartial        = baseline.EmekRosenPartial
+	ChakrabartiWirthPartial = baseline.ChakrabartiWirthPartial
+	ThresholdGreedyPartial  = baseline.ThresholdGreedyPartial
+	MultiPassGreedyPartial  = baseline.MultiPassGreedyPartial
+
+	// Max k-Cover primitives ([SG09]'s building block).
+	MaxKCoverGreedy    = maxcover.Greedy
+	MaxKCoverStreaming = maxcover.Streaming
+)
+
+// MaxKCoverResult reports a Max k-Cover solution.
+type MaxKCoverResult = maxcover.Result
+
+// DIMV14Options configures the DIMV14 baseline.
+type DIMV14Options = baseline.DIMV14Options
+
+// Geometric setting (Section 4).
+type (
+	// Point is a point in the plane.
+	Point = geom.Point
+	// Shape is a disk, axis-parallel rectangle, or triangle.
+	Shape = geom.Shape
+	// Disk is a closed disk.
+	Disk = geom.Disk
+	// Rect is a closed axis-parallel rectangle.
+	Rect = geom.Rect
+	// Triangle is a closed triangle.
+	Triangle = geom.Triangle
+	// GeomInstance is a points-and-shapes SetCover input.
+	GeomInstance = geom.Instance
+	// GeomOptions configures AlgGeomSC.
+	GeomOptions = geom.GeomOptions
+	// GeomResult is AlgGeomSC's extended report.
+	GeomResult = geom.GeomResult
+	// ShapeRepo streams shapes with pass counting.
+	ShapeRepo = geom.ShapeRepo
+)
+
+// NewShapeRepo wraps a geometric instance as a shape stream.
+func NewShapeRepo(in *GeomInstance) *ShapeRepo { return geom.NewShapeRepo(in) }
+
+// AlgGeomSC runs the geometric streaming algorithm (Figure 4.1).
+func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
+	return geom.AlgGeomSC(repo, opts)
+}
+
+// Generators.
+type PlantedConfig = gen.PlantedConfig
+
+var (
+	// Planted builds an instance whose optimum is K by construction.
+	Planted = gen.Planted
+	// Uniform builds an instance with i.i.d. random sets, patched coverable.
+	Uniform = gen.Uniform
+	// Sparse builds an s-sparse instance (Section 6's regime).
+	Sparse = gen.Sparse
+	// GreedyTrap builds the classic Θ(log n)-gap greedy instance.
+	GreedyTrap = gen.GreedyTrap
+	// PlantedDisks builds a geometric instance covered by k planted disks.
+	PlantedDisks = geom.PlantedDisks
+	// PlantedRects builds a geometric instance covered by grid rectangles.
+	PlantedRects = geom.PlantedRects
+	// PlantedTriangles builds a geometric instance covered by fat triangles.
+	PlantedTriangles = geom.PlantedTriangles
+	// Figure12 builds the paper's quadratic-rectangles construction.
+	Figure12 = geom.Figure12
+)
+
+// Instance serialization: a human-readable text format and a compact
+// varint binary format.
+var (
+	ReadInstance        = setcover.Read
+	WriteInstance       = setcover.Write
+	ReadInstanceBinary  = setcover.ReadBinary
+	WriteInstanceBinary = setcover.WriteBinary
+)

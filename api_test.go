@@ -1,0 +1,97 @@
+package streamsetcover
+
+import (
+	"bytes"
+	"testing"
+)
+
+// End-to-end smoke test of the public façade: generate, stream, solve with
+// the main algorithm and two baselines, round-trip through the text format.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	in, plantedIDs, opt, err := Planted(PlantedConfig{N: 300, M: 600, K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(plantedIDs) || opt != 6 {
+		t.Fatal("planted generator misbehaved through the façade")
+	}
+
+	repo := NewRepository(in)
+	res, err := IterSetCover(repo, Options{Delta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(res.Cover) {
+		t.Fatal("IterSetCover cover invalid")
+	}
+	if res.Passes > 4 {
+		t.Fatalf("passes = %d, want <= 4 at delta 1/2", res.Passes)
+	}
+
+	er, err := EmekRosen(NewRepository(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(er.Cover) {
+		t.Fatal("EmekRosen cover invalid")
+	}
+	cw, err := ChakrabartiWirth(NewRepository(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(cw.Cover) {
+		t.Fatal("ChakrabartiWirth cover invalid")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != in.N || back.M() != in.M() {
+		t.Fatal("instance text round-trip mismatch")
+	}
+}
+
+func TestPublicAPIGeometric(t *testing.T) {
+	gi, planted, err := PlantedDisks(200, 400, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := NewShapeRepo(gi)
+	repo.Precompute()
+	res, err := AlgGeomSC(repo, GeomOptions{Delta: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gi.IsCover(res.Cover) {
+		t.Fatal("AlgGeomSC cover invalid")
+	}
+	_ = planted
+
+	fig, err := Figure12(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.M() != 64 {
+		t.Fatalf("Figure12 m = %d", fig.M())
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	o := DefaultOptions()
+	if o.Delta != 0.5 {
+		t.Fatalf("default delta = %v", o.Delta)
+	}
+	var g GreedySolver
+	if g.Rho(100) <= 1 {
+		t.Fatal("greedy rho should exceed 1")
+	}
+	var x ExactSolver
+	if x.Rho(100) != 1 {
+		t.Fatal("exact rho should be 1")
+	}
+}

@@ -1,0 +1,173 @@
+package streamsetcover
+
+// One benchmark per paper artifact (table/figure/theorem), as indexed in
+// DESIGN.md §4. Each benchmark regenerates the corresponding experiment
+// table through internal/experiments, so `go test -bench=.` reproduces the
+// full evaluation; cmd/experiments prints the same tables for reading.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchSink experiments.Table
+
+// BenchmarkFig11_AlgorithmTable regenerates the measured version of the
+// paper's Figure 1.1 (every upper-bound algorithm on one instance).
+func BenchmarkFig11_AlgorithmTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E1Figure11(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkThm28_DeltaSweep regenerates the Theorem 2.8 pass/space/quality
+// trade-off curve for iterSetCover.
+func BenchmarkThm28_DeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E2DeltaSweep(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkFig12_QuadraticRectangles regenerates the Figure 1.2 construction
+// and its canonical-representation compression.
+func BenchmarkFig12_QuadraticRectangles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E3Figure12(false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkThm46_Geometric regenerates the Theorem 4.6 table: algGeomSC on
+// disks, rectangles, and fat triangles with space flat in m.
+func BenchmarkThm46_Geometric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E4Geometric(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkLem44_CanonicalCounts regenerates the shallow-range canonical
+// counting table (Lemma 4.4).
+func BenchmarkLem44_CanonicalCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E5CanonicalCounts(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkThm38_RecoverBits regenerates the Section 3 decoding experiment
+// (Figure 3.1 / Theorem 3.8).
+func BenchmarkThm38_RecoverBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E6RecoverBits(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkThm54_ISCReduction regenerates the Section 5 reduction exactness
+// check (Lemmas 5.5–5.7).
+func BenchmarkThm54_ISCReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E7ISCReduction(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkThm66_SparseLB regenerates the Section 6 sparse-instance table.
+func BenchmarkThm66_SparseLB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E8SparseLB(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkAblation_SizeTest regenerates the E9 size-test ablation.
+func BenchmarkAblation_SizeTest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E9AblationSizeTest(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkAblation_Sampling regenerates the E10 sampling ablation.
+func BenchmarkAblation_Sampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E10AblationSampling(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkAblation_OfflineSolver regenerates the E11 ρ ablation.
+func BenchmarkAblation_OfflineSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E11AblationOffline(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkLem25_RelativeApprox regenerates the Lemma 2.5 sampling check.
+func BenchmarkLem25_RelativeApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E12RelativeApprox(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkExt_PartialCover regenerates the ε-Partial Set Cover table (E13).
+func BenchmarkExt_PartialCover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E13PartialCover(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkExt_CanonicalAblation regenerates the Lemma 4.2 splitting
+// ablation on the Figure 1.2 stream (E14).
+func BenchmarkExt_CanonicalAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E14CanonicalAblation(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkObs59_ProtocolSimulation regenerates the Observation 5.9
+// streaming-to-communication table (E15).
+func BenchmarkObs59_ProtocolSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E15ProtocolSimulation(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkSG09_MaxKCover regenerates the Max k-Cover table (E16).
+func BenchmarkSG09_MaxKCover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E16MaxKCover(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkExt_TightnessTraps regenerates the worst-case trap table (E17).
+func BenchmarkExt_TightnessTraps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E17Tightness(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+// BenchmarkThm28_ScalingSeries regenerates the n-sweep series (E18).
+func BenchmarkThm28_ScalingSeries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E18Scaling(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
+func reportRows(b *testing.B) {
+	b.ReportMetric(float64(len(benchSink.Rows)), "rows")
+	benchSink.Render(io.Discard)
+}

@@ -1,0 +1,47 @@
+// Command experiments reproduces every table and figure of the paper
+// (see DESIGN.md §4 for the index) and prints the measured tables.
+//
+// Usage:
+//
+//	experiments                 # full-size run, plain text
+//	experiments -quick          # small workloads (seconds)
+//	experiments -markdown       # GitHub markdown (EXPERIMENTS.md source)
+//	experiments -only E2,E7     # subset of experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed (all experiments are deterministic given it)")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E7)")
+	)
+	flag.Parse()
+
+	fmt.Printf("# streaming set cover reproduction — seed=%d quick=%v\n\n", *seed, *quick)
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, t := range experiments.All(*seed, *quick) {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		if *markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+}

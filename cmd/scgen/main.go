@@ -1,0 +1,69 @@
+// Command scgen generates SetCover instances in the text format understood
+// by cmd/setcover.
+//
+// Usage:
+//
+//	scgen -kind planted -n 1000 -m 2000 -k 20 -seed 1 > planted.txt
+//	scgen -kind uniform -n 500 -m 1000 -p 0.02 > uniform.txt
+//	scgen -kind sparse -n 1000 -m 4000 -s 8 > sparse.txt
+//	scgen -kind trap -levels 6 > trap.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	ssc "repro"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "planted", "instance kind: planted|uniform|sparse|trap")
+		n      = flag.Int("n", 1000, "universe size")
+		m      = flag.Int("m", 2000, "number of sets")
+		k      = flag.Int("k", 20, "planted optimal cover size (planted)")
+		s      = flag.Int("s", 8, "sparsity: max set size (sparse)")
+		p      = flag.Float64("p", 0.02, "element inclusion probability (uniform)")
+		levels = flag.Int("levels", 6, "width exponent for the greedy trap")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		in  *ssc.Instance
+		err error
+		opt = -1
+	)
+	switch *kind {
+	case "planted":
+		in, _, opt, err = ssc.Planted(ssc.PlantedConfig{N: *n, M: *m, K: *k, Seed: *seed})
+	case "uniform":
+		in = ssc.Uniform(*n, *m, *p, *seed)
+	case "sparse":
+		in, opt, err = ssc.Sparse(*n, *m, *s, *seed)
+	case "trap":
+		in, opt = ssc.GreedyTrap(*levels)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scgen:", err)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "# scgen -kind %s -n %d -m %d -seed %d\n", *kind, in.N, in.M(), *seed)
+	if opt >= 0 {
+		fmt.Fprintf(w, "# known optimum: %d\n", opt)
+	}
+	if err := ssc.WriteInstance(w, in); err != nil {
+		fmt.Fprintln(os.Stderr, "scgen:", err)
+		os.Exit(2)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "scgen:", err)
+		os.Exit(2)
+	}
+}

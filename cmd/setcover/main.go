@@ -1,0 +1,143 @@
+// Command setcover runs a streaming set cover algorithm on an instance file
+// and reports the cover together with the measured passes and space.
+//
+// Usage:
+//
+//	setcover -algo iter -delta 0.5 -in instance.txt
+//	setcover -algo er14 -in instance.txt -print-cover
+//	scgen -kind planted -n 1000 -m 2000 -k 20 | setcover -algo cw16 -passes 3
+//
+// Algorithms: iter (the paper's iterSetCover), greedy1 (one-pass greedy),
+// greedyn (n-pass greedy), threshold (SG09-style thresholding), sg09
+// (repeated max-k-cover, the faithful SG09 loop), er14 (Emek–Rosén), cw16
+// (Chakrabarti–Wirth), dimv14 (element sampling).
+//
+// -eps switches iter/er14/cw16/threshold/greedyn to the ε-Partial Set Cover
+// problem (cover at least a 1-ε fraction). -format selects text or binary
+// instance input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	ssc "repro"
+)
+
+func main() {
+	var (
+		algo       = flag.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14")
+		inPath     = flag.String("in", "-", "instance file ('-' = stdin)")
+		format     = flag.String("format", "text", "instance format: text|binary")
+		delta      = flag.Float64("delta", 0.5, "delta for iter/dimv14 (passes 2/delta, space ~ m*n^delta)")
+		passes     = flag.Int("passes", 2, "pass budget for cw16")
+		eps        = flag.Float64("eps", 0, "partial-cover slack: cover at least a (1-eps) fraction")
+		seed       = flag.Int64("seed", 1, "random seed")
+		exact      = flag.Bool("exact-offline", false, "use the exact offline solver inside iter (rho = 1)")
+		reduce     = flag.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving")
+		printCover = flag.Bool("print-cover", false, "print the chosen set IDs")
+	)
+	flag.Parse()
+
+	original, err := readInstance(*inPath, *format)
+	if err != nil {
+		fatal(err)
+	}
+	// The instance the algorithm runs on; with -reduce this is the
+	// dominance-reduced instance, whose optimal covers map back to the
+	// original via origID.
+	in := original
+	var origID []int
+	if *reduce {
+		red := ssc.Reduce(original)
+		fmt.Printf("reduced:     -%d sets, -%d elements (n=%d m=%d remain)\n",
+			red.RemovedSets, red.RemovedElems, red.Instance.N, red.Instance.M())
+		in = red.Instance
+		origID = red.OrigSetID
+	}
+
+	var st ssc.Stats
+	switch *algo {
+	case "iter":
+		opts := ssc.Options{Delta: *delta, Seed: *seed, PartialEps: *eps}
+		if *exact {
+			opts.Offline = ssc.ExactSolver{}
+		}
+		res, err := ssc.IterSetCover(ssc.NewRepository(in), opts)
+		if err != nil {
+			fatal(err)
+		}
+		st = res.Stats
+		fmt.Printf("best guess k: %d\n", res.BestK)
+	case "greedy1":
+		st, err = ssc.OnePassGreedy(ssc.NewRepository(in))
+	case "greedyn":
+		st, err = ssc.MultiPassGreedyPartial(ssc.NewRepository(in), *eps)
+	case "threshold":
+		st, err = ssc.ThresholdGreedyPartial(ssc.NewRepository(in), *eps)
+	case "sg09":
+		st, err = ssc.SahaGetoorSetCover(ssc.NewRepository(in))
+	case "er14":
+		st, err = ssc.EmekRosenPartial(ssc.NewRepository(in), *eps)
+	case "cw16":
+		st, err = ssc.ChakrabartiWirthPartial(ssc.NewRepository(in), *passes, *eps)
+	case "dimv14":
+		st, err = ssc.DIMV14(ssc.NewRepository(in), ssc.DIMV14Options{Delta: *delta, Seed: *seed})
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if origID != nil {
+		// Map reduced set IDs back to the original instance's IDs.
+		for i, id := range st.Cover {
+			st.Cover[i] = origID[id]
+		}
+	}
+
+	valid := original.IsPartialCover(st.Cover, *eps)
+	fmt.Printf("algorithm:   %s\n", st.Algorithm)
+	fmt.Printf("instance:    n=%d m=%d\n", original.N, original.M())
+	fmt.Printf("cover size:  %d (coverage=%.3f, goal>=%.3f, valid=%v)\n",
+		len(st.Cover), original.CoverageFraction(st.Cover), 1-*eps, valid)
+	fmt.Printf("passes:      %d\n", st.Passes)
+	fmt.Printf("space:       %d words\n", st.SpaceWords)
+	if *printCover {
+		ids := append([]int(nil), st.Cover...)
+		sort.Ints(ids)
+		fmt.Printf("cover:       %v\n", ids)
+	}
+	if !valid {
+		os.Exit(1)
+	}
+}
+
+func readInstance(path, format string) (*ssc.Instance, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "text":
+		return ssc.ReadInstance(r)
+	case "binary":
+		return ssc.ReadInstanceBinary(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "setcover:", err)
+	os.Exit(2)
+}

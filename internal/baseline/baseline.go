@@ -1,0 +1,534 @@
+// Package baseline implements every upper-bound algorithm the paper compares
+// against in Figure 1.1, under the same streaming model and space accounting
+// as the main algorithm:
+//
+//	OnePassGreedy     — greedy, 1 pass, O(mn) space (store the input)
+//	MultiPassGreedy   — greedy, ≤ n passes, O(n) space
+//	ThresholdGreedy   — [SG09]-style thresholding: O(log n) passes,
+//	                    O(log n)-approx, Õ(n) space
+//	EmekRosen         — [ER14]: 1 pass, O(√n)-approx, Θ̃(n) space
+//	ChakrabartiWirth  — [CW16]: p passes, (p+1)·n^{1/(p+1)}-approx, Θ̃(n) space
+//	DIMV14            — [DIMV14]-style element sampling: Õ(m·n^δ) space but
+//	                    exponentially more passes than iterSetCover
+//
+// The ER14, CW16, threshold-greedy and multi-pass-greedy algorithms also
+// come in ε-Partial Set Cover variants (the generalization both [ER14] and
+// [CW16] prove their bounds for, see Section 1): cover at least a (1-ε)
+// fraction of U. For those, Stats.Valid certifies the fractional goal, not
+// full coverage.
+//
+// Each function returns setcover.Stats with verified validity, the pass
+// count read from the repository, and the peak space charged to a Tracker.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/offline"
+	"repro/internal/sample"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// ErrInfeasible mirrors setcover.ErrInfeasible for streaming baselines.
+var ErrInfeasible = setcover.ErrInfeasible
+
+// allowedLeftovers converts ε into an element budget.
+func allowedLeftovers(n int, eps float64) (int, error) {
+	if eps < 0 || eps >= 1 {
+		return 0, fmt.Errorf("baseline: partial eps %v out of [0,1)", eps)
+	}
+	return int(eps * float64(n)), nil
+}
+
+// OnePassGreedy reads the whole family into memory in a single pass and runs
+// offline greedy: the "Greedy algorithm, ln n approx, 1 pass, O(mn) space"
+// row of Figure 1.1. It is the space-hungry strawman every sublinear
+// algorithm is measured against.
+func OnePassGreedy(repo stream.Repository) (setcover.Stats, error) {
+	st := setcover.Stats{Algorithm: "greedy-1pass"}
+	tracker := stream.NewTracker()
+
+	stored := &setcover.Instance{N: repo.UniverseSize()}
+	it := repo.Begin()
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		cp := make([]setcover.Elem, len(s.Elems))
+		copy(cp, s.Elems)
+		stored.Sets = append(stored.Sets, setcover.Set{ID: s.ID, Elems: cp})
+		tracker.Grow(stream.WordsForElems(len(cp)) + 1)
+	}
+	cover, err := (offline.Greedy{}).Solve(stored)
+	if err != nil {
+		st.Passes = repo.Passes()
+		st.SpaceWords = tracker.Peak()
+		return st, err
+	}
+	tracker.Grow(stream.WordsForIDs(len(cover)))
+	st.Cover = cover
+	st.Valid = true
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	return st, nil
+}
+
+// MultiPassGreedy runs greedy with O(n) space by re-scanning: each pass finds
+// the set with maximum gain against the in-memory uncovered bitset, then
+// commits it. This is the "Greedy algorithm, ln n approx, n passes, O(n)
+// space" row of Figure 1.1. Passes equal the cover size.
+func MultiPassGreedy(repo stream.Repository) (setcover.Stats, error) {
+	return multiPassGreedy(repo, 0)
+}
+
+// MultiPassGreedyPartial is MultiPassGreedy for ε-Partial Set Cover: it
+// stops once at most eps·n elements remain uncovered.
+func MultiPassGreedyPartial(repo stream.Repository, eps float64) (setcover.Stats, error) {
+	return multiPassGreedy(repo, eps)
+}
+
+func multiPassGreedy(repo stream.Repository, eps float64) (setcover.Stats, error) {
+	st := setcover.Stats{Algorithm: "greedy-npass", Extra: eps}
+	n := repo.UniverseSize()
+	allowed, err := allowedLeftovers(n, eps)
+	if err != nil {
+		return st, err
+	}
+	tracker := stream.NewTracker()
+	uncovered := bitset.New(n)
+	uncovered.Fill()
+	tracker.Grow(stream.WordsForBitset(n))
+	// Buffer for the best set seen in the current pass: at most n elements.
+	tracker.Grow(stream.WordsForElems(n))
+
+	var cover []int
+	for uncovered.Count() > allowed {
+		if len(cover) > n {
+			return st, fmt.Errorf("baseline: greedy-npass exceeded %d passes", n)
+		}
+		bestGain, bestID := 0, -1
+		var bestElems []setcover.Elem
+		it := repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			if g := uncovered.IntersectionWithSlice(s.Elems); g > bestGain {
+				bestGain, bestID = g, s.ID
+				bestElems = append(bestElems[:0], s.Elems...)
+			}
+		}
+		if bestID < 0 {
+			st.Passes = repo.Passes()
+			st.SpaceWords = tracker.Peak()
+			return st, ErrInfeasible
+		}
+		cover = append(cover, bestID)
+		tracker.Grow(1)
+		uncovered.SubtractSlice(bestElems)
+	}
+	st.Cover = cover
+	st.Valid = true
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	return st, nil
+}
+
+// ThresholdGreedy is the [SG09]-style thresholded greedy the paper describes
+// as "adopting the standard greedy algorithm with a thresholding technique":
+// pass j accepts on the spot any set covering at least τ_j = n/2^j new
+// elements, halving τ until 1. O(log n) passes, O(log n)-approximation,
+// Õ(n) space.
+func ThresholdGreedy(repo stream.Repository) (setcover.Stats, error) {
+	return thresholdGreedy(repo, 0)
+}
+
+// ThresholdGreedyPartial is ThresholdGreedy for ε-Partial Set Cover.
+func ThresholdGreedyPartial(repo stream.Repository, eps float64) (setcover.Stats, error) {
+	return thresholdGreedy(repo, eps)
+}
+
+func thresholdGreedy(repo stream.Repository, eps float64) (setcover.Stats, error) {
+	st := setcover.Stats{Algorithm: "threshold-greedy[SG09]", Extra: eps}
+	n := repo.UniverseSize()
+	allowed, err := allowedLeftovers(n, eps)
+	if err != nil {
+		return st, err
+	}
+	tracker := stream.NewTracker()
+	uncovered := bitset.New(n)
+	uncovered.Fill()
+	tracker.Grow(stream.WordsForBitset(n))
+
+	var cover []int
+	tau := float64(n)
+	for {
+		if uncovered.Count() <= allowed {
+			break
+		}
+		it := repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			if uncovered.Count() <= allowed {
+				break // fractional goal reached mid-pass
+			}
+			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
+				cover = append(cover, s.ID)
+				tracker.Grow(1)
+				uncovered.SubtractSlice(s.Elems)
+			}
+		}
+		if tau <= 1 {
+			break
+		}
+		tau /= 2
+		if tau < 1 {
+			tau = 1 // the last pass must accept any set with positive gain
+		}
+	}
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	if uncovered.Count() > allowed {
+		return st, ErrInfeasible
+	}
+	st.Cover = cover
+	st.Valid = true
+	return st, nil
+}
+
+// EmekRosen is the one-pass O(√n)-approximation of [ER14] in its standard
+// skeleton: a set covering at least √n yet-uncovered elements is taken
+// immediately; every element additionally remembers the first set that
+// contained it, and after the pass the leftovers are patched with those
+// remembered sets. Space Θ̃(n): the uncovered bitset plus one set ID per
+// element.
+//
+// Approximation: every set covers < √n of the final uncovered elements (a
+// set's uncovered-gain only shrinks over the pass), so OPT ≥ u/√n where u is
+// the number of leftovers; the algorithm pays ≤ √n picks + u ≤ √n + √n·OPT.
+func EmekRosen(repo stream.Repository) (setcover.Stats, error) {
+	return emekRosen(repo, 0)
+}
+
+// EmekRosenPartial is EmekRosen for ε-Partial Set Cover ([ER14] prove their
+// upper and lower bounds for this generalization): up to eps·n elements may
+// stay uncovered, so the patch phase stops early.
+func EmekRosenPartial(repo stream.Repository, eps float64) (setcover.Stats, error) {
+	return emekRosen(repo, eps)
+}
+
+func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
+	st := setcover.Stats{Algorithm: "emek-rosen[ER14]", Extra: eps}
+	n := repo.UniverseSize()
+	allowed, err := allowedLeftovers(n, eps)
+	if err != nil {
+		return st, err
+	}
+	tracker := stream.NewTracker()
+	if n == 0 {
+		st.Valid = true
+		return st, nil
+	}
+	threshold := math.Sqrt(float64(n))
+
+	uncovered := bitset.New(n)
+	uncovered.Fill()
+	tracker.Grow(stream.WordsForBitset(n))
+	firstCover := make([]int32, n)
+	for i := range firstCover {
+		firstCover[i] = -1
+	}
+	tracker.Grow(stream.WordsForElems(n)) // int32 per element
+
+	var cover []int
+	it := repo.Begin()
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		for _, e := range s.Elems {
+			if firstCover[e] < 0 {
+				firstCover[e] = int32(s.ID)
+			}
+		}
+		if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= threshold {
+			cover = append(cover, s.ID)
+			tracker.Grow(1)
+			uncovered.SubtractSlice(s.Elems)
+		}
+	}
+	patch, infeasible := patchLeftovers(uncovered, firstCover, allowed)
+	tracker.Grow(int64(len(patch)))
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	if infeasible {
+		return st, ErrInfeasible
+	}
+	for id := range patch {
+		cover = append(cover, int(id))
+	}
+	st.Cover = cover
+	st.Valid = true
+	return st, nil
+}
+
+// ChakrabartiWirth is the [CW16] p-pass semi-streaming algorithm in its
+// progressive-thresholding form: pass j accepts sets covering at least
+// τ_j = n^{(p+1-j)/(p+1)} new elements; after p passes the leftovers are
+// patched with remembered first covers, giving a (p+1)·n^{1/(p+1)}-style
+// approximation in Θ̃(n) space.
+func ChakrabartiWirth(repo stream.Repository, passes int) (setcover.Stats, error) {
+	return chakrabartiWirth(repo, passes, 0)
+}
+
+// ChakrabartiWirthPartial is ChakrabartiWirth for ε-Partial Set Cover
+// ([CW16] prove their trade-off for this generalization too).
+func ChakrabartiWirthPartial(repo stream.Repository, passes int, eps float64) (setcover.Stats, error) {
+	return chakrabartiWirth(repo, passes, eps)
+}
+
+func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover.Stats, error) {
+	if passes < 1 {
+		return setcover.Stats{}, fmt.Errorf("baseline: ChakrabartiWirth needs passes >= 1, got %d", passes)
+	}
+	st := setcover.Stats{Algorithm: fmt.Sprintf("chakrabarti-wirth[CW16] p=%d", passes), Extra: float64(passes)}
+	n := repo.UniverseSize()
+	allowed, err := allowedLeftovers(n, eps)
+	if err != nil {
+		return st, err
+	}
+	tracker := stream.NewTracker()
+	if n == 0 {
+		st.Valid = true
+		return st, nil
+	}
+
+	uncovered := bitset.New(n)
+	uncovered.Fill()
+	tracker.Grow(stream.WordsForBitset(n))
+	firstCover := make([]int32, n)
+	for i := range firstCover {
+		firstCover[i] = -1
+	}
+	tracker.Grow(stream.WordsForElems(n))
+
+	var cover []int
+	p := float64(passes)
+	for j := 1; j <= passes; j++ {
+		if uncovered.Count() <= allowed {
+			break
+		}
+		tau := math.Pow(float64(n), (p+1-float64(j))/(p+1))
+		it := repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			if j == 1 {
+				for _, e := range s.Elems {
+					if firstCover[e] < 0 {
+						firstCover[e] = int32(s.ID)
+					}
+				}
+			}
+			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
+				cover = append(cover, s.ID)
+				tracker.Grow(1)
+				uncovered.SubtractSlice(s.Elems)
+			}
+		}
+	}
+	patch, infeasible := patchLeftovers(uncovered, firstCover, allowed)
+	tracker.Grow(int64(len(patch)))
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	if infeasible {
+		return st, ErrInfeasible
+	}
+	for id := range patch {
+		cover = append(cover, int(id))
+	}
+	st.Cover = cover
+	st.Valid = true
+	return st, nil
+}
+
+// patchLeftovers assigns each leftover element its remembered first cover
+// until at most allowed elements remain unpatched. Elements with no
+// remembered cover make the instance infeasible unless they fit in the
+// allowance. Accounting is conservative: each patched set is guaranteed to
+// cover at least its triggering element.
+func patchLeftovers(uncovered *bitset.Bitset, firstCover []int32, allowed int) (map[int32]bool, bool) {
+	patch := make(map[int32]bool)
+	need := uncovered.Count() - allowed
+	if need <= 0 {
+		return patch, false
+	}
+	infeasible := false
+	uncovered.ForEach(func(e int) bool {
+		if need <= 0 {
+			return false
+		}
+		id := firstCover[e]
+		if id < 0 {
+			infeasible = true
+			return false
+		}
+		patch[id] = true
+		need--
+		return true
+	})
+	return patch, infeasible
+}
+
+// DIMV14Options configures the [DIMV14]-style element-sampling baseline.
+type DIMV14Options struct {
+	// Delta controls the space budget Õ(m·n^δ), like iterSetCover's δ.
+	Delta float64
+	// Scale multiplies the sample size scale·n^δ·log₂m.
+	Scale float64
+	// Seed drives sampling.
+	Seed int64
+	// MaxRounds caps the sampling rounds; 0 means 4·log₂n + 8.
+	MaxRounds int
+}
+
+// DIMV14 is a rendition of the Demaine–Indyk–Mahabadi–Vakilian element
+// sampling scheme (see DESIGN.md §3 for the substitution note): each round
+// draws a plain uniform sample of the uncovered elements — crucially without
+// the paper's Size Test and without the relative (p, ε)-approximation sample
+// size — stores every set's projection onto the sample, covers the sample
+// offline, and spends a second pass removing what got covered. Plain element
+// sampling only shrinks the uncovered set by a constant factor per round, so
+// covering everything takes Θ(log n) rounds = Θ(log n) passes at the same
+// Õ(m·n^δ) space — the exponential pass blow-up relative to iterSetCover
+// that Theorem 2.8 eliminates.
+func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) {
+	st := setcover.Stats{Algorithm: "dimv14-sampling", Extra: opts.Delta}
+	n, m := repo.UniverseSize(), repo.NumSets()
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		return st, fmt.Errorf("baseline: delta %v out of (0,1]", opts.Delta)
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	tracker := stream.NewTracker()
+	if n == 0 {
+		st.Valid = true
+		return st, nil
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	uncovered := bitset.New(n)
+	uncovered.Fill()
+	tracker.Grow(stream.WordsForBitset(n))
+
+	logm := math.Log2(float64(m + 2))
+	sampleSize := int(math.Ceil(opts.Scale * math.Pow(float64(n), opts.Delta) * logm))
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+
+	var cover []int
+	for round := 0; round < maxRounds && !uncovered.Empty(); round++ {
+		s := sample.UniformFromBitset(rng, uncovered, sampleSize)
+		tracker.Grow(stream.WordsForBitset(n))
+
+		// Pass A: store every set's projection onto the sample.
+		var projWords int64
+		var projIDs []int
+		var projElems [][]setcover.Elem
+		it := repo.Begin()
+		for {
+			set, ok := it.Next()
+			if !ok {
+				break
+			}
+			inS := s.IntersectionWithSlice(set.Elems)
+			if inS == 0 {
+				continue
+			}
+			proj := make([]setcover.Elem, 0, inS)
+			for _, e := range set.Elems {
+				if s.Test(int(e)) {
+					proj = append(proj, e)
+				}
+			}
+			projElems = append(projElems, proj)
+			projIDs = append(projIDs, set.ID)
+			w := stream.WordsForElems(len(proj)) + 1
+			projWords += w
+			tracker.Grow(w)
+		}
+
+		// Offline greedy on the sampled sub-instance.
+		newIdx := make(map[setcover.Elem]setcover.Elem)
+		next := setcover.Elem(0)
+		s.ForEach(func(i int) bool {
+			newIdx[setcover.Elem(i)] = next
+			next++
+			return true
+		})
+		sub := &setcover.Instance{N: int(next)}
+		for _, proj := range projElems {
+			elems := make([]setcover.Elem, 0, len(proj))
+			for _, e := range proj {
+				elems = append(elems, newIdx[e])
+			}
+			sub.Sets = append(sub.Sets, setcover.Set{ID: len(sub.Sets), Elems: elems})
+		}
+		sub.Normalize()
+		subCover, err := (offline.Greedy{}).Solve(sub)
+		if err != nil {
+			st.Passes = repo.Passes()
+			st.SpaceWords = tracker.Peak()
+			return st, ErrInfeasible
+		}
+		picked := make(map[int]bool, len(subCover))
+		for _, sid := range subCover {
+			orig := projIDs[sid]
+			if !picked[orig] {
+				picked[orig] = true
+				cover = append(cover, orig)
+				tracker.Grow(1)
+			}
+		}
+
+		// Pass B: remove everything the new picks cover.
+		it = repo.Begin()
+		for {
+			set, ok := it.Next()
+			if !ok {
+				break
+			}
+			if picked[set.ID] {
+				uncovered.SubtractSlice(set.Elems)
+			}
+		}
+		tracker.Shrink(projWords + stream.WordsForBitset(n))
+	}
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	if !uncovered.Empty() {
+		return st, errors.New("baseline: dimv14 sampling did not converge")
+	}
+	st.Cover = cover
+	st.Valid = true
+	return st, nil
+}

@@ -1,0 +1,325 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(100)
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	if !b.Empty() {
+		t.Fatal("new bitset should be empty")
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", b.Count())
+	}
+}
+
+func TestNewZeroCapacity(t *testing.T) {
+	b := New(0)
+	if !b.Empty() || b.Count() != 0 || b.Words() != 0 {
+		t.Fatal("zero-capacity bitset should be empty with no words")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130) // crosses word boundaries
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("Test(%d) true before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("Test(%d) false after Set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("Test(64) true after Clear")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for _, fn := range []func(){
+		func() { b.Set(10) },
+		func() { b.Set(-1) },
+		func() { b.Test(10) },
+		func() { b.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFillResetTrim(t *testing.T) {
+	b := New(70) // 70 is not a multiple of 64: Fill must not set ghost bits
+	b.Fill()
+	if b.Count() != 70 {
+		t.Fatalf("Count after Fill = %d, want 70", b.Count())
+	}
+	b.Reset()
+	if !b.Empty() {
+		t.Fatal("bitset not empty after Reset")
+	}
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	a := FromSlice(10, []int32{1, 2, 3, 4})
+	b := FromSlice(10, []int32{3, 4, 5, 6})
+
+	u := a.Clone()
+	u.Union(b)
+	if got := u.Slice(); len(got) != 6 {
+		t.Fatalf("union = %v, want 6 elems", got)
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	want := FromSlice(10, []int32{3, 4})
+	if !i.Equal(want) {
+		t.Fatalf("intersect = %v, want {3,4}", i)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	want = FromSlice(10, []int32{1, 2})
+	if !d.Equal(want) {
+		t.Fatalf("subtract = %v, want {1,2}", d)
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched capacity should panic")
+		}
+	}()
+	a.Union(b)
+}
+
+func TestIntersectionCountAndIntersects(t *testing.T) {
+	a := FromSlice(200, []int32{0, 50, 100, 150, 199})
+	b := FromSlice(200, []int32{50, 150, 180})
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("IntersectionCount = %d, want 2", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	c := FromSlice(200, []int32{7, 8, 9})
+	if a.Intersects(c) {
+		t.Fatal("Intersects = true, want false")
+	}
+}
+
+func TestSubsetOfEqual(t *testing.T) {
+	a := FromSlice(64, []int32{1, 2})
+	b := FromSlice(64, []int32{1, 2, 3})
+	if !a.SubsetOf(b) {
+		t.Fatal("{1,2} should be subset of {1,2,3}")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("{1,2,3} should not be subset of {1,2}")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone should be equal")
+	}
+	if a.Equal(New(65)) {
+		t.Fatal("different capacities are never equal")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	b := FromSlice(300, []int32{5, 64, 65, 250})
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{5, 64, 65, 250}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	count := 0
+	b.ForEach(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := FromSlice(300, []int32{5, 64, 250})
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 250}, {250, 250}, {251, -1}, {-3, 5}, {400, -1},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestIntersectionWithSliceAndSubtractSlice(t *testing.T) {
+	b := FromSlice(100, []int32{10, 20, 30})
+	if got := b.IntersectionWithSlice([]int32{10, 30, 40, 50}); got != 2 {
+		t.Fatalf("IntersectionWithSlice = %d, want 2", got)
+	}
+	removed := b.SubtractSlice([]int32{10, 40})
+	if removed != 1 {
+		t.Fatalf("SubtractSlice removed = %d, want 1", removed)
+	}
+	if b.Test(10) || !b.Test(20) {
+		t.Fatal("SubtractSlice removed wrong elements")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := FromSlice(10, []int32{1, 3})
+	if got := b.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q, want {1, 3}", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("String = %q, want {}", got)
+	}
+}
+
+// Property: Slice/FromSlice round-trips and Count matches the dedup'd input.
+func TestPropRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 1 << 16
+		b := New(n)
+		uniq := map[int]bool{}
+		for _, v := range raw {
+			b.Set(int(v))
+			uniq[int(v)] = true
+		}
+		if b.Count() != len(uniq) {
+			return false
+		}
+		for _, e := range b.Slice() {
+			if !uniq[int(e)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A| = |A∩B| + |A\B|.
+func TestPropPartition(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		const n = 500
+		a, b := randomSet(n, seedA), randomSet(n, seedB)
+		inter := a.Clone()
+		inter.Intersect(b)
+		diff := a.Clone()
+		diff.Subtract(b)
+		return a.Count() == inter.Count()+diff.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IntersectionCount agrees with materialized Intersect.
+func TestPropIntersectionCount(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		const n = 321 // deliberately not word-aligned
+		a, b := randomSet(n, seedA), randomSet(n, seedB)
+		inter := a.Clone()
+		inter.Intersect(b)
+		return a.IntersectionCount(b) == inter.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and idempotent.
+func TestPropUnionLaws(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		const n = 200
+		a, b := randomSet(n, seedA), randomSet(n, seedB)
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		aa := ab.Clone()
+		aa.Union(ab)
+		return ab.Equal(ba) && aa.Equal(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomSet(n int, seed int64) *Bitset {
+	rng := rand.New(rand.NewSource(seed))
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func BenchmarkIntersectionCount(b *testing.B) {
+	x := randomSet(1<<16, 1)
+	y := randomSet(1<<16, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.IntersectionCount(y)
+	}
+}
+
+func BenchmarkIntersectionWithSlice(b *testing.B) {
+	x := randomSet(1<<16, 1)
+	elems := make([]int32, 512)
+	rng := rand.New(rand.NewSource(3))
+	for i := range elems {
+		elems[i] = int32(rng.Intn(1 << 16))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.IntersectionWithSlice(elems)
+	}
+}

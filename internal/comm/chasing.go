@@ -1,0 +1,236 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/setcover"
+)
+
+// This file implements Section 5: the communication Set Chasing and
+// Intersection Set Chasing problems (Definitions 5.1–5.2, Figure 5.1) and
+// the reduction from ISC to SetCover (Figures 5.2–5.4, Lemmas 5.5–5.7).
+//
+// Vertices are 0-based here; the paper's distinguished start vertex "1" is
+// index 0. A Set Chasing instance has p functions f_i: [n] → 2^[n]; its
+// value is ~f_1(~f_2(...~f_p({0})...)), the set of layer-1 vertices
+// reachable from vertex 0 of layer p+1 following the edges
+// v_{i+1}^j → v_i^ℓ for ℓ ∈ f_i(j).
+
+// SetFunc is a function [n] → 2^[n]; SetFunc[j] lists f(j), sorted.
+type SetFunc [][]int32
+
+// RandomSetFunc draws a random function where each image is a non-empty
+// uniform subset of expected size deg. Non-empty images keep the reduction's
+// start markers coverable (see BuildSetCover).
+func RandomSetFunc(n int, deg float64, rng *rand.Rand) SetFunc {
+	f := make(SetFunc, n)
+	p := deg / float64(n)
+	for j := range f {
+		var img []int32
+		for v := 0; v < n; v++ {
+			if rng.Float64() < p {
+				img = append(img, int32(v))
+			}
+		}
+		if len(img) == 0 {
+			img = append(img, int32(rng.Intn(n)))
+		}
+		f[j] = img
+	}
+	return f
+}
+
+// SetChasing is one Set Chasing(n, p) instance: Funcs[0] is f_1 (applied
+// last), Funcs[p-1] is f_p (applied first).
+type SetChasing struct {
+	N     int
+	Funcs []SetFunc
+}
+
+// P returns the number of functions (players on this side).
+func (sc *SetChasing) P() int { return len(sc.Funcs) }
+
+// Eval computes ~f_1(~f_2(· · · ~f_p({0}) · · ·))) as a bitset over [n].
+func (sc *SetChasing) Eval() *bitset.Bitset {
+	cur := bitset.New(sc.N)
+	cur.Set(0)
+	for i := len(sc.Funcs) - 1; i >= 0; i-- {
+		next := bitset.New(sc.N)
+		cur.ForEach(func(v int) bool {
+			for _, w := range sc.Funcs[i][v] {
+				next.Set(int(w))
+			}
+			return true
+		})
+		cur = next
+	}
+	return cur
+}
+
+// ISC is an Intersection Set Chasing(n, p) instance: two Set Chasing
+// instances whose outputs are tested for intersection (Definition 5.2).
+type ISC struct {
+	Left, Right *SetChasing
+}
+
+// RandomISC draws an ISC instance with the given dimensions and expected
+// out-degree.
+func RandomISC(n, p int, deg float64, rng *rand.Rand) *ISC {
+	mk := func() *SetChasing {
+		funcs := make([]SetFunc, p)
+		for i := range funcs {
+			funcs[i] = RandomSetFunc(n, deg, rng)
+		}
+		return &SetChasing{N: n, Funcs: funcs}
+	}
+	return &ISC{Left: mk(), Right: mk()}
+}
+
+// Output evaluates the instance directly: 1 (true) iff the two reachable
+// sets intersect.
+func (isc *ISC) Output() bool {
+	return isc.Left.Eval().Intersects(isc.Right.Eval())
+}
+
+// ReductionMeta describes the SetCover instance produced by BuildSetCover.
+type ReductionMeta struct {
+	N, P int
+	// TightOpt is (2p+1)·n + 1: by Lemmas 5.5–5.7, the instance's optimum
+	// equals TightOpt iff the ISC instance outputs 1 (and exceeds it
+	// otherwise).
+	TightOpt int
+	// Labels names each set (S/R/T + player/index) for debugging and tests.
+	Labels []string
+}
+
+// BuildSetCover reduces an ISC instance to a SetCover instance following
+// Figures 5.2–5.3. Elements (two per vertex, one per player, plus two chase
+// markers):
+//
+//	in(v_i^j), out(v_i^j)   for v-layers i = 2..p+1
+//	in(u_i^j), out(u_i^j)   for u-layers i = 2..p+1
+//	in(v_1^j), in(u_1^j)    for the merged layer 1
+//	e_i                     for players i = 1..2p
+//	a, b                    chase-start markers
+//
+// Sets:
+//
+//	S_i^j     (v-side, i=1..p):  {out(v_{i+1}^j), e_i} ∪ {in(v_i^ℓ): ℓ ∈ f_i(j)},
+//	                             plus marker a iff i=p, j=0 (the chase starts
+//	                             at v_{p+1}^0, forcing S_p^0 into any cover)
+//	R_i^j     (v-side, i=2..p+1): {in(v_i^j), out(v_i^j)}
+//	S_{p+i}^j (u-side, i=1..p):  {in(u_i^j), e_{p+i}} ∪ {out(u_{i+1}^ℓ): j ∈ f'_i(ℓ)},
+//	                             plus marker b iff i=p and j ∈ f'_p(0) (only
+//	                             sets reached by a real edge from u_{p+1}^0
+//	                             may cover b, anchoring the u-side chase)
+//	T_i^j     (u-side, i=2..p+1): {in(u_i^j), out(u_i^j)}
+//	T_1^j     (merged):           {in(v_1^j), in(u_1^j)}
+//
+// The markers make the paper's start-anchoring explicit (the text anchors
+// the v-side via S_p^1 and the u-side via out(u_{p+1}^1) membership); with
+// them, Lemmas 5.5–5.7 are machine-checkable: any cover has at least
+// (2p+1)n+1 sets, and exactly that many exist iff the ISC output is 1.
+func BuildSetCover(isc *ISC) (*setcover.Instance, *ReductionMeta) {
+	n := isc.Left.N
+	p := isc.Left.P()
+	if isc.Right.N != n || isc.Right.P() != p {
+		panic("comm: ISC sides disagree on (n, p)")
+	}
+
+	// Element numbering.
+	next := 0
+	alloc := func() int { v := next; next++; return v }
+	inV := make([][]int, p+2) // inV[i][j] for i=1..p+1
+	outV := make([][]int, p+2)
+	inU := make([][]int, p+2)
+	outU := make([][]int, p+2)
+	for i := 2; i <= p+1; i++ {
+		inV[i], outV[i] = make([]int, n), make([]int, n)
+		inU[i], outU[i] = make([]int, n), make([]int, n)
+		for j := 0; j < n; j++ {
+			inV[i][j], outV[i][j] = alloc(), alloc()
+			inU[i][j], outU[i][j] = alloc(), alloc()
+		}
+	}
+	inV[1], inU[1] = make([]int, n), make([]int, n)
+	for j := 0; j < n; j++ {
+		inV[1][j], inU[1][j] = alloc(), alloc()
+	}
+	e := make([]int, 2*p+1) // e[1..2p]
+	for i := 1; i <= 2*p; i++ {
+		e[i] = alloc()
+	}
+	markerA, markerB := alloc(), alloc()
+
+	inst := &setcover.Instance{N: next}
+	meta := &ReductionMeta{N: n, P: p, TightOpt: (2*p+1)*n + 1}
+	add := func(label string, elems []int) {
+		es := make([]setcover.Elem, len(elems))
+		for i, v := range elems {
+			es[i] = setcover.Elem(v)
+		}
+		inst.Sets = append(inst.Sets, setcover.Set{Elems: es})
+		meta.Labels = append(meta.Labels, label)
+	}
+
+	// v-side S_i^j.
+	for i := 1; i <= p; i++ {
+		f := isc.Left.Funcs[i-1] // f_i
+		for j := 0; j < n; j++ {
+			elems := []int{outV[i+1][j], e[i]}
+			for _, l := range f[j] {
+				elems = append(elems, inV[i][l])
+			}
+			if i == p && j == 0 {
+				elems = append(elems, markerA)
+			}
+			add(fmt.Sprintf("S_%d^%d", i, j), elems)
+		}
+	}
+	// R_i^j.
+	for i := 2; i <= p+1; i++ {
+		for j := 0; j < n; j++ {
+			add(fmt.Sprintf("R_%d^%d", i, j), []int{inV[i][j], outV[i][j]})
+		}
+	}
+	// u-side S_{p+i}^j. Precompute the inverse edge lists f'^{-1}_i.
+	for i := 1; i <= p; i++ {
+		f := isc.Right.Funcs[i-1] // f'_i
+		inv := make([][]int32, n) // inv[j] = {ℓ : j ∈ f'_i(ℓ)}
+		for l := 0; l < n; l++ {
+			for _, j := range f[l] {
+				inv[j] = append(inv[j], int32(l))
+			}
+		}
+		startEdges := make(map[int]bool) // f'_p(0)
+		if i == p {
+			for _, j := range f[0] {
+				startEdges[int(j)] = true
+			}
+		}
+		for j := 0; j < n; j++ {
+			elems := []int{inU[i][j], e[p+i]}
+			for _, l := range inv[j] {
+				elems = append(elems, outU[i+1][l])
+			}
+			if i == p && startEdges[j] {
+				elems = append(elems, markerB)
+			}
+			add(fmt.Sprintf("S_%d^%d", p+i, j), elems)
+		}
+	}
+	// T_i^j for i=2..p+1 and the merged T_1^j.
+	for i := 2; i <= p+1; i++ {
+		for j := 0; j < n; j++ {
+			add(fmt.Sprintf("T_%d^%d", i, j), []int{inU[i][j], outU[i][j]})
+		}
+	}
+	for j := 0; j < n; j++ {
+		add(fmt.Sprintf("T_1^%d", j), []int{inV[1][j], inU[1][j]})
+	}
+
+	inst.Normalize()
+	return inst, meta
+}

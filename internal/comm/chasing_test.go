@@ -1,0 +1,189 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/offline"
+)
+
+func TestSetChasingEval(t *testing.T) {
+	// n=3, p=2: f_2({0}) = {1,2}; f_1({1,2}) = f_1(1) ∪ f_1(2) = {0} ∪ {2}.
+	sc := &SetChasing{
+		N: 3,
+		Funcs: []SetFunc{
+			{{1}, {0}, {2}},   // f_1
+			{{1, 2}, {0}, {}}, // f_2
+		},
+	}
+	got := sc.Eval()
+	if got.Count() != 2 || !got.Test(0) || !got.Test(2) {
+		t.Fatalf("eval = %v, want {0,2}", got)
+	}
+}
+
+func TestSetChasingEmptyPropagation(t *testing.T) {
+	sc := &SetChasing{
+		N: 2,
+		Funcs: []SetFunc{
+			{{0}, {1}},
+			{{}, {0}}, // f_2(0) = ∅: the chase dies
+		},
+	}
+	if !sc.Eval().Empty() {
+		t.Fatal("empty image should kill the chase")
+	}
+}
+
+func TestISCOutput(t *testing.T) {
+	mk := func(img int32) *SetChasing {
+		return &SetChasing{N: 3, Funcs: []SetFunc{
+			{{img}, {img}, {img}},
+			{{0}, {1}, {2}},
+		}}
+	}
+	yes := &ISC{Left: mk(1), Right: mk(1)}
+	if !yes.Output() {
+		t.Fatal("identical endpoints must intersect")
+	}
+	no := &ISC{Left: mk(1), Right: mk(2)}
+	if no.Output() {
+		t.Fatal("disjoint endpoints must not intersect")
+	}
+}
+
+func TestRandomSetFuncNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := RandomSetFunc(20, 2, rng)
+	for j, img := range f {
+		if len(img) == 0 {
+			t.Fatalf("f(%d) empty", j)
+		}
+	}
+}
+
+func TestBuildSetCoverShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	isc := RandomISC(4, 2, 1.5, rng)
+	inst, meta := BuildSetCover(isc)
+	n, p := 4, 2
+	if meta.TightOpt != (2*p+1)*n+1 {
+		t.Fatalf("TightOpt = %d", meta.TightOpt)
+	}
+	// Elements: 2n per layer for 2p+1 layers, plus 2p player elements and
+	// two markers.
+	wantElems := (2*p+1)*2*n + 2*p + 2
+	if inst.N != wantElems {
+		t.Fatalf("N = %d, want %d", inst.N, wantElems)
+	}
+	// Sets: 2p·n S-type, p·n R-type, (p+1)·n T-type (incl. merged layer 1).
+	wantSets := 2*p*n + p*n + (p+1)*n
+	if inst.M() != wantSets {
+		t.Fatalf("M = %d, want %d", inst.M(), wantSets)
+	}
+	if len(meta.Labels) != wantSets {
+		t.Fatalf("labels = %d", len(meta.Labels))
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Coverable() {
+		t.Fatal("reduction output must be coverable")
+	}
+}
+
+// The central machine-check of Section 5 (Lemmas 5.5-5.7 / Corollary 5.8):
+// OPT equals (2p+1)n+1 exactly when the ISC instance outputs 1, and exceeds
+// it otherwise. Verified with the exact solver over random instances.
+func TestReductionIffTightOpt(t *testing.T) {
+	sawYes, sawNo := false, false
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		deg := 0.8 + rng.Float64()
+		isc := RandomISC(n, 2, deg, rng)
+		inst, meta := BuildSetCover(isc)
+		opt, err := offline.OptSize(inst)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		direct := isc.Output()
+		if direct {
+			sawYes = true
+			if opt != meta.TightOpt {
+				t.Fatalf("seed %d: ISC=1 but OPT=%d, want %d", seed, opt, meta.TightOpt)
+			}
+		} else {
+			sawNo = true
+			if opt <= meta.TightOpt {
+				t.Fatalf("seed %d: ISC=0 but OPT=%d <= tight %d", seed, opt, meta.TightOpt)
+			}
+		}
+	}
+	if !sawYes || !sawNo {
+		t.Fatalf("test did not exercise both outcomes (yes=%v no=%v)", sawYes, sawNo)
+	}
+}
+
+// The same iff at larger dimensions (deeper chains, more players), feasible
+// thanks to the exact solver's dominance reductions.
+func TestReductionIffTightOptLarger(t *testing.T) {
+	for _, cfg := range [][2]int{{5, 2}, {6, 2}, {4, 3}, {5, 3}} {
+		n, p := cfg[0], cfg[1]
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed*131 + int64(n*10+p)))
+			isc := RandomISC(n, p, 0.8+rng.Float64(), rng)
+			inst, meta := BuildSetCover(isc)
+			opt, err := offline.OptSize(inst)
+			if err != nil {
+				t.Fatalf("n=%d p=%d seed=%d: %v", n, p, seed, err)
+			}
+			if got, want := opt == meta.TightOpt, isc.Output(); got != want {
+				t.Fatalf("n=%d p=%d seed=%d: OPT=%d tight=%d, direct=%v", n, p, seed, opt, meta.TightOpt, want)
+			}
+		}
+	}
+}
+
+// Lemma 5.5 alone: every feasible solution has at least (2p+1)n+1 sets.
+func TestReductionLowerBound(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		isc := RandomISC(3, 3, 1.2, rng)
+		inst, meta := BuildSetCover(isc)
+		opt, err := offline.OptSize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt < meta.TightOpt {
+			t.Fatalf("OPT %d below the Lemma 5.5 floor %d", opt, meta.TightOpt)
+		}
+	}
+}
+
+func TestBuildSetCoverMismatchedSidesPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	isc := &ISC{
+		Left:  &SetChasing{N: 3, Funcs: []SetFunc{RandomSetFunc(3, 1, rng)}},
+		Right: &SetChasing{N: 4, Funcs: []SetFunc{RandomSetFunc(4, 1, rng)}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched sides should panic")
+		}
+	}()
+	BuildSetCover(isc)
+}
+
+// Dimension scaling: |U| and |F| are O(np), matching Theorem 5.4's
+// accounting ("|U| = (2p+1)·2n + 2p" up to the two markers).
+func TestReductionDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, pv := range []int{2, 3, 4} {
+		isc := RandomISC(6, pv, 1.5, rng)
+		inst, _ := BuildSetCover(isc)
+		if inst.N != (2*pv+1)*2*6+2*pv+2 {
+			t.Fatalf("p=%d: N=%d", pv, inst.N)
+		}
+	}
+}

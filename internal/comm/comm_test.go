@@ -1,0 +1,167 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestTranscript(t *testing.T) {
+	tr := &Transcript{}
+	tr.Send(100)
+	tr.Send(50)
+	tr.EndRound()
+	if tr.Bits() != 150 || tr.Rounds() != 1 {
+		t.Fatalf("bits=%d rounds=%d", tr.Bits(), tr.Rounds())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Send should panic")
+		}
+	}()
+	tr.Send(-1)
+}
+
+func TestStreamingToCommunicationBits(t *testing.T) {
+	// Observation 5.9: s words, ℓ passes -> O(s·ℓ²) bits (64 bits/word).
+	if got := StreamingToCommunicationBits(10, 3); got != 10*64*9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestRandomFamilyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := RandomFamily(10, 64, rng)
+	if len(f.Sets) != 10 || f.N != 64 {
+		t.Fatal("dims wrong")
+	}
+	if f.DescriptionBits() != 640 {
+		t.Fatalf("bits = %d", f.DescriptionBits())
+	}
+	// Each set should have roughly n/2 elements.
+	for _, s := range f.Sets {
+		if c := s.Count(); c < 16 || c > 48 {
+			t.Fatalf("set size %d far from n/2", c)
+		}
+	}
+}
+
+func TestIsIntersecting(t *testing.T) {
+	f := &Family{N: 4, Sets: []*bitset.Bitset{
+		bitset.FromSlice(4, []int32{0, 1}),
+		bitset.FromSlice(4, []int32{1, 2}),
+	}}
+	if !f.IsIntersecting() {
+		t.Fatal("incomparable sets are intersecting")
+	}
+	f.Sets = append(f.Sets, bitset.FromSlice(4, []int32{1}))
+	if f.IsIntersecting() {
+		t.Fatal("{1} ⊂ {0,1}: not intersecting")
+	}
+}
+
+func TestDisjointnessOracle(t *testing.T) {
+	f := &Family{N: 4, Sets: []*bitset.Bitset{
+		bitset.FromSlice(4, []int32{0, 1}),
+		bitset.FromSlice(4, []int32{2, 3}),
+	}}
+	tr := &Transcript{}
+	o := NewDisjointnessOracle(f, tr)
+	// Theorem 3.1: the naive protocol costs mn bits; here 2*4 = 8.
+	if tr.Bits() != 8 {
+		t.Fatalf("naive protocol bits = %d, want 8", tr.Bits())
+	}
+	if !o.ExistsDisjoint(bitset.FromSlice(4, []int32{0, 1})) {
+		t.Fatal("set {2,3} is disjoint from {0,1}")
+	}
+	if o.ExistsDisjoint(bitset.FromSlice(4, []int32{1, 3})) {
+		t.Fatal("{1,3} intersects both sets")
+	}
+	if o.Calls() != 2 {
+		t.Fatalf("calls = %d", o.Calls())
+	}
+}
+
+// The Section 3 decoding experiment: algRecoverBit reconstructs Alice's
+// random family exactly from the disjointness oracle. This is the executable
+// content of Theorem 3.2 — the message must carry all mn bits.
+func TestRecoverBitsReconstructsFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const m, n = 6, 32
+	f := RandomFamily(m, n, rng)
+	if !f.IsIntersecting() {
+		t.Skip("rare non-intersecting draw")
+	}
+	o := NewDisjointnessOracle(f, nil)
+	res := RecoverBits(o, n, m, RecoverConfig{QuerySize: 4, MaxProbes: 60000, Seed: 7})
+	if !MatchesFamily(res.Recovered, f) {
+		t.Fatalf("recovered %d sets, want exact family of %d", len(res.Recovered), m)
+	}
+	if res.BitsDecoded != int64(m*n) {
+		t.Fatalf("bits decoded = %d, want %d", res.BitsDecoded, m*n)
+	}
+	if res.OracleCalls <= int64(res.Probes) {
+		t.Fatal("refinement queries should exceed base probes")
+	}
+}
+
+func TestRecoverBitsPruning(t *testing.T) {
+	// Spurious recoveries are intersections of true sets — strict SUBSETS —
+	// so the pruning keeps maximal sets.
+	sub := bitset.FromSlice(4, []int32{0, 1})
+	full := bitset.FromSlice(4, []int32{0, 1, 2})
+	// Insert the spurious subset first, then the true set: subset displaced.
+	fa, changed := prune(nil, sub)
+	if !changed || len(fa) != 1 {
+		t.Fatal("first insert should store the set")
+	}
+	fa, changed = prune(fa, full)
+	if !changed || len(fa) != 1 || !fa[0].Equal(full) {
+		t.Fatalf("true superset should displace the spurious subset; kept %d", len(fa))
+	}
+	// Inserting a subset after its superset is a no-op.
+	fa, changed = prune(fa, sub)
+	if changed || len(fa) != 1 || !fa[0].Equal(full) {
+		t.Fatal("subset should not displace its superset")
+	}
+	// Duplicates are no-ops.
+	fa, changed = prune(fa, full)
+	if changed || len(fa) != 1 {
+		t.Fatal("duplicate changed the store")
+	}
+	// Incomparable sets coexist.
+	other := bitset.FromSlice(4, []int32{3})
+	fa, changed = prune(fa, other)
+	if !changed || len(fa) != 2 {
+		t.Fatal("incomparable set should be added")
+	}
+}
+
+func TestRecoverBitsDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := RandomFamily(3, 16, rng)
+	o := NewDisjointnessOracle(f, nil)
+	res := RecoverBits(o, 16, 3, RecoverConfig{Seed: 1})
+	if res.Probes == 0 {
+		t.Fatal("no probes issued")
+	}
+}
+
+func TestMatchesFamily(t *testing.T) {
+	f := &Family{N: 4, Sets: []*bitset.Bitset{
+		bitset.FromSlice(4, []int32{0}),
+		bitset.FromSlice(4, []int32{1, 2}),
+	}}
+	ok := []*bitset.Bitset{f.Sets[1].Clone(), f.Sets[0].Clone()} // order-free
+	if !MatchesFamily(ok, f) {
+		t.Fatal("should match")
+	}
+	if MatchesFamily(ok[:1], f) {
+		t.Fatal("wrong count should not match")
+	}
+	bad := []*bitset.Bitset{f.Sets[0].Clone(), f.Sets[0].Clone()}
+	if MatchesFamily(bad, f) {
+		t.Fatal("duplicate should not match")
+	}
+}

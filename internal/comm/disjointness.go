@@ -1,0 +1,247 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+)
+
+// This file implements Section 3: the (Many vs One)-Set Disjointness problem
+// and the algRecoverBit decoder of Figure 3.1.
+//
+// Setting: Alice holds a family F_A of m subsets of a universe of size n;
+// Bob holds a single set r_b and must decide whether some set of F_A is
+// disjoint from r_b, after receiving one message from Alice. Theorem 3.2:
+// any single-round protocol with error O(m^-c) needs Ω(mn) bits — because
+// Bob, armed with the message and his own queries, can reconstruct F_A
+// entirely (algRecoverBit), and F_A carries m·n random bits.
+
+// Family is Alice's input: m subsets of [0, n).
+type Family struct {
+	N    int
+	Sets []*bitset.Bitset
+}
+
+// RandomFamily draws m uniformly random subsets of [0, n): each element is
+// included independently with probability 1/2 (the hard distribution of
+// Theorem 3.2).
+func RandomFamily(m, n int, rng *rand.Rand) *Family {
+	f := &Family{N: n, Sets: make([]*bitset.Bitset, m)}
+	for i := range f.Sets {
+		s := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if rng.Intn(2) == 0 {
+				s.Set(e)
+			}
+		}
+		f.Sets[i] = s
+	}
+	return f
+}
+
+// IsIntersecting reports whether the family is intersecting in the paper's
+// sense (Observation 3.4): no set contains another. Random families are
+// intersecting with probability 1 - m²(3/4)^n.
+func (f *Family) IsIntersecting() bool {
+	for i, a := range f.Sets {
+		for j, b := range f.Sets {
+			if i != j && a.SubsetOf(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DescriptionBits returns the information content of the family: m·n bits.
+func (f *Family) DescriptionBits() int64 {
+	return int64(len(f.Sets)) * int64(f.N)
+}
+
+// DisjointnessOracle answers Bob's side of the protocol: given Bob's set,
+// does some set of F_A avoid it entirely? In the naive (optimal, by
+// Theorem 3.1) protocol, Alice sends all m·n bits and Bob evaluates this
+// exactly. Calls returns how many queries have been issued.
+type DisjointnessOracle struct {
+	family *Family
+	calls  int64
+}
+
+// NewDisjointnessOracle builds Bob's oracle after the naive protocol ran:
+// Alice's full family was transmitted, which the transcript records as
+// m·n bits.
+func NewDisjointnessOracle(f *Family, t *Transcript) *DisjointnessOracle {
+	if t != nil {
+		t.Send(f.DescriptionBits())
+		t.EndRound()
+	}
+	return &DisjointnessOracle{family: f}
+}
+
+// ExistsDisjoint reports whether some set of F_A is disjoint from rb.
+func (o *DisjointnessOracle) ExistsDisjoint(rb *bitset.Bitset) bool {
+	o.calls++
+	for _, s := range o.family.Sets {
+		if !s.Intersects(rb) {
+			return true
+		}
+	}
+	return false
+}
+
+// Calls returns the number of oracle queries made so far.
+func (o *DisjointnessOracle) Calls() int64 { return o.calls }
+
+// RecoverConfig tunes algRecoverBit.
+type RecoverConfig struct {
+	// QuerySize is |r_b| = c₁·log m in the paper. If 0, ceil(log₂ m)+1.
+	QuerySize int
+	// MaxProbes bounds the random probes (the paper uses m^c; tests use
+	// far fewer because success concentrates quickly at small m).
+	MaxProbes int
+	// Seed drives Bob's randomness.
+	Seed int64
+}
+
+// RecoverResult reports the decoder's outcome.
+type RecoverResult struct {
+	// Recovered is Bob's reconstruction of F_A.
+	Recovered []*bitset.Bitset
+	// Probes is the number of random base queries issued.
+	Probes int
+	// OracleCalls is the total number of protocol invocations (base probes
+	// plus the n−|r_b| refinement queries per hit).
+	OracleCalls int64
+	// BitsDecoded is n · |Recovered| — the information algRecoverBit pulled
+	// through the protocol, which is what forces Ω(mn) communication.
+	BitsDecoded int64
+}
+
+// RecoverBits is algRecoverBit (Figure 3.1): using only the disjointness
+// oracle, Bob reconstructs Alice's family. Repeatedly probe with a random
+// small r_b; when some set of F_A is disjoint from r_b (with high
+// probability exactly one, Lemma 3.3), identify it element by element:
+// e belongs to the disjoint set iff adding e to r_b kills disjointness.
+//
+// When *several* sets are disjoint from the same probe, the element test
+// recovers their INTERSECTION (e survives iff every disjoint set contains
+// e). The paper's prose calls the spurious recovery a union; with the
+// standard oracle semantics it is an intersection, so the pruning step must
+// keep maximal sets: spurious intersections are strict subsets of true sets
+// and get displaced when the true set is recovered alone. This is sound
+// because F_A is intersecting with high probability (Observation 3.4), so
+// no true set is a subset of another.
+func RecoverBits(o *DisjointnessOracle, n, m int, cfg RecoverConfig) RecoverResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q := cfg.QuerySize
+	if q <= 0 {
+		q = int(math.Ceil(math.Log2(float64(m)))) + 1
+	}
+	if q > n {
+		q = n
+	}
+	maxProbes := cfg.MaxProbes
+	if maxProbes <= 0 {
+		maxProbes = 4000 * m
+	}
+
+	var recovered []*bitset.Bitset
+	probes := 0
+	// Early stop: once m sets are stored, keep going until a window of
+	// further discoveries causes no change (a stored spurious intersection
+	// may still need displacing by its true superset).
+	stableDiscoveries := 0
+	window := 3*m + 10
+	for probes < maxProbes {
+		if len(recovered) == m && stableDiscoveries >= window {
+			break
+		}
+		probes++
+		rb := randomSubset(rng, n, q)
+		if !o.ExistsDisjoint(rb) {
+			continue
+		}
+		// Discover the intersection of the sets disjoint from rb (with high
+		// probability a single true set, Lemma 3.3).
+		r := bitset.New(n)
+		for e := 0; e < n; e++ {
+			if rb.Test(e) {
+				continue
+			}
+			probe := rb.Clone()
+			probe.Set(e)
+			if !o.ExistsDisjoint(probe) {
+				r.Set(e)
+			}
+		}
+		var changed bool
+		recovered, changed = prune(recovered, r)
+		if changed {
+			stableDiscoveries = 0
+		} else {
+			stableDiscoveries++
+		}
+	}
+	return RecoverResult{
+		Recovered:   recovered,
+		Probes:      probes,
+		OracleCalls: o.Calls(),
+		BitsDecoded: int64(len(recovered)) * int64(n),
+	}
+}
+
+// prune keeps the maximal recovered sets: any stored strict subset of r is
+// displaced, and r itself is skipped when it is a (weak) subset of a stored
+// set. changed reports whether the store was modified.
+func prune(fa []*bitset.Bitset, r *bitset.Bitset) (out []*bitset.Bitset, changed bool) {
+	out = fa[:0]
+	keep := true
+	for _, prev := range fa {
+		if prev.SubsetOf(r) && !prev.Equal(r) {
+			changed = true
+			continue // prev is a spurious strict subset of r: discard prev
+		}
+		if r.SubsetOf(prev) {
+			keep = false // r is a subset of a stored set: spurious or dup
+		}
+		out = append(out, prev)
+	}
+	if keep {
+		out = append(out, r.Clone())
+		changed = true
+	}
+	return out, changed
+}
+
+// randomSubset draws a uniform subset of [0, n) of the given size.
+func randomSubset(rng *rand.Rand, n, size int) *bitset.Bitset {
+	b := bitset.New(n)
+	for b.Count() < size {
+		b.Set(rng.Intn(n))
+	}
+	return b
+}
+
+// MatchesFamily reports whether the recovered sets equal F_A exactly
+// (as unordered collections).
+func MatchesFamily(recovered []*bitset.Bitset, f *Family) bool {
+	if len(recovered) != len(f.Sets) {
+		return false
+	}
+	used := make([]bool, len(f.Sets))
+	for _, r := range recovered {
+		found := false
+		for i, s := range f.Sets {
+			if !used[i] && r.Equal(s) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// Lemma 3.3, measured: for a random family and a random small probe r_b,
+// the probability that exactly one set is disjoint from r_b is bounded away
+// from zero (the paper lower-bounds it by 1/m^{c+1}; at these sizes the
+// empirical rate is far higher, which is why algRecoverBit converges in few
+// probes).
+func TestLemma33ExactlyOneDisjointRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const m, n, q, trials = 6, 32, 4, 3000
+	fam := RandomFamily(m, n, rng)
+	exactlyOne, atLeastOne := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		rb := randomSubset(rng, n, q)
+		disjoint := 0
+		for _, s := range fam.Sets {
+			if !s.Intersects(rb) {
+				disjoint++
+			}
+		}
+		if disjoint >= 1 {
+			atLeastOne++
+		}
+		if disjoint == 1 {
+			exactlyOne++
+		}
+	}
+	if atLeastOne == 0 {
+		t.Fatal("no probe ever found a disjoint set — family or probe size wrong")
+	}
+	// Expected: P(specific set disjoint) = 2^-q = 1/16, so exactly-one
+	// events should be common. Require at least 5% of trials.
+	if exactlyOne*20 < trials {
+		t.Fatalf("exactly-one rate %d/%d too low for the decoding argument", exactlyOne, trials)
+	}
+	// Conditional uniqueness: among hits, a clear majority should be unique
+	// hits at these parameters (Lemma 3.3's comparison of the two terms).
+	if exactlyOne*2 < atLeastOne {
+		t.Fatalf("unique hits %d not a majority of hits %d", exactlyOne, atLeastOne)
+	}
+}
+
+// Observation 3.4, measured: random families are intersecting with high
+// probability once n >= c log m.
+func TestObservation34IntersectingRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	intersecting := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		fam := RandomFamily(8, 48, rng)
+		if fam.IsIntersecting() {
+			intersecting++
+		}
+	}
+	// m²(3/4)^n = 64·(3/4)^48 ≈ 6e-5: essentially all draws intersect.
+	if intersecting < trials-2 {
+		t.Fatalf("only %d/%d random families intersecting", intersecting, trials)
+	}
+}
+
+// The two-party SetCover connection (Theorem 3.1's setup): a cover of size 2
+// exists iff some Alice set and some Bob set are complements-disjoint. This
+// checks the equivalence the reduction rests on, on random draws.
+func TestCoverOfSizeTwoIffDisjointComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 10
+	for trial := 0; trial < 200; trial++ {
+		// Alice's sets and Bob's sets as subsets of U.
+		mkSet := func() *bitset.Bitset {
+			b := bitset.New(n)
+			for e := 0; e < n; e++ {
+				if rng.Intn(2) == 0 {
+					b.Set(e)
+				}
+			}
+			return b
+		}
+		ra, rb := mkSet(), mkSet()
+		// U ⊆ ra ∪ rb  ⇔  complement(ra) ∩ complement(rb) = ∅
+		// ⇔ ra's complement is disjoint from rb's complement.
+		union := ra.Clone()
+		union.Union(rb)
+		covers := union.Count() == n
+		compA, compB := ra.Clone(), rb.Clone()
+		full := bitset.New(n)
+		full.Fill()
+		ca := full.Clone()
+		ca.Subtract(compA)
+		cb := full.Clone()
+		cb.Subtract(compB)
+		disjoint := !ca.Intersects(cb)
+		if covers != disjoint {
+			t.Fatalf("equivalence broken: covers=%v disjoint=%v (ra=%v rb=%v)", covers, disjoint, ra, rb)
+		}
+	}
+}

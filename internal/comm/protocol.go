@@ -1,0 +1,92 @@
+package comm
+
+import (
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// This file makes Observation 5.9 executable: a streaming algorithm runs
+// unchanged over a repository whose sets are partitioned among q players in
+// stream order; every time a scan crosses a player boundary, the working
+// memory would be handed to the next player. The simulation counts those
+// hand-offs, so the induced protocol's cost is
+//
+//	bits = crossings × spaceWords × 64,
+//
+// matching the Observation's O(s·ℓ²) accounting (ℓ passes × (q-1) hand-offs
+// per pass, with q ≤ ℓ players in the reduction).
+
+// ProtocolRepo wraps a Repository and counts player-boundary crossings.
+// It implements stream.Repository, so any streaming algorithm in this
+// repository runs over it unmodified.
+type ProtocolRepo struct {
+	inner   stream.Repository
+	players int
+	// boundaries[i] is the first set index owned by player i+1.
+	boundaries []int
+	crossings  int
+}
+
+// NewProtocolRepo partitions the repository's stream order among the given
+// number of players (as equally as possible, player 0 first).
+func NewProtocolRepo(inner stream.Repository, players int) *ProtocolRepo {
+	if players < 1 {
+		players = 1
+	}
+	m := inner.NumSets()
+	p := &ProtocolRepo{inner: inner, players: players}
+	for i := 1; i < players; i++ {
+		p.boundaries = append(p.boundaries, i*m/players)
+	}
+	return p
+}
+
+// UniverseSize implements stream.Repository.
+func (p *ProtocolRepo) UniverseSize() int { return p.inner.UniverseSize() }
+
+// NumSets implements stream.Repository.
+func (p *ProtocolRepo) NumSets() int { return p.inner.NumSets() }
+
+// Passes implements stream.Repository.
+func (p *ProtocolRepo) Passes() int { return p.inner.Passes() }
+
+// Crossings returns the number of player-boundary hand-offs so far. Each
+// pass over m sets split among q players costs q-1 hand-offs, plus one at
+// end-of-pass to return the state to the answering player.
+func (p *ProtocolRepo) Crossings() int { return p.crossings }
+
+// Begin implements stream.Repository.
+func (p *ProtocolRepo) Begin() stream.Reader {
+	return &protocolReader{repo: p, inner: p.inner.Begin()}
+}
+
+type protocolReader struct {
+	repo     *ProtocolRepo
+	inner    stream.Reader
+	pos      int
+	boundary int // next boundary index to cross
+	done     bool
+}
+
+func (r *protocolReader) Next() (setcover.Set, bool) {
+	s, ok := r.inner.Next()
+	if !ok {
+		if !r.done {
+			r.done = true
+			r.repo.crossings++ // end-of-pass hand-off back to the lead player
+		}
+		return s, ok
+	}
+	if r.boundary < len(r.repo.boundaries) && r.pos == r.repo.boundaries[r.boundary] {
+		r.repo.crossings++
+		r.boundary++
+	}
+	r.pos++
+	return s, ok
+}
+
+// ProtocolCost converts a finished simulation into communication bits:
+// every hand-off ships the algorithm's peak working memory once.
+func ProtocolCost(crossings int, spaceWords int64) int64 {
+	return int64(crossings) * spaceWords * 64
+}

@@ -1,0 +1,246 @@
+package comm
+
+import (
+	"math/rand"
+)
+
+// This file implements Section 6: the Pointer Chasing problem family
+// (Definitions 6.1–6.3), the OR^t direct-sum construction, and the overlay
+// of t Equal Limited Pointer Chasing instances into one Intersection Set
+// Chasing instance (footnote 5 / Lemma 6.5). Feeding the overlay through
+// BuildSetCover yields the *sparse* SetCover instances of Theorem 6.6: all
+// set sizes are Õ(t), so the Ω̃(tn) communication bound becomes Ω̃(ms) space
+// for s-Sparse Set Cover.
+
+// PointerFunc is a total function [n] → [n].
+type PointerFunc []int32
+
+// RandomPointerFunc draws a uniformly random function.
+func RandomPointerFunc(n int, rng *rand.Rand) PointerFunc {
+	f := make(PointerFunc, n)
+	for i := range f {
+		f[i] = int32(rng.Intn(n))
+	}
+	return f
+}
+
+// MaxPreimage returns max_b |f^{-1}(b)|.
+func (f PointerFunc) MaxPreimage() int {
+	counts := make([]int, len(f))
+	for _, b := range f {
+		counts[b]++
+	}
+	mx := 0
+	for _, c := range counts {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// RNonInjective reports whether f is r-non-injective (Definition 6.1): some
+// value has at least r preimages.
+func (f PointerFunc) RNonInjective(r int) bool { return f.MaxPreimage() >= r }
+
+// PointerChasing is a Pointer Chasing(n, p) instance (Definition 6.2):
+// Funcs[0] = f_1 (applied last) ... Funcs[p-1] = f_p (applied first); the
+// value is f_1(f_2(···f_p(0)···)).
+type PointerChasing struct {
+	N     int
+	Funcs []PointerFunc
+}
+
+// RandomPointerChasing draws an instance with p random functions.
+func RandomPointerChasing(n, p int, rng *rand.Rand) *PointerChasing {
+	pc := &PointerChasing{N: n, Funcs: make([]PointerFunc, p)}
+	for i := range pc.Funcs {
+		pc.Funcs[i] = RandomPointerFunc(n, rng)
+	}
+	return pc
+}
+
+// Eval chases the pointers from vertex 0.
+func (pc *PointerChasing) Eval() int {
+	x := int32(0)
+	for i := len(pc.Funcs) - 1; i >= 0; i-- {
+		x = pc.Funcs[i][x]
+	}
+	return int(x)
+}
+
+// EqualLimitedPC is an Equal Limited Pointer Chasing(n, p, r) instance
+// (Definition 6.3): output 1 if any function is r-non-injective; otherwise
+// output whether the two chains end at the same vertex.
+type EqualLimitedPC struct {
+	Left, Right *PointerChasing
+	R           int
+}
+
+// AnyRNonInjective reports whether any of the 2p functions is
+// r-non-injective.
+func (eq *EqualLimitedPC) AnyRNonInjective() bool {
+	for _, f := range eq.Left.Funcs {
+		if f.RNonInjective(eq.R) {
+			return true
+		}
+	}
+	for _, f := range eq.Right.Funcs {
+		if f.RNonInjective(eq.R) {
+			return true
+		}
+	}
+	return false
+}
+
+// Output evaluates the instance.
+func (eq *EqualLimitedPC) Output() bool {
+	if eq.AnyRNonInjective() {
+		return true
+	}
+	return eq.Left.Eval() == eq.Right.Eval()
+}
+
+// ORt is the t-fold OR of Equal Limited Pointer Chasing instances.
+type ORt struct {
+	Instances []*EqualLimitedPC
+}
+
+// RandomORt draws t independent instances.
+func RandomORt(n, p, t, r int, rng *rand.Rand) *ORt {
+	or := &ORt{}
+	for i := 0; i < t; i++ {
+		or.Instances = append(or.Instances, &EqualLimitedPC{
+			Left:  RandomPointerChasing(n, p, rng),
+			Right: RandomPointerChasing(n, p, rng),
+			R:     r,
+		})
+	}
+	return or
+}
+
+// Output is the OR of the member outputs.
+func (or *ORt) Output() bool {
+	for _, in := range or.Instances {
+		if in.Output() {
+			return true
+		}
+	}
+	return false
+}
+
+// PlantEquality rewires instance idx so its two chains end at the same
+// vertex (used by tests to exercise the no-false-negative property of the
+// overlay).
+func (or *ORt) PlantEquality(idx int) {
+	in := or.Instances[idx]
+	// Make the final function of the right chain map everything to the left
+	// chain's end value.
+	end := int32(in.Left.Eval())
+	last := in.Right.Funcs[0] // f_1 is applied last
+	for i := range last {
+		last[i] = end
+	}
+}
+
+// permutation draws a uniform permutation of [n] with the constraint
+// π(0) = 0 when fixZero is set (the chase-start anchor of the overlay).
+func permutation(n int, fixZero bool, rng *rand.Rand) []int32 {
+	p := rng.Perm(n)
+	out := make([]int32, n)
+	for i, v := range p {
+		out[i] = int32(v)
+	}
+	if fixZero {
+		// Swap so that out[0] == 0.
+		for i, v := range out {
+			if v == 0 {
+				out[i], out[0] = out[0], 0
+				break
+			}
+		}
+	}
+	return out
+}
+
+func invert(p []int32) []int32 {
+	inv := make([]int32, len(p))
+	for i, v := range p {
+		inv[v] = int32(i)
+	}
+	return inv
+}
+
+// OverlayToISC stacks the t Equal (Limited) Pointer Chasing instances into a
+// single Intersection Set Chasing instance per [GO13]'s direct-sum overlay
+// (the paper's footnote 5): the function of player i in instance j is
+// conjugated by random layer permutations, π_{i,j} ∘ f_{i,j} ∘ π_{i+1,j}^{-1},
+// and the t conjugated functions are stacked into one set-valued function.
+// The layer-(p+1) permutations fix 0 (all chains start together) and the
+// layer-1 permutations are shared between the left and right sides of the
+// same instance (so equal endpoints meet at the same merged vertex).
+//
+// Properties (exercised by tests): with t = 1 the ISC output equals the
+// equality output exactly; for t > 1 a planted equality always makes the
+// ISC output 1 (no false negatives), while cross-instance collisions can
+// cause false positives with probability that vanishes as n grows — the
+// regime t²·p·r^{p-1} < n/10 of Lemma 6.5.
+func OverlayToISC(or *ORt, rng *rand.Rand) *ISC {
+	t := len(or.Instances)
+	if t == 0 {
+		panic("comm: empty ORt")
+	}
+	n := or.Instances[0].Left.N
+	p := len(or.Instances[0].Left.Funcs)
+
+	// Permutations per layer (1..p+1) and instance; layer 1 shared between
+	// sides, layer p+1 fixes 0.
+	permL := make([][][]int32, p+2)
+	permR := make([][][]int32, p+2)
+	for i := 1; i <= p+1; i++ {
+		permL[i] = make([][]int32, t)
+		permR[i] = make([][]int32, t)
+		for j := 0; j < t; j++ {
+			permL[i][j] = permutation(n, i == p+1, rng)
+			if i == 1 {
+				permR[i][j] = permL[i][j] // shared merge layer
+			} else {
+				permR[i][j] = permutation(n, i == p+1, rng)
+			}
+		}
+	}
+
+	overlay := func(side func(j int) *PointerChasing, perms [][][]int32) *SetChasing {
+		funcs := make([]SetFunc, p)
+		for i := 1; i <= p; i++ {
+			f := make(SetFunc, n)
+			for a := 0; a < n; a++ {
+				seen := make(map[int32]bool)
+				for j := 0; j < t; j++ {
+					pre := invert(perms[i+1][j])[a]
+					img := side(j).Funcs[i-1][pre]
+					v := perms[i][j][img]
+					if !seen[v] {
+						seen[v] = true
+						f[a] = append(f[a], v)
+					}
+				}
+				sortInt32s(f[a])
+			}
+			funcs[i-1] = f
+		}
+		return &SetChasing{N: n, Funcs: funcs}
+	}
+
+	left := overlay(func(j int) *PointerChasing { return or.Instances[j].Left }, permL)
+	right := overlay(func(j int) *PointerChasing { return or.Instances[j].Right }, permR)
+	return &ISC{Left: left, Right: right}
+}
+
+func sortInt32s(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

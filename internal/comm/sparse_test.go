@@ -1,0 +1,209 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPointerChasingEval(t *testing.T) {
+	pc := &PointerChasing{N: 4, Funcs: []PointerFunc{
+		{3, 2, 1, 0}, // f_1 (applied last)
+		{1, 0, 3, 2}, // f_2 (applied first): f_2(0)=1, f_1(1)=2
+	}}
+	if got := pc.Eval(); got != 2 {
+		t.Fatalf("eval = %d, want 2", got)
+	}
+}
+
+func TestMaxPreimageAndRNonInjective(t *testing.T) {
+	f := PointerFunc{0, 0, 0, 1}
+	if f.MaxPreimage() != 3 {
+		t.Fatalf("max preimage = %d", f.MaxPreimage())
+	}
+	if !f.RNonInjective(3) || f.RNonInjective(4) {
+		t.Fatal("r-non-injectivity thresholds wrong")
+	}
+	inj := PointerFunc{1, 2, 3, 0}
+	if inj.MaxPreimage() != 1 {
+		t.Fatal("injective function has max preimage 1")
+	}
+}
+
+func TestEqualLimitedPCOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := RandomPointerChasing(8, 2, rng)
+	r := RandomPointerChasing(8, 2, rng)
+	eq := &EqualLimitedPC{Left: l, Right: r, R: 8}
+	want := l.Eval() == r.Eval() // no function can be 8-non-injective... unless constant
+	if eq.AnyRNonInjective() {
+		want = true
+	}
+	if eq.Output() != want {
+		t.Fatal("output mismatch")
+	}
+	// Force r-non-injectivity: constant function.
+	for i := range l.Funcs[0] {
+		l.Funcs[0][i] = 0
+	}
+	eq2 := &EqualLimitedPC{Left: l, Right: r, R: 8}
+	if !eq2.Output() {
+		t.Fatal("8-non-injective function must force output 1")
+	}
+}
+
+func TestORtOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	or := RandomORt(16, 2, 3, 16, rng)
+	want := false
+	for _, in := range or.Instances {
+		if in.Output() {
+			want = true
+		}
+	}
+	if or.Output() != want {
+		t.Fatal("ORt output mismatch")
+	}
+}
+
+func TestPlantEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	or := RandomORt(16, 2, 2, 16, rng)
+	or.PlantEquality(1)
+	if !or.Instances[1].Output() {
+		t.Fatal("planted instance must output 1")
+	}
+	if !or.Output() {
+		t.Fatal("ORt with planted equality must output 1")
+	}
+}
+
+func TestPermutationFixZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		p := permutation(10, true, rng)
+		if p[0] != 0 {
+			t.Fatal("fixZero violated")
+		}
+		seen := make([]bool, 10)
+		for _, v := range p {
+			if seen[v] {
+				t.Fatal("not a permutation")
+			}
+			seen[v] = true
+		}
+	}
+	inv := invert([]int32{2, 0, 1})
+	if inv[2] != 0 || inv[0] != 1 || inv[1] != 2 {
+		t.Fatalf("invert wrong: %v", inv)
+	}
+}
+
+// t = 1 overlay is exact: ISC output == equality of the two chains.
+func TestOverlaySingleInstanceExact(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		or := RandomORt(16, 3, 1, 1<<30, rng) // huge r: never non-injective
+		isc := OverlayToISC(or, rng)
+		direct := or.Instances[0].Left.Eval() == or.Instances[0].Right.Eval()
+		if isc.Output() != direct {
+			t.Fatalf("seed %d: overlay %v != direct %v", seed, isc.Output(), direct)
+		}
+	}
+}
+
+// No false negatives: a planted equality always survives the overlay.
+func TestOverlayNoFalseNegatives(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		or := RandomORt(64, 2, 4, 64, rng)
+		or.PlantEquality(int(seed) % 4)
+		isc := OverlayToISC(or, rng)
+		if !isc.Output() {
+			t.Fatalf("seed %d: planted equality lost in overlay", seed)
+		}
+	}
+}
+
+// False-positive rate is controlled in the Lemma 6.5 regime
+// (t²·p·r^{p-1} < n/10): measure agreement between "local non-injectivity
+// check, else overlay ISC" (the Lemma 6.5 protocol) and the direct OR^t
+// evaluation. Equalities must never be lost (no false negatives); spurious
+// intersections may appear but rarely.
+func TestOverlayAgreementRate(t *testing.T) {
+	agree, total := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n, p, tt = 256, 2, 3
+		r := int(math.Ceil(math.Log2(n)))
+		or := RandomORt(n, p, tt, r, rng)
+		isc := OverlayToISC(or, rng)
+		// The Lemma 6.5 protocol: players detect r-non-injectivity locally
+		// and output 1 without touching the ISC instance.
+		nonInj := false
+		anyEqual := false
+		for _, in := range or.Instances {
+			if in.AnyRNonInjective() {
+				nonInj = true
+			}
+			if in.Left.Eval() == in.Right.Eval() {
+				anyEqual = true
+			}
+		}
+		protocolOut := nonInj || isc.Output()
+		if anyEqual && !isc.Output() {
+			t.Fatalf("seed %d: equality lost in overlay — construction broken", seed)
+		}
+		if protocolOut == or.Output() {
+			agree++
+		}
+		total++
+	}
+	if agree*10 < total*7 { // at least 70% agreement
+		t.Fatalf("agreement %d/%d too low", agree, total)
+	}
+}
+
+// Theorem 6.6's sparsity: the SetCover instance built from the overlay has
+// sets of size Õ(t) — far below n.
+func TestSparseReductionSetSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, p, tt = 128, 2, 4
+	r := int(math.Ceil(math.Log2(n)))
+	or := RandomORt(n, p, tt, r, rng)
+	isc := OverlayToISC(or, rng)
+	inst, meta := BuildSetCover(isc)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Coverable() {
+		t.Fatal("sparse reduction must stay coverable")
+	}
+	// Max preimage across all pointer functions (the effective r).
+	maxPre := 1
+	for _, in := range or.Instances {
+		for _, f := range append(append([]PointerFunc{}, in.Left.Funcs...), in.Right.Funcs...) {
+			if mp := f.MaxPreimage(); mp > maxPre {
+				maxPre = mp
+			}
+		}
+	}
+	// v-side S sets have ≤ t+3 elements; u-side ≤ maxPre·t+3.
+	bound := maxPre*tt + 3
+	if got := inst.MaxSetSize(); got > bound {
+		t.Fatalf("max set size %d exceeds sparsity bound %d", got, bound)
+	}
+	if inst.MaxSetSize() >= n/2 {
+		t.Fatalf("instance is not sparse: max set size %d vs n=%d", inst.MaxSetSize(), n)
+	}
+	_ = meta
+}
+
+func TestOverlayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty ORt should panic")
+		}
+	}()
+	OverlayToISC(&ORt{}, rand.New(rand.NewSource(1)))
+}

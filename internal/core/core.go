@@ -1,0 +1,482 @@
+// Package core implements iterSetCover, the paper's main contribution
+// (Figure 1.3, Theorem 2.8): a streaming SetCover algorithm that makes 2/δ
+// passes, uses Õ(m·n^δ) space, and returns an O(ρ/δ)-approximate cover with
+// high probability.
+//
+// Structure of the algorithm (Section 2.1):
+//
+//   - Guess the optimal cover size k up to a factor 2 by running all guesses
+//     k ∈ {2^i | 0 ≤ i ≤ log n} "in parallel": in this implementation every
+//     guess consumes the same physical pass, so the pass count stays 2/δ
+//     while space multiplies by the O(log n) live guesses — exactly the
+//     paper's accounting (Lemma 2.1).
+//
+//   - Each of the 1/δ iterations makes two passes. Pass one draws a uniform
+//     sample S of the uncovered elements of size c·ρ·k·n^δ·log m·log n
+//     (Lemma 2.5's relative (p, ε)-approximation bound) and scans the
+//     repository: a set covering ≥ |S|/k of the still-uncovered sample (the
+//     "Size Test") is heavy and enters the solution immediately; a small set
+//     has its projection onto the sample stored explicitly — at most |S|/k
+//     indices per set, which is where the m·n^δ space term comes from
+//     (Lemma 2.2). An offline solver then covers the sampled leftovers from
+//     the stored projections. Pass two recomputes the uncovered elements.
+//
+//   - Because S is a relative (p, ε)-approximation of the space of possible
+//     residuals (Lemma 2.6), each iteration shrinks the uncovered set by a
+//     factor n^δ while adding only O(ρk) sets, so 1/δ iterations finish the
+//     cover with O(ρk/δ) sets total (Lemma 2.7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/offline"
+	"repro/internal/sample"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// AlgorithmName identifies iterSetCover in Stats reports.
+const AlgorithmName = "iterSetCover"
+
+// ErrNoCover is returned when no parallel guess produced a complete cover
+// (the instance is infeasible, or sampling failed — the paper's "with high
+// probability" event did not occur).
+var ErrNoCover = errors.New("core: no guess produced a complete cover")
+
+// SampleSizer chooses the per-iteration sample size for a guess k on a
+// stream with n elements and m sets, of which uncovered remain. The returned
+// size is clamped to [1, uncovered] by the algorithm.
+type SampleSizer func(k, n, m, uncovered int) int
+
+// PaperSizer returns the sample size of Figure 1.3,
+// c·ρ·k·n^δ·log₂m·log₂n, with rho the offline solver's guarantee.
+func PaperSizer(c, rho, delta float64) SampleSizer {
+	return func(k, n, m, uncovered int) int {
+		return sample.IterSampleSize(c, rho, k, n, m, delta)
+	}
+}
+
+// PracticalSizer returns scale·k·n^δ without the polylog factors. The
+// asymptotic space shape m·n^δ is preserved (that is what experiments
+// measure) while constants stay laptop-sized. This is the default used by
+// the experiment harness; the paper formula is available via PaperSizer.
+func PracticalSizer(scale, delta float64) SampleSizer {
+	return func(k, n, m, uncovered int) int {
+		s := scale * float64(k) * math.Pow(float64(n), delta)
+		if s < 1 {
+			return 1
+		}
+		return int(math.Ceil(s))
+	}
+}
+
+// Options configures IterSetCover. The zero value is not usable; call
+// DefaultOptions for a sensible starting point.
+type Options struct {
+	// Delta is the paper's δ ∈ (0, 1]: 2/δ passes, Õ(m·n^δ) space.
+	Delta float64
+	// Offline is algOfflineSC. Defaults to offline.Greedy{}.
+	Offline offline.Solver
+	// Sizer picks the per-iteration sample size. Defaults to
+	// PracticalSizer(1, Delta).
+	Sizer SampleSizer
+	// Seed drives all randomness; runs are deterministic given Seed.
+	Seed int64
+
+	// KMin/KMax optionally restrict the parallel guesses to [KMin, KMax]
+	// (both rounded to powers of two). Zero values mean the full range
+	// {1, ..., 2^ceil(log n)}.
+	KMin, KMax int
+
+	// DisableSizeTest is an ablation switch (experiment E9): heavy sets are
+	// no longer added eagerly, every set's projection is stored. Space grows
+	// toward m·|S| and the approximation argument of Lemma 2.3 is lost.
+	DisableSizeTest bool
+
+	// AdaptiveIterations is an ablation switch (experiment E10): instead of
+	// stopping after ceil(1/δ) iterations as the paper prescribes, keep
+	// iterating until every guess either finishes or MaxIterations is hit.
+	AdaptiveIterations bool
+	// MaxIterations caps iterations when AdaptiveIterations is set.
+	// Zero means 4·log₂n + 8.
+	MaxIterations int
+
+	// PartialEps switches to the ε-Partial Set Cover problem (the [ER14] /
+	// [CW16] generalization discussed in Section 1): a guess finishes once
+	// at most PartialEps·n elements remain uncovered. Zero means full cover.
+	PartialEps float64
+
+	// FinalPatch enables the Section 4.2 optimization transplanted to the
+	// set-system algorithm: if after the 1/δ iterations no guess finished,
+	// one extra pass covers each remaining element with an arbitrary set
+	// containing it. A correct guess k leaves few leftovers, so the patch
+	// adds one pass and O(leftovers) sets, rescuing runs whose sampling
+	// undershot. When some guess already finished, the pass is skipped.
+	FinalPatch bool
+}
+
+// DefaultOptions returns options matching Theorem 2.8 with δ = 1/2 and the
+// greedy offline solver.
+func DefaultOptions() Options {
+	return Options{Delta: 0.5, Offline: offline.Greedy{}, Seed: 1}
+}
+
+// Result extends Stats with per-run diagnostics useful in experiments.
+type Result struct {
+	setcover.Stats
+	// BestK is the guess k whose run produced the reported cover.
+	BestK int
+	// Iterations is the number of two-pass iterations executed.
+	Iterations int
+	// StoredProjectionWordsPeak is the peak space used by stored projections
+	// alone (the m·n^δ term of Lemma 2.2), for space-decomposition tables.
+	StoredProjectionWordsPeak int64
+	// CoveredFraction is the fraction of U covered by the reported solution
+	// (1 for full covers; ≥ 1-PartialEps for partial runs).
+	CoveredFraction float64
+}
+
+// guessRun is the state of one parallel guess of k.
+type guessRun struct {
+	k         int
+	uncovered *bitset.Bitset // over U
+	sol       []int          // picked set IDs, across iterations
+	done      bool           // uncovered is empty
+	failed    bool           // gave up (offline solve failed)
+
+	// Per-iteration state (rebuilt each iteration).
+	sampleSize int
+	left       *bitset.Bitset    // L: uncovered sampled elements
+	projElems  [][]setcover.Elem // stored projections r∩L
+	projIDs    []int             // original stream IDs of stored projections
+	newPicks   map[int]bool      // sets picked this iteration (heavy + offline)
+	iterWords  int64             // space charged for this iteration's state
+}
+
+// IterSetCover runs the Figure 1.3 algorithm over the repository.
+func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
+	n, m := repo.UniverseSize(), repo.NumSets()
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		return Result{}, fmt.Errorf("core: delta %v out of (0,1]", opts.Delta)
+	}
+	if opts.PartialEps < 0 || opts.PartialEps >= 1 {
+		return Result{}, fmt.Errorf("core: partial eps %v out of [0,1)", opts.PartialEps)
+	}
+	if opts.Offline == nil {
+		opts.Offline = offline.Greedy{}
+	}
+	if opts.Sizer == nil {
+		opts.Sizer = PracticalSizer(1, opts.Delta)
+	}
+	tracker := stream.NewTracker()
+	res := Result{Stats: setcover.Stats{Algorithm: AlgorithmName, Extra: opts.Delta}}
+	// Allowed leftovers for the ε-partial variant (0 for full covers).
+	targetUncovered := int(opts.PartialEps * float64(n))
+
+	if n == 0 {
+		res.Valid = true
+		res.CoveredFraction = 1
+		return res, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	runs := makeRuns(n, opts, tracker)
+
+	iterations := int(math.Ceil(1 / opts.Delta))
+	maxIter := iterations
+	if opts.AdaptiveIterations {
+		maxIter = opts.MaxIterations
+		if maxIter <= 0 {
+			maxIter = 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
+		}
+	}
+
+	var projPeak int64
+	for iter := 0; iter < maxIter; iter++ {
+		if allSettled(runs) {
+			break
+		}
+		res.Iterations++
+
+		// Draw this iteration's samples and reset per-iteration state.
+		for _, g := range runs {
+			if g.done || g.failed {
+				continue
+			}
+			g.beginIteration(rng, n, m, opts, tracker)
+		}
+
+		// Pass 1: size test + projection storage, shared by all guesses.
+		it := repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, g := range runs {
+				if g.done || g.failed {
+					continue
+				}
+				g.observe(s, opts, tracker)
+			}
+		}
+		var iterProjWords int64
+		for _, g := range runs {
+			if !g.done && !g.failed {
+				iterProjWords += stream.WordsForElems(totalProjElems(g))
+			}
+		}
+		if iterProjWords > projPeak {
+			projPeak = iterProjWords
+		}
+
+		// Offline solve per guess (no pass over F — Lemma 2.1).
+		for _, g := range runs {
+			if g.done || g.failed {
+				continue
+			}
+			g.solveOffline(opts, tracker)
+		}
+
+		// Pass 2: recompute uncovered elements, shared by all guesses.
+		it = repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, g := range runs {
+				if g.done || g.failed {
+					continue
+				}
+				if g.newPicks[s.ID] {
+					g.uncovered.SubtractSlice(s.Elems)
+				}
+			}
+		}
+
+		// Close the iteration: release per-iteration memory (Lemma 2.2:
+		// earlier iterations' space is not kept).
+		for _, g := range runs {
+			if g.done || g.failed {
+				continue
+			}
+			if g.uncovered.Count() <= targetUncovered {
+				g.done = true
+			}
+			g.endIteration(tracker)
+		}
+	}
+
+	// Optional final patch pass (Section 4.2's idea): cover each remaining
+	// element with an arbitrary set containing it. One shared pass serves
+	// every unfinished guess; it only runs when no guess finished on its
+	// own (rescue semantics — the pass budget stays 2/δ otherwise).
+	if opts.FinalPatch && !anyDone(runs) {
+		it := repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, g := range runs {
+				if g.done || g.failed {
+					continue
+				}
+				if g.uncovered.IntersectionWithSlice(s.Elems) > 0 {
+					g.sol = append(g.sol, s.ID)
+					tracker.Grow(1)
+					g.uncovered.SubtractSlice(s.Elems)
+					if g.uncovered.Count() <= targetUncovered {
+						g.done = true
+					}
+				}
+			}
+		}
+	}
+
+	// Return the best valid solution over all parallel executions.
+	best := -1
+	for i, g := range runs {
+		if g.done && (best < 0 || len(g.sol) < len(runs[best].sol)) {
+			best = i
+		}
+	}
+	res.Passes = repo.Passes()
+	res.SpaceWords = tracker.Peak()
+	res.StoredProjectionWordsPeak = projPeak
+	if best < 0 {
+		return res, ErrNoCover
+	}
+	res.Cover = append([]int(nil), runs[best].sol...)
+	res.Valid = true
+	res.BestK = runs[best].k
+	res.CoveredFraction = 1 - float64(runs[best].uncovered.Count())/float64(n)
+	return res, nil
+}
+
+func makeRuns(n int, opts Options, tracker *stream.Tracker) []*guessRun {
+	kMin, kMax := opts.KMin, opts.KMax
+	if kMin <= 0 {
+		kMin = 1
+	}
+	if kMax <= 0 {
+		kMax = 1 << uint(math.Ceil(math.Log2(float64(n))))
+		if kMax < 1 {
+			kMax = 1
+		}
+	}
+	var runs []*guessRun
+	for k := 1; k <= kMax; k *= 2 {
+		if k < kMin {
+			continue
+		}
+		g := &guessRun{k: k, uncovered: bitset.New(n)}
+		g.uncovered.Fill()
+		// Persistent state: the per-guess mutable copy of the uncovered set.
+		tracker.Grow(stream.WordsForBitset(n))
+		runs = append(runs, g)
+	}
+	return runs
+}
+
+func allSettled(runs []*guessRun) bool {
+	for _, g := range runs {
+		if !g.done && !g.failed {
+			return false
+		}
+	}
+	return true
+}
+
+func anyDone(runs []*guessRun) bool {
+	for _, g := range runs {
+		if g.done {
+			return true
+		}
+	}
+	return false
+}
+
+func totalProjElems(g *guessRun) int {
+	t := 0
+	for _, p := range g.projElems {
+		t += len(p)
+	}
+	return t
+}
+
+// beginIteration draws S, sets L ← S, and clears the projection store.
+func (g *guessRun) beginIteration(rng *rand.Rand, n, m int, opts Options, tracker *stream.Tracker) {
+	g.sampleSize = opts.Sizer(g.k, n, m, g.uncovered.Count())
+	if g.sampleSize < 1 {
+		g.sampleSize = 1
+	}
+	g.left = sample.UniformFromBitset(rng, g.uncovered, g.sampleSize)
+	g.sampleSize = g.left.Count() // clamp when uncovered < requested
+	g.projElems = g.projElems[:0]
+	g.projIDs = g.projIDs[:0]
+	g.newPicks = make(map[int]bool)
+	// Charge the leftover bitset L (the sample is represented by it).
+	g.iterWords = stream.WordsForBitset(n)
+	tracker.Grow(g.iterWords)
+}
+
+// observe processes one streamed set during pass 1 (the Size Test).
+func (g *guessRun) observe(s setcover.Set, opts Options, tracker *stream.Tracker) {
+	inL := g.left.IntersectionWithSlice(s.Elems)
+	if inL == 0 {
+		return
+	}
+	threshold := float64(g.sampleSize) / float64(g.k)
+	if !opts.DisableSizeTest && float64(inL) >= threshold {
+		// Heavy: take it now, no storage needed beyond its ID.
+		g.sol = append(g.sol, s.ID)
+		g.newPicks[s.ID] = true
+		g.left.SubtractSlice(s.Elems)
+		w := int64(2) // one ID in sol, one in newPicks
+		g.iterWords += w
+		tracker.Grow(w)
+		return
+	}
+	// Small: store the projection r∩L explicitly (Figure 1.3).
+	proj := make([]setcover.Elem, 0, inL)
+	for _, e := range s.Elems {
+		if g.left.Test(int(e)) {
+			proj = append(proj, e)
+		}
+	}
+	g.projElems = append(g.projElems, proj)
+	g.projIDs = append(g.projIDs, s.ID)
+	w := stream.WordsForElems(len(proj)) + 1 // projection + its stream ID
+	g.iterWords += w
+	tracker.Grow(w)
+}
+
+// solveOffline covers the sampled leftovers L from the stored projections
+// with algOfflineSC and merges the result into the solution.
+func (g *guessRun) solveOffline(opts Options, tracker *stream.Tracker) {
+	if g.left.Empty() {
+		return
+	}
+	// Build the projected instance over the elements of L.
+	newIdx := make(map[setcover.Elem]setcover.Elem, g.left.Count())
+	next := setcover.Elem(0)
+	g.left.ForEach(func(i int) bool {
+		newIdx[setcover.Elem(i)] = next
+		next++
+		return true
+	})
+	sub := &setcover.Instance{N: int(next)}
+	var origIDs []int
+	for i, proj := range g.projElems {
+		var elems []setcover.Elem
+		for _, e := range proj {
+			if ni, ok := newIdx[e]; ok {
+				elems = append(elems, ni)
+			}
+		}
+		if len(elems) > 0 {
+			sub.Sets = append(sub.Sets, setcover.Set{ID: len(sub.Sets), Elems: elems})
+			origIDs = append(origIDs, g.projIDs[i])
+		}
+	}
+	sub.Normalize()
+	// Charge the element remap table (the projections are already charged).
+	w := int64(len(newIdx))
+	g.iterWords += w
+	tracker.Grow(w)
+
+	cover, err := opts.Offline.Solve(sub)
+	if err != nil {
+		// Sample contains an element no stored set covers: only possible if
+		// the instance itself cannot cover it. This guess cannot finish.
+		g.failed = true
+		return
+	}
+	for _, sid := range cover {
+		orig := origIDs[sid]
+		if !g.newPicks[orig] {
+			g.sol = append(g.sol, orig)
+			g.newPicks[orig] = true
+			w := int64(2)
+			g.iterWords += w
+			tracker.Grow(w)
+		}
+	}
+}
+
+// endIteration releases all per-iteration memory.
+func (g *guessRun) endIteration(tracker *stream.Tracker) {
+	tracker.Shrink(g.iterWords)
+	g.iterWords = 0
+	g.left = nil
+	g.projElems = g.projElems[:0]
+	g.projIDs = g.projIDs[:0]
+	g.newPicks = nil
+}

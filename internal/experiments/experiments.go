@@ -1,0 +1,132 @@
+// Package experiments reproduces every table and figure of the paper as
+// runnable measurements. Each Ei function returns a Table; RunAll prints
+// them all (cmd/experiments) and bench_test.go wraps each in a testing.B
+// benchmark. The experiment index (what maps to which paper artifact) lives
+// in DESIGN.md §4; measured-vs-paper commentary lives in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes.
+type Table struct {
+	ID    string
+	Title string
+	Notes []string
+	Head  []string
+	Rows  [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render prints the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Head))
+	for i, h := range t.Head {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Head)
+	sep := make([]string, len(t.Head))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Markdown renders the table as GitHub-flavored markdown (for EXPERIMENTS.md).
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Head, " | "))
+	seps := make([]string, len(t.Head))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// All returns every experiment in DESIGN.md §4 order, built with the given
+// seed. Quick mode shrinks the workloads (used by unit tests; the full sizes
+// run in cmd/experiments and the benchmarks).
+func All(seed int64, quick bool) []Table {
+	return []Table{
+		E1Figure11(seed, quick),
+		E2DeltaSweep(seed, quick),
+		E3Figure12(quick),
+		E4Geometric(seed, quick),
+		E5CanonicalCounts(seed, quick),
+		E6RecoverBits(seed, quick),
+		E7ISCReduction(seed, quick),
+		E8SparseLB(seed, quick),
+		E9AblationSizeTest(seed, quick),
+		E10AblationSampling(seed, quick),
+		E11AblationOffline(seed, quick),
+		E12RelativeApprox(seed, quick),
+		E13PartialCover(seed, quick),
+		E14CanonicalAblation(seed, quick),
+		E15ProtocolSimulation(seed, quick),
+		E16MaxKCover(seed, quick),
+		E17Tightness(seed, quick),
+		E18Scaling(seed, quick),
+	}
+}
+
+// RunAll renders every experiment to w.
+func RunAll(w io.Writer, seed int64, quick bool, markdown bool) {
+	for _, t := range All(seed, quick) {
+		if markdown {
+			t.Markdown(w)
+		} else {
+			t.Render(w)
+		}
+	}
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2c(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d(v int) string       { return fmt.Sprintf("%d", v) }
+func d64(v int64) string   { return fmt.Sprintf("%d", v) }

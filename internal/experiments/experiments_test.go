@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Every experiment must build (quick mode) and produce a well-formed table.
+func TestAllExperimentsQuick(t *testing.T) {
+	tables := All(1, true)
+	if len(tables) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Fatalf("table missing ID/title: %+v", tbl)
+		}
+		if seen[tbl.ID] {
+			t.Fatalf("duplicate experiment ID %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: no rows", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Head) {
+				t.Fatalf("%s: row width %d != header width %d", tbl.ID, len(row), len(tbl.Head))
+			}
+		}
+	}
+}
+
+// E1 must produce valid covers for every algorithm.
+func TestE1AllValid(t *testing.T) {
+	tbl := E1Figure11(3, true)
+	validCol := len(tbl.Head) - 1
+	for _, row := range tbl.Rows {
+		if row[validCol] != "yes" {
+			t.Fatalf("algorithm %q did not produce a valid cover: %v", row[0], row)
+		}
+	}
+}
+
+// E7's iff column must be "yes" — the reduction is exact.
+func TestE7IffHolds(t *testing.T) {
+	tbl := E7ISCReduction(5, true)
+	iffCol := len(tbl.Head) - 1
+	for _, row := range tbl.Rows {
+		if row[iffCol] != "yes" {
+			t.Fatalf("reduction iff failed: %v", row)
+		}
+	}
+}
+
+// E6 must fully recover the family at quick sizes.
+func TestE6Recovers(t *testing.T) {
+	tbl := E6RecoverBits(7, true)
+	for _, row := range tbl.Rows {
+		if row[3] != "yes" && !strings.Contains(row[3], "skipped") {
+			t.Fatalf("recovery failed: %v", row)
+		}
+	}
+}
+
+// E18's headline: the space/input ratio must fall as n grows.
+func TestE18RatioFalls(t *testing.T) {
+	tbl := E18Scaling(2, true)
+	if len(tbl.Rows) < 2 {
+		t.Fatal("need at least two sizes")
+	}
+	var prev float64 = 2
+	for _, row := range tbl.Rows {
+		var ratio float64
+		if _, err := fmtSscan(row[4], &ratio); err != nil {
+			t.Fatalf("bad ratio cell %q", row[4])
+		}
+		if ratio >= prev {
+			t.Fatalf("space/input ratio not falling: %v", tbl.Rows)
+		}
+		prev = ratio
+	}
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	tbl := Table{ID: "X", Title: "demo", Head: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddNote("note %d", 42)
+
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X — demo ==", "a", "bb", "note: note 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	tbl.Markdown(&buf)
+	md := buf.String()
+	for _, want := range []string{"### X — demo", "| a | bb |", "| --- | --- |", "| 1 | 2 |", "*note 42*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown output missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	RunAll(&buf, 1, true, false)
+	if !strings.Contains(buf.String(), "E12") {
+		t.Fatal("RunAll did not render all experiments")
+	}
+}

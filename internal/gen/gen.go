@@ -1,0 +1,206 @@
+// Package gen produces the synthetic workloads every experiment runs on.
+// The paper evaluates bounds, not datasets, so the generators are designed
+// to make ground truth available: planted instances have a provable optimum
+// by construction, which lets experiments report true approximation ratios
+// without solving NP-hard instances at full scale.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/setcover"
+)
+
+// PlantedConfig describes a planted-optimum instance.
+type PlantedConfig struct {
+	N    int   // universe size
+	M    int   // total number of sets (>= K)
+	K    int   // planted optimal cover size
+	Seed int64 // randomness
+}
+
+// Planted builds an instance whose optimum is exactly K, by construction:
+// the universe is partitioned into K equal blocks of size B = ceil(N/K)
+// (the planted cover), and every other set is a random subset of size at
+// most B. Since every set has at most B elements, any cover needs at least
+// ceil(N/B) = K sets; the planted blocks achieve K. The planted sets are
+// shuffled into random stream positions.
+//
+// The returned plantedIDs are the stream IDs of the planted blocks (one
+// optimal cover), and opt == K.
+func Planted(cfg PlantedConfig) (in *setcover.Instance, plantedIDs []int, opt int, err error) {
+	if cfg.K <= 0 || cfg.N <= 0 || cfg.K > cfg.N {
+		return nil, nil, 0, fmt.Errorf("gen: need 0 < K <= N, got K=%d N=%d", cfg.K, cfg.N)
+	}
+	if cfg.M < cfg.K {
+		return nil, nil, 0, fmt.Errorf("gen: need M >= K, got M=%d K=%d", cfg.M, cfg.K)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	blockSize := (cfg.N + cfg.K - 1) / cfg.K
+
+	// Planted partition over a random permutation of U.
+	perm := rng.Perm(cfg.N)
+	blocks := make([][]setcover.Elem, cfg.K)
+	for i, e := range perm {
+		b := i / blockSize
+		if b >= cfg.K {
+			b = cfg.K - 1
+		}
+		blocks[b] = append(blocks[b], setcover.Elem(e))
+	}
+
+	// Noise sets: random subsets with |set| <= blockSize, biased toward
+	// blockSize so they look competitive to greedy-style algorithms.
+	sets := make([][]setcover.Elem, 0, cfg.M)
+	sets = append(sets, blocks...)
+	for i := cfg.K; i < cfg.M; i++ {
+		size := blockSize/2 + rng.Intn(blockSize/2+1)
+		if size < 1 {
+			size = 1
+		}
+		if size > blockSize {
+			size = blockSize
+		}
+		seen := make(map[int]bool, size)
+		es := make([]setcover.Elem, 0, size)
+		for len(es) < size {
+			e := rng.Intn(cfg.N)
+			if !seen[e] {
+				seen[e] = true
+				es = append(es, setcover.Elem(e))
+			}
+		}
+		sets = append(sets, es)
+	}
+
+	// Shuffle stream order and remember where the planted sets land.
+	order := rng.Perm(len(sets))
+	in = &setcover.Instance{N: cfg.N, Sets: make([]setcover.Set, len(sets))}
+	plantedIDs = make([]int, 0, cfg.K)
+	for newPos, oldPos := range order {
+		in.Sets[newPos] = setcover.Set{Elems: sets[oldPos]}
+		if oldPos < cfg.K {
+			plantedIDs = append(plantedIDs, newPos)
+		}
+	}
+	in.Normalize()
+	return in, plantedIDs, cfg.K, nil
+}
+
+// Uniform builds an instance where each of M sets contains each element
+// independently with probability p. Elements missed by every set are patched
+// into randomly chosen sets so the instance is always coverable.
+func Uniform(n, m int, p float64, seed int64) *setcover.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := &setcover.Instance{N: n, Sets: make([]setcover.Set, m)}
+	covered := make([]bool, n)
+	for i := 0; i < m; i++ {
+		var es []setcover.Elem
+		for e := 0; e < n; e++ {
+			if rng.Float64() < p {
+				es = append(es, setcover.Elem(e))
+				covered[e] = true
+			}
+		}
+		in.Sets[i] = setcover.Set{Elems: es}
+	}
+	if m > 0 {
+		for e := 0; e < n; e++ {
+			if !covered[e] {
+				i := rng.Intn(m)
+				in.Sets[i].Elems = append(in.Sets[i].Elems, setcover.Elem(e))
+			}
+		}
+	}
+	in.Normalize()
+	return in
+}
+
+// Sparse builds an s-sparse instance (every set has at most s elements,
+// Section 6's regime) with a planted cover of ceil(N/s) full-size sets plus
+// random sparse noise. opt equals ceil(N/s) by the same counting argument as
+// Planted.
+func Sparse(n, m, s int, seed int64) (in *setcover.Instance, opt int, err error) {
+	if s <= 0 || s > n {
+		return nil, 0, fmt.Errorf("gen: need 0 < s <= n, got s=%d n=%d", s, n)
+	}
+	k := (n + s - 1) / s
+	if m < k {
+		return nil, 0, fmt.Errorf("gen: m=%d too small for planted cover of %d s-sized sets", m, k)
+	}
+	in, _, opt, err = Planted(PlantedConfig{N: n, M: m, K: k, Seed: seed})
+	return in, opt, err
+}
+
+// EmekRosenTrap builds an instance on which the one-pass [ER14] algorithm
+// pays its Θ(√n) factor, demonstrating that its analysis is tight (the paper
+// notes [ER14] proved exactly this). The universe has n = b² elements split
+// into b blocks of size b = √n; the stream first delivers the b block sets
+// (each covers b = √n new elements, so the algorithm takes every one), and
+// only then the single set covering the whole universe (now worthless: zero
+// new elements). OPT = 1, the algorithm outputs b = √n sets.
+func EmekRosenTrap(b int) (in *setcover.Instance, opt int) {
+	if b < 1 {
+		b = 1
+	}
+	n := b * b
+	in = &setcover.Instance{N: n}
+	for blk := 0; blk < b; blk++ {
+		var es []setcover.Elem
+		for i := 0; i < b; i++ {
+			es = append(es, setcover.Elem(blk*b+i))
+		}
+		in.Sets = append(in.Sets, setcover.Set{Elems: es})
+	}
+	all := make([]setcover.Elem, n)
+	for i := range all {
+		all[i] = setcover.Elem(i)
+	}
+	in.Sets = append(in.Sets, setcover.Set{Elems: all})
+	in.Normalize()
+	return in, 1
+}
+
+// GreedyTrap builds the classic instance on which greedy pays a Θ(log n)
+// factor. The universe is a 2×W grid (two disjoint rows of W columns each),
+// so OPT = 2: the two rows. The trap sets partition the columns into blocks
+// of sizes floor(r/2)+1 as r halves (W, then the remainder, ...), each trap
+// covering its block in *both* rows. At every greedy step the next trap's
+// gain (2·(floor(r/2)+1) > r) strictly beats a row's remaining gain (r), so
+// greedy takes all ~log₂ W traps.
+//
+// levels controls the width: W = 2^levels. OPT = 2.
+func GreedyTrap(levels int) (in *setcover.Instance, opt int) {
+	if levels < 1 {
+		levels = 1
+	}
+	w := 1 << uint(levels)
+	in = &setcover.Instance{N: 2 * w}
+	row0 := make([]setcover.Elem, w)
+	row1 := make([]setcover.Elem, w)
+	for i := 0; i < w; i++ {
+		row0[i] = setcover.Elem(i)
+		row1[i] = setcover.Elem(w + i)
+	}
+	in.Sets = append(in.Sets,
+		setcover.Set{Elems: row0},
+		setcover.Set{Elems: row1},
+	)
+	start, remaining := 0, w
+	for remaining > 0 {
+		c := remaining/2 + 1 // gain 2c > remaining: strictly beats the rows
+		if c > remaining {
+			c = remaining
+		}
+		var es []setcover.Elem
+		for col := start; col < start+c; col++ {
+			es = append(es, setcover.Elem(col), setcover.Elem(w+col))
+		}
+		in.Sets = append(in.Sets, setcover.Set{Elems: es})
+		start += c
+		remaining -= c
+	}
+	in.Normalize()
+	return in, 2
+}

@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/offline"
+	"repro/internal/setcover"
+)
+
+func TestPlantedBasics(t *testing.T) {
+	in, plantedIDs, opt, err := Planted(PlantedConfig{N: 100, M: 40, K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt != 5 || len(plantedIDs) != 5 {
+		t.Fatalf("opt=%d planted=%d, want 5/5", opt, len(plantedIDs))
+	}
+	if !in.IsCover(plantedIDs) {
+		t.Fatal("planted IDs must form a cover")
+	}
+	if in.M() != 40 {
+		t.Fatalf("M = %d, want 40", in.M())
+	}
+	// The size cap makes K a true lower bound: max set size <= ceil(N/K).
+	if mx := in.MaxSetSize(); mx > 20 {
+		t.Fatalf("max set size = %d, want <= 20", mx)
+	}
+}
+
+func TestPlantedOptIsExact(t *testing.T) {
+	// Verify against the exact solver on a small planted instance.
+	in, _, opt, err := Planted(PlantedConfig{N: 24, M: 16, K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := offline.OptSize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != opt {
+		t.Fatalf("exact OPT = %d, planted claims %d", exact, opt)
+	}
+}
+
+func TestPlantedErrors(t *testing.T) {
+	if _, _, _, err := Planted(PlantedConfig{N: 10, M: 5, K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, _, _, err := Planted(PlantedConfig{N: 10, M: 2, K: 5}); err == nil {
+		t.Fatal("M<K should error")
+	}
+	if _, _, _, err := Planted(PlantedConfig{N: 4, M: 10, K: 5}); err == nil {
+		t.Fatal("K>N should error")
+	}
+}
+
+func TestPlantedDeterminism(t *testing.T) {
+	a, _, _, _ := Planted(PlantedConfig{N: 50, M: 20, K: 5, Seed: 42})
+	b, _, _, _ := Planted(PlantedConfig{N: 50, M: 20, K: 5, Seed: 42})
+	for i := range a.Sets {
+		if len(a.Sets[i].Elems) != len(b.Sets[i].Elems) {
+			t.Fatal("same seed must give identical instances")
+		}
+		for j := range a.Sets[i].Elems {
+			if a.Sets[i].Elems[j] != b.Sets[i].Elems[j] {
+				t.Fatal("same seed must give identical instances")
+			}
+		}
+	}
+}
+
+func TestUniformCoverable(t *testing.T) {
+	in := Uniform(200, 50, 0.02, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Coverable() {
+		t.Fatal("Uniform must patch to coverable")
+	}
+	if in.M() != 50 {
+		t.Fatalf("M = %d", in.M())
+	}
+}
+
+func TestUniformZeroSets(t *testing.T) {
+	in := Uniform(5, 0, 0.5, 1)
+	if in.M() != 0 {
+		t.Fatal("want zero sets")
+	}
+	if in.Coverable() {
+		t.Fatal("no sets cannot cover")
+	}
+}
+
+func TestSparseRespectsSparsity(t *testing.T) {
+	in, opt, err := Sparse(100, 60, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.MaxSetSize(); got > 15 { // ceil(100/ceil(100/7)) = 7... allow block rounding
+		t.Fatalf("max set size %d too large", got)
+	}
+	if opt != (100+6)/7 {
+		t.Fatalf("opt = %d, want ceil(100/7) = 15", opt)
+	}
+	if !in.Coverable() {
+		t.Fatal("sparse instance must be coverable")
+	}
+}
+
+func TestSparseErrors(t *testing.T) {
+	if _, _, err := Sparse(10, 100, 0, 1); err == nil {
+		t.Fatal("s=0 should error")
+	}
+	if _, _, err := Sparse(10, 1, 2, 1); err == nil {
+		t.Fatal("m too small should error")
+	}
+}
+
+func TestGreedyTrap(t *testing.T) {
+	in, opt := GreedyTrap(4)
+	if opt != 2 {
+		t.Fatalf("opt = %d, want 2", opt)
+	}
+	if !in.IsCover([]int{0, 1}) {
+		t.Fatal("two rows must cover")
+	}
+	exact, err := offline.OptSize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 2 {
+		t.Fatalf("exact = %d, want 2", exact)
+	}
+	// Greedy must be strictly worse than OPT on the trap.
+	g, err := (offline.Greedy{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) <= 2 {
+		t.Fatalf("greedy found %d sets; the trap should lure it above 2", len(g))
+	}
+}
+
+// Property: planted instances always have OPT exactly K (verified exactly on
+// small sizes).
+func TestPropPlantedOpt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		n := k * (3 + rng.Intn(4))
+		m := k + rng.Intn(10)
+		in, ids, opt, err := Planted(PlantedConfig{N: n, M: m, K: k, Seed: seed})
+		if err != nil || opt != k {
+			return false
+		}
+		if !in.IsCover(ids) {
+			return false
+		}
+		exact, err := offline.OptSize(in)
+		return err == nil && exact == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every set in a planted instance respects the block-size cap,
+// which is what makes K a lower bound.
+func TestPropPlantedSizeCap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(6)
+		n := k + rng.Intn(80)
+		if k > n {
+			k = n
+		}
+		m := k + rng.Intn(20)
+		in, _, _, err := Planted(PlantedConfig{N: n, M: m, K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		cap := (n + k - 1) / k
+		return in.MaxSetSize() <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropUniformValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		m := 1 + rng.Intn(30)
+		in := Uniform(n, m, rng.Float64()*0.3, seed)
+		return in.Validate() == nil && in.Coverable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var sinkInstance *setcover.Instance
+
+func BenchmarkPlanted(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in, _, _, err := Planted(PlantedConfig{N: 2000, M: 4000, K: 25, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInstance = in
+	}
+}

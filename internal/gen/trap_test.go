@@ -1,0 +1,40 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/offline"
+)
+
+func TestEmekRosenTrapShape(t *testing.T) {
+	in, opt := EmekRosenTrap(8)
+	if opt != 1 {
+		t.Fatalf("opt = %d, want 1", opt)
+	}
+	if in.N != 64 {
+		t.Fatalf("n = %d, want 64", in.N)
+	}
+	// b block sets + 1 universal set.
+	if in.M() != 9 {
+		t.Fatalf("m = %d, want 9", in.M())
+	}
+	// The universal set is last and covers everything.
+	if !in.IsCover([]int{8}) {
+		t.Fatal("last set must cover the universe")
+	}
+	// Blocks partition the universe.
+	if !in.IsCover([]int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("blocks must cover the universe")
+	}
+	exact, err := offline.OptSize(in)
+	if err != nil || exact != 1 {
+		t.Fatalf("exact OPT = %d (%v), want 1", exact, err)
+	}
+}
+
+func TestEmekRosenTrapDegenerate(t *testing.T) {
+	in, opt := EmekRosenTrap(0)
+	if opt != 1 || in.N != 1 {
+		t.Fatalf("b=0 should clamp to b=1: n=%d opt=%d", in.N, opt)
+	}
+}

@@ -1,0 +1,405 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/offline"
+	"repro/internal/sample"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// GeomAlgorithmName identifies algGeomSC in Stats reports.
+const GeomAlgorithmName = "algGeomSC"
+
+// ErrGeomNoCover is returned when no guess completed a cover.
+var ErrGeomNoCover = errors.New("geom: no guess produced a complete cover")
+
+// GeomOptions configures AlgGeomSC (Figure 4.1).
+type GeomOptions struct {
+	// Delta is the paper's δ; Theorem 4.6 sets δ = 1/4 (and requires
+	// δ <= 1/4 for the near-linear space analysis). Default 1/4.
+	Delta float64
+	// Offline is algOfflineSC over the canonical pieces. Default greedy.
+	Offline offline.Solver
+	// Seed drives sampling.
+	Seed int64
+	// SampleScale multiplies the practical sample size
+	// scale·k·(n/k)^δ (the paper's c·ρ·k·(n/k)^δ·log m·log n with the
+	// polylog and ρ factors folded into the constant). Default 1.
+	SampleScale float64
+	// HeavyW multiplies the canonical-representation shallowness threshold
+	// w = HeavyW·|S|/k (Lemma 4.5 uses 3). Default 3.
+	HeavyW float64
+	// KMin/KMax restrict the parallel guesses (powers of two); zero values
+	// mean the full range {1, ..., 2^ceil(log n)}.
+	KMin, KMax int
+	// DisableCanonical is an ablation switch (experiment E14): rectangles
+	// are stored as whole projections instead of being split at the
+	// x-interval tree (Lemma 4.2). On adversarial streams like Figure 1.2
+	// the distinct-projection count — and hence the space — blows up toward
+	// m while the canonical family stays Õ(n).
+	DisableCanonical bool
+}
+
+// GeomResult extends Stats with geometric diagnostics.
+type GeomResult struct {
+	setcover.Stats
+	// BestK is the winning guess.
+	BestK int
+	// CanonicalPiecesPeak is the largest number of distinct canonical pieces
+	// stored in any single iteration (the Õ(n) quantity of Lemma 4.4).
+	CanonicalPiecesPeak int
+	// RawProjectionsSeen counts shapes with non-empty sample projections
+	// processed by compCanonicalRep across the run — compare with
+	// CanonicalPiecesPeak to see the dedup factor (Figure 1.2's point).
+	RawProjectionsSeen int
+}
+
+type geomRun struct {
+	k    int
+	left *bitset.Bitset // L, over points
+	sol  []int
+	done bool
+}
+
+// AlgGeomSC implements Figure 4.1: a streaming algorithm for Points-Shapes
+// Set Cover using Õ(n) space and 3/δ + 1 passes. Per iteration and guess k:
+//
+//	pass 1: pick every shape covering ≥ n/k points of L;
+//	sample S ⊆ L of size ~k·(n/k)^δ; pass 2: compute the canonical
+//	representation of (S, F) for w-shallow shapes and cover S offline from
+//	the canonical pieces; pass 3: replace each chosen piece by a streamed
+//	shape whose projection contains it.
+//
+// A final pass covers the ≤ k leftovers with one arbitrary set each.
+func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
+	n := repo.NumPoints()
+	if opts.Delta == 0 {
+		opts.Delta = 0.25
+	}
+	if opts.Delta < 0 || opts.Delta > 1 {
+		return GeomResult{}, fmt.Errorf("geom: delta %v out of (0,1]", opts.Delta)
+	}
+	if opts.Offline == nil {
+		opts.Offline = offline.Greedy{}
+	}
+	if opts.SampleScale <= 0 {
+		opts.SampleScale = 1
+	}
+	if opts.HeavyW <= 0 {
+		opts.HeavyW = 3
+	}
+	res := GeomResult{Stats: setcover.Stats{Algorithm: GeomAlgorithmName, Extra: opts.Delta}}
+	if n == 0 {
+		res.Valid = true
+		return res, nil
+	}
+	tracker := stream.NewTracker()
+	// The model stores the points in memory: 2 coordinates per point.
+	tracker.Grow(2 * int64(n))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pts := repo.Points()
+
+	runs := makeGeomRuns(n, opts, tracker)
+	iterations := int(math.Ceil(1 / opts.Delta))
+
+	for iter := 0; iter < iterations; iter++ {
+		if geomAllDone(runs) {
+			break
+		}
+
+		// Pass 1: heavy shapes — |r∩L| >= n/k enters sol immediately.
+		it := repo.Begin()
+		for {
+			_, id, ok := it.Next()
+			if !ok {
+				break
+			}
+			all := repo.Contained(id)
+			for _, g := range runs {
+				if g.done {
+					continue
+				}
+				cnt := g.left.IntersectionWithSlice(all)
+				if cnt > 0 && float64(cnt) >= float64(n)/float64(g.k) {
+					g.sol = append(g.sol, id)
+					tracker.Grow(1)
+					g.left.SubtractSlice(all)
+				}
+			}
+		}
+		for _, g := range runs {
+			if !g.done && g.left.Empty() {
+				g.done = true
+			}
+		}
+		if geomAllDone(runs) {
+			break
+		}
+
+		// Sample per guess, then pass 2: canonical representation of (S, F).
+		type iterState struct {
+			s      *bitset.Bitset
+			sLen   int
+			w      float64
+			store  *CanonicalStore
+			tree   *XSplitTree
+			words  int64
+			solS   []Piece
+			picked map[int]bool
+		}
+		states := make(map[*geomRun]*iterState)
+		for _, g := range runs {
+			if g.done {
+				continue
+			}
+			size := int(math.Ceil(opts.SampleScale * float64(g.k) *
+				math.Pow(float64(n)/float64(g.k), opts.Delta)))
+			if size < 1 {
+				size = 1
+			}
+			st := &iterState{store: NewCanonicalStore()}
+			st.s = sample.UniformFromBitset(rng, g.left, size)
+			st.sLen = st.s.Count()
+			st.w = opts.HeavyW * float64(st.sLen) / float64(g.k)
+			if st.w < 1 {
+				st.w = 1
+			}
+			if !opts.DisableCanonical {
+				var spts []Point
+				st.s.ForEach(func(i int) bool { spts = append(spts, pts[i]); return true })
+				st.tree = NewXSplitTree(spts)
+			}
+			st.words = stream.WordsForBitset(n) // the sample bitset
+			tracker.Grow(st.words)
+			states[g] = st
+		}
+
+		it = repo.Begin()
+		for {
+			_, id, ok := it.Next()
+			if !ok {
+				break
+			}
+			all := repo.Contained(id)
+			for _, g := range runs {
+				if g.done {
+					continue
+				}
+				st := states[g]
+				proj := projectSorted(all, st.s)
+				if len(proj) == 0 || float64(len(proj)) > st.w {
+					continue // empty or too heavy for the canonical family
+				}
+				res.RawProjectionsSeen++
+				before := st.store.Words()
+				CanonicalPieces(st.store, st.tree, repo.Instance().Shapes[id], proj, pts)
+				grown := st.store.Words() - before
+				if grown > 0 {
+					st.words += grown
+					tracker.Grow(grown)
+				}
+			}
+		}
+		for _, g := range runs {
+			if g.done {
+				continue
+			}
+			st := states[g]
+			if st.store.Count() > res.CanonicalPiecesPeak {
+				res.CanonicalPiecesPeak = st.store.Count()
+			}
+		}
+
+		// Offline cover of S from the canonical pieces (no pass).
+		for _, g := range runs {
+			if g.done {
+				continue
+			}
+			st := states[g]
+			solS, ok := solveCanonical(st.s, st.store, opts.Offline)
+			if !ok {
+				// Some sampled point lies in no shallow piece: this guess's
+				// threshold was too aggressive. The guess continues — the
+				// point stays in L for later iterations or the final pass.
+				solS = nil
+			}
+			st.solS = solS
+			st.picked = make(map[int]bool)
+		}
+
+		// Pass 3: replace chosen pieces by stream shapes covering them.
+		it = repo.Begin()
+		for {
+			_, id, ok := it.Next()
+			if !ok {
+				break
+			}
+			all := repo.Contained(id)
+			for _, g := range runs {
+				if g.done {
+					continue
+				}
+				st := states[g]
+				if len(st.solS) == 0 {
+					continue
+				}
+				proj := projectSorted(all, st.s)
+				if len(proj) == 0 {
+					continue
+				}
+				matched := false
+				rest := st.solS[:0]
+				for _, piece := range st.solS {
+					if SubsetOfSorted(piece.Elems, proj) {
+						matched = true
+					} else {
+						rest = append(rest, piece)
+					}
+				}
+				st.solS = rest
+				if matched && !st.picked[id] {
+					st.picked[id] = true
+					g.sol = append(g.sol, id)
+					tracker.Grow(1)
+					g.left.SubtractSlice(all)
+				}
+			}
+		}
+
+		for _, g := range runs {
+			if g.done {
+				continue
+			}
+			st := states[g]
+			tracker.Shrink(st.words)
+			if g.left.Empty() {
+				g.done = true
+			}
+		}
+	}
+
+	// Final pass: one arbitrary shape per leftover point (≤ k of them when
+	// the guess is right).
+	if !geomAllDone(runs) {
+		it := repo.Begin()
+		for {
+			_, id, ok := it.Next()
+			if !ok {
+				break
+			}
+			all := repo.Contained(id)
+			for _, g := range runs {
+				if g.done {
+					continue
+				}
+				if g.left.IntersectionWithSlice(all) > 0 {
+					g.sol = append(g.sol, id)
+					tracker.Grow(1)
+					g.left.SubtractSlice(all)
+					if g.left.Empty() {
+						g.done = true
+					}
+				}
+			}
+		}
+	}
+
+	best := -1
+	for i, g := range runs {
+		if g.done && (best < 0 || len(g.sol) < len(runs[best].sol)) {
+			best = i
+		}
+	}
+	res.Passes = repo.Passes()
+	res.SpaceWords = tracker.Peak()
+	if best < 0 {
+		return res, ErrGeomNoCover
+	}
+	res.Cover = append([]int(nil), runs[best].sol...)
+	res.Valid = true
+	res.BestK = runs[best].k
+	return res, nil
+}
+
+func makeGeomRuns(n int, opts GeomOptions, tracker *stream.Tracker) []*geomRun {
+	kMin, kMax := opts.KMin, opts.KMax
+	if kMin <= 0 {
+		kMin = 1
+	}
+	if kMax <= 0 {
+		kMax = 1 << uint(math.Ceil(math.Log2(float64(n))))
+		if kMax < 1 {
+			kMax = 1
+		}
+	}
+	var runs []*geomRun
+	for k := 1; k <= kMax; k *= 2 {
+		if k < kMin {
+			continue
+		}
+		g := &geomRun{k: k, left: bitset.New(n)}
+		g.left.Fill()
+		tracker.Grow(stream.WordsForBitset(n))
+		runs = append(runs, g)
+	}
+	return runs
+}
+
+func geomAllDone(runs []*geomRun) bool {
+	for _, g := range runs {
+		if !g.done {
+			return false
+		}
+	}
+	return true
+}
+
+// projectSorted returns the members of all (sorted global indices) that lie
+// in the sample bitset.
+func projectSorted(all []int32, s *bitset.Bitset) []int32 {
+	var out []int32
+	for _, e := range all {
+		if s.Test(int(e)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// solveCanonical covers the sampled points from the canonical pieces with
+// the offline solver, returning the chosen pieces. ok is false if some
+// sampled point is in no piece.
+func solveCanonical(s *bitset.Bitset, store *CanonicalStore, solver offline.Solver) ([]Piece, bool) {
+	newIdx := make(map[int32]setcover.Elem)
+	next := setcover.Elem(0)
+	s.ForEach(func(i int) bool {
+		newIdx[int32(i)] = next
+		next++
+		return true
+	})
+	sub := &setcover.Instance{N: int(next)}
+	pieces := store.Pieces()
+	for _, p := range pieces {
+		elems := make([]setcover.Elem, 0, len(p.Elems))
+		for _, e := range p.Elems {
+			elems = append(elems, newIdx[e])
+		}
+		sub.Sets = append(sub.Sets, setcover.Set{ID: len(sub.Sets), Elems: elems})
+	}
+	sub.Normalize()
+	ids, err := solver.Solve(sub)
+	if err != nil {
+		return nil, false
+	}
+	out := make([]Piece, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, pieces[id])
+	}
+	return out, true
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomPoints returns n points uniform in the unit square.
+func RandomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+// PlantedDisks builds a Points-Shapes instance with a planted cover of k
+// disks: k cluster centers on a jittered grid, n points scattered inside the
+// clusters, one planted disk per cluster, and m-k noise disks of comparable
+// or smaller radius at random positions. The planted cover has size k (an
+// upper bound on OPT used as the ratio denominator in experiments).
+func PlantedDisks(n, m, k int, seed int64) (*Instance, []int, error) {
+	if k <= 0 || m < k || n < k {
+		return nil, nil, fmt.Errorf("geom: need 0 < k <= min(n,m), got n=%d m=%d k=%d", n, m, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	cell := 1.0 / float64(side)
+	radius := cell * 0.5
+
+	centers := make([]Point, k)
+	for i := range centers {
+		gx, gy := i%side, i/side
+		centers[i] = Point{
+			X: (float64(gx) + 0.5) * cell,
+			Y: (float64(gy) + 0.5) * cell,
+		}
+	}
+	in := &Instance{Points: make([]Point, n)}
+	for i := range in.Points {
+		c := centers[rng.Intn(k)]
+		// Uniform in the inscribed disk of the cell.
+		ang := rng.Float64() * 2 * math.Pi
+		r := radius * 0.95 * math.Sqrt(rng.Float64())
+		in.Points[i] = Point{X: c.X + r*math.Cos(ang), Y: c.Y + r*math.Sin(ang)}
+	}
+
+	shapes := make([]Shape, 0, m)
+	for _, c := range centers {
+		shapes = append(shapes, Disk{C: c, R: radius})
+	}
+	for len(shapes) < m {
+		shapes = append(shapes, Disk{
+			C: Point{X: rng.Float64(), Y: rng.Float64()},
+			R: radius * (0.2 + 0.8*rng.Float64()),
+		})
+	}
+	perm := rng.Perm(m)
+	in.Shapes = make([]Shape, m)
+	planted := make([]int, 0, k)
+	for newPos, oldPos := range perm {
+		in.Shapes[newPos] = shapes[oldPos]
+		if oldPos < k {
+			planted = append(planted, newPos)
+		}
+	}
+	return in, planted, nil
+}
+
+// PlantedRects is the axis-parallel-rectangle analogue of PlantedDisks: the
+// planted cover is a k-cell grid partition of the unit square.
+func PlantedRects(n, m, k int, seed int64) (*Instance, []int, error) {
+	if k <= 0 || m < k || n < k {
+		return nil, nil, fmt.Errorf("geom: need 0 < k <= min(n,m), got n=%d m=%d k=%d", n, m, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	cell := 1.0 / float64(side)
+
+	in := &Instance{Points: make([]Point, n)}
+	for i := range in.Points {
+		in.Points[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	shapes := make([]Shape, 0, m)
+	// Planted cover: grid cells (row-major, possibly more than k cells; use
+	// exactly the cells needed to tile the square — side*side >= k of them,
+	// all planted).
+	numCells := side * side
+	for i := 0; i < numCells; i++ {
+		gx, gy := i%side, i/side
+		shapes = append(shapes, Rect{
+			X0: float64(gx) * cell, X1: float64(gx+1) * cell,
+			Y0: float64(gy) * cell, Y1: float64(gy+1) * cell,
+		})
+	}
+	for len(shapes) < m {
+		w, h := cell*(0.2+0.8*rng.Float64()), cell*(0.2+0.8*rng.Float64())
+		x, y := rng.Float64()*(1-w), rng.Float64()*(1-h)
+		shapes = append(shapes, Rect{X0: x, X1: x + w, Y0: y, Y1: y + h})
+	}
+	if len(shapes) > m {
+		shapes = shapes[:m] // m < side*side cannot happen (m >= k), but guard
+	}
+	perm := rng.Perm(len(shapes))
+	in.Shapes = make([]Shape, len(shapes))
+	planted := make([]int, 0, numCells)
+	for newPos, oldPos := range perm {
+		in.Shapes[newPos] = shapes[oldPos]
+		if oldPos < numCells {
+			planted = append(planted, newPos)
+		}
+	}
+	return in, planted, nil
+}
+
+// PlantedTriangles covers the unit square with 2k' axis-aligned right
+// triangles (each grid cell split along its diagonal — fatness 2, i.e.,
+// α-fat for any α >= 2) and adds random fat noise triangles.
+func PlantedTriangles(n, m, k int, seed int64) (*Instance, []int, error) {
+	if k <= 0 || m < 2*k || n < k {
+		return nil, nil, fmt.Errorf("geom: need 0 < k, m >= 2k, n >= k; got n=%d m=%d k=%d", n, m, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	cell := 1.0 / float64(side)
+
+	in := &Instance{Points: make([]Point, n)}
+	for i := range in.Points {
+		in.Points[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	var shapes []Shape
+	eps := cell * 1e-6
+	for i := 0; i < side*side; i++ {
+		gx, gy := i%side, i/side
+		x0, y0 := float64(gx)*cell, float64(gy)*cell
+		x1, y1 := x0+cell, y0+cell
+		// Slightly inflate so the shared diagonal is covered by both.
+		shapes = append(shapes,
+			Triangle{A: Point{x0 - eps, y0 - eps}, B: Point{x1 + eps, y0 - eps}, C: Point{x0 - eps, y1 + eps}},
+			Triangle{A: Point{x1 + eps, y1 + eps}, B: Point{x1 + eps, y0 - eps}, C: Point{x0 - eps, y1 + eps}},
+		)
+	}
+	numPlanted := len(shapes)
+	for len(shapes) < m {
+		// Random near-equilateral (fat) triangle.
+		c := Point{X: rng.Float64(), Y: rng.Float64()}
+		r := cell * (0.2 + 0.6*rng.Float64())
+		ang := rng.Float64() * 2 * math.Pi
+		tri := Triangle{
+			A: Point{c.X + r*math.Cos(ang), c.Y + r*math.Sin(ang)},
+			B: Point{c.X + r*math.Cos(ang+2.1), c.Y + r*math.Sin(ang+2.1)},
+			C: Point{c.X + r*math.Cos(ang+4.2), c.Y + r*math.Sin(ang+4.2)},
+		}
+		shapes = append(shapes, tri)
+	}
+	perm := rng.Perm(len(shapes))
+	in.Shapes = make([]Shape, len(shapes))
+	planted := make([]int, 0, numPlanted)
+	for newPos, oldPos := range perm {
+		in.Shapes[newPos] = shapes[oldPos]
+		if oldPos < numPlanted {
+			planted = append(planted, newPos)
+		}
+	}
+	return in, planted, nil
+}
+
+// Figure12 builds the paper's Figure 1.2 construction: n/2 points on each of
+// two parallel lines of positive slope, with every point of the top line
+// above and to the left of every point of the bottom line, and one rectangle
+// per (top, bottom) pair with the top point as its upper-left corner and the
+// bottom point as its lower-right corner. The instance has n²/4 distinct
+// rectangles, each containing exactly two points, so storing raw projections
+// needs Ω(n²) space while the canonical representation stays near-linear.
+func Figure12(n int) (*Instance, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("geom: Figure12 needs even n >= 2, got %d", n)
+	}
+	half := n / 2
+	in := &Instance{}
+	shift := float64(half + 1)
+	// Top line: y = x + shift, x = 1..half. Bottom line: y = x - shift',
+	// placed so all bottom points are right of and below all top points.
+	for i := 1; i <= half; i++ {
+		in.Points = append(in.Points, Point{X: float64(i), Y: float64(i) + shift})
+	}
+	for j := 1; j <= half; j++ {
+		in.Points = append(in.Points, Point{X: float64(half + j), Y: float64(j)})
+	}
+	for i := 0; i < half; i++ {
+		top := in.Points[i]
+		for j := 0; j < half; j++ {
+			bottom := in.Points[half+j]
+			in.Shapes = append(in.Shapes, Rect{
+				X0: top.X, Y1: top.Y, // upper-left corner = top point
+				X1: bottom.X, Y0: bottom.Y, // lower-right corner = bottom point
+			})
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,138 @@
+// Package geom implements the geometric SetCover setting of Section 4:
+// elements are points in the plane, sets are disks, axis-parallel rectangles,
+// or α-fat triangles streamed from a read-only repository, and the goal is a
+// cover using Õ(n) space in O(1) passes (Theorem 4.6).
+//
+// The space win comes from canonical representations (Definition 4.1): a
+// shape containing few sample points is replaced by O(1) canonical pieces
+// drawn from a near-linear universe of pieces, so storing the *distinct*
+// pieces encountered costs Õ(n) even when m is quadratic (Figure 1.2 shows
+// why storing raw projections cannot work).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Shape is a geometric range with O(1) description. All shapes are closed
+// (boundary points are contained).
+type Shape interface {
+	// Contains reports whether p lies in the shape.
+	Contains(p Point) bool
+	// Kind returns "disk", "rect", or "triangle".
+	Kind() string
+}
+
+// Disk is a closed disk.
+type Disk struct {
+	C Point
+	R float64
+}
+
+// Contains implements Shape.
+func (d Disk) Contains(p Point) bool {
+	dx, dy := p.X-d.C.X, p.Y-d.C.Y
+	return dx*dx+dy*dy <= d.R*d.R+1e-12
+}
+
+// Kind implements Shape.
+func (Disk) Kind() string { return "disk" }
+
+// String renders the disk for debugging.
+func (d Disk) String() string { return fmt.Sprintf("disk(%.3g,%.3g;r=%.3g)", d.C.X, d.C.Y, d.R) }
+
+// Rect is a closed axis-parallel rectangle [X0,X1]×[Y0,Y1].
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Contains implements Shape.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// Kind implements Shape.
+func (Rect) Kind() string { return "rect" }
+
+// String renders the rectangle for debugging.
+func (r Rect) String() string {
+	return fmt.Sprintf("rect[%.3g,%.3g]x[%.3g,%.3g]", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// Valid reports whether the rectangle is non-degenerate (X0<=X1, Y0<=Y1).
+func (r Rect) Valid() bool { return r.X0 <= r.X1 && r.Y0 <= r.Y1 }
+
+// Triangle is a closed triangle with vertices A, B, C.
+type Triangle struct {
+	A, B, C Point
+}
+
+// Contains implements Shape using sign-consistent edge tests (works for
+// either vertex orientation; boundary counts as inside).
+func (t Triangle) Contains(p Point) bool {
+	d1 := cross(t.A, t.B, p)
+	d2 := cross(t.B, t.C, p)
+	d3 := cross(t.C, t.A, p)
+	hasNeg := d1 < -1e-12 || d2 < -1e-12 || d3 < -1e-12
+	hasPos := d1 > 1e-12 || d2 > 1e-12 || d3 > 1e-12
+	return !(hasNeg && hasPos)
+}
+
+// Kind implements Shape.
+func (Triangle) Kind() string { return "triangle" }
+
+// String renders the triangle for debugging.
+func (t Triangle) String() string {
+	return fmt.Sprintf("tri{(%.3g,%.3g),(%.3g,%.3g),(%.3g,%.3g)}",
+		t.A.X, t.A.Y, t.B.X, t.B.Y, t.C.X, t.C.Y)
+}
+
+// cross returns the z-component of (b-a)×(p-a).
+func cross(a, b, p Point) float64 {
+	return (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+}
+
+// Area returns the triangle's area.
+func (t Triangle) Area() float64 {
+	return math.Abs(cross(t.A, t.B, t.C)) / 2
+}
+
+// Fatness returns the ratio between the triangle's longest edge and its
+// height on that edge (Section 4.1's α). Smaller is fatter; equilateral
+// triangles have fatness 2/√3 ≈ 1.155. Degenerate triangles return +Inf.
+func (t Triangle) Fatness() float64 {
+	area := t.Area()
+	if area <= 0 {
+		return math.Inf(1)
+	}
+	longest := math.Max(dist(t.A, t.B), math.Max(dist(t.B, t.C), dist(t.C, t.A)))
+	height := 2 * area / longest
+	return longest / height
+}
+
+// IsFat reports whether the triangle is α-fat (Fatness() <= alpha).
+func (t Triangle) IsFat(alpha float64) bool { return t.Fatness() <= alpha }
+
+func dist(a, b Point) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// ContainedPoints returns the indices of the points contained in the shape.
+// The streaming algorithms use it to evaluate r∩L against an in-memory
+// point set; the model charges no space for this (the points are stored, per
+// Section 1, and the shape description is O(1)).
+func ContainedPoints(s Shape, pts []Point, within func(i int) bool) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if (within == nil || within(i)) && s.Contains(p) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}

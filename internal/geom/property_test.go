@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/offline"
+)
+
+// Property: the split line returned by the tree always lies inside [x0, x1).
+func TestPropSplitNodeInsideInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := RandomPoints(40, seed)
+		tree := NewXSplitTree(pts)
+		for trial := 0; trial < 20; trial++ {
+			x0, x1 := rng.Float64(), rng.Float64()
+			if x0 > x1 {
+				x0, x1 = x1, x0
+			}
+			if _, split, ok := tree.SplitNode(x0, x1); ok {
+				if split < x0 || split >= x1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two rectangles with the same point projection and the same
+// straddled node produce the same canonical pieces (the dedup that the space
+// bound depends on).
+func TestPropCanonicalDedup(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := RandomPoints(50, seed)
+		tree := NewXSplitTree(pts)
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		cs := NewCanonicalStore()
+		// Add the same rectangle twice, slightly inflated the second time
+		// (same projection, same straddle in most draws): the store must not
+		// double-count when node and projection agree.
+		x0, x1 := rng.Float64()*0.4, 0.6+rng.Float64()*0.4
+		y0, y1 := rng.Float64()*0.4, 0.6+rng.Float64()*0.4
+		r1 := Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+		proj := ContainedPoints(r1, pts, nil)
+		if len(proj) == 0 {
+			return true
+		}
+		first := CanonicalPieces(cs, tree, r1, proj, pts)
+		second := CanonicalPieces(cs, tree, r1, proj, pts)
+		return first >= 1 && second == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AlgGeomSC produces verified covers across random planted
+// geometric instances of all three shape classes.
+func TestPropAlgGeomSCAlwaysCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		k := 4 + int(uint(seed)%5)
+		n := 150 + int(uint(seed)%150)
+		m := 4 * n
+		kind := int(uint(seed) % 3)
+		var (
+			in  *Instance
+			err error
+		)
+		switch kind {
+		case 0:
+			in, _, err = PlantedDisks(n, m, k, seed)
+		case 1:
+			in, _, err = PlantedRects(n, m, k, seed)
+		default:
+			in, _, err = PlantedTriangles(n, m, k, seed)
+		}
+		if err != nil {
+			return false
+		}
+		repo := NewShapeRepo(in)
+		repo.Precompute()
+		res, err := AlgGeomSC(repo, GeomOptions{Delta: 0.25, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return in.IsCover(res.Cover) && res.Passes <= 13+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Canonical piece growth: the distinct-piece count must grow sublinearly in
+// the number of shapes once shapes repeat projections (the Lemma 4.4
+// mechanism), here on a dense disk workload.
+func TestCanonicalSublinearGrowth(t *testing.T) {
+	pts := RandomPoints(400, 5)
+	tree := NewXSplitTree(pts)
+	rng := rand.New(rand.NewSource(6))
+	cs := NewCanonicalStore()
+	shapes := 0
+	checkpoints := map[int]int{}
+	for shapes < 8000 {
+		d := Disk{C: Point{X: rng.Float64(), Y: rng.Float64()}, R: 0.03 + 0.03*rng.Float64()}
+		proj := ContainedPoints(d, pts, nil)
+		if len(proj) > 0 && len(proj) <= 12 {
+			CanonicalPieces(cs, tree, d, proj, pts)
+		}
+		shapes++
+		if shapes == 2000 || shapes == 4000 || shapes == 8000 {
+			checkpoints[shapes] = cs.Count()
+		}
+	}
+	if checkpoints[8000] == 0 {
+		t.Fatal("no pieces collected")
+	}
+	// Doubling the shapes from 4000 to 8000 must grow pieces by well under 2x
+	// (the distinct-projection universe saturates).
+	g1 := float64(checkpoints[4000]) / float64(checkpoints[2000])
+	g2 := float64(checkpoints[8000]) / float64(checkpoints[4000])
+	if g2 >= g1 {
+		t.Fatalf("piece growth not decelerating: %v then %v (counts %v)", g1, g2, checkpoints)
+	}
+}
+
+// The canonical pieces of a chosen solution must be replaceable by stream
+// shapes (the pass-3 matching invariant): every piece is a subset of its
+// generator's projection.
+func TestCanonicalPieceSubsetOfGenerator(t *testing.T) {
+	pts := RandomPoints(100, 7)
+	tree := NewXSplitTree(pts)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		w, h := 0.1+0.2*rng.Float64(), 0.1+0.2*rng.Float64()
+		x, y := rng.Float64()*(1-w), rng.Float64()*(1-h)
+		r := Rect{X0: x, X1: x + w, Y0: y, Y1: y + h}
+		proj := ContainedPoints(r, pts, nil)
+		if len(proj) == 0 {
+			continue
+		}
+		cs := NewCanonicalStore()
+		CanonicalPieces(cs, tree, r, proj, pts)
+		for _, p := range cs.Pieces() {
+			if !SubsetOfSorted(p.Elems, proj) {
+				t.Fatalf("piece %v not subset of generator projection %v", p.Elems, proj)
+			}
+		}
+	}
+}
+
+// Exact solver parity on a small geometric instance: algGeomSC's cover can
+// be compared against the true geometric optimum via ToSetCover.
+func TestAlgGeomSCVsExactOptimum(t *testing.T) {
+	in, _, err := PlantedDisks(80, 160, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := in.ToSetCover()
+	opt, err := offline.OptSize(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := NewShapeRepo(in)
+	repo.Precompute()
+	res, err := AlgGeomSC(repo, GeomOptions{Delta: 0.25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cover) < opt {
+		t.Fatalf("cover %d below the exact optimum %d — verification bug", len(res.Cover), opt)
+	}
+	if len(res.Cover) > 12*opt {
+		t.Fatalf("cover %d too far above optimum %d", len(res.Cover), opt)
+	}
+}

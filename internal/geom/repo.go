@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"sync/atomic"
+
+	"repro/internal/setcover"
+)
+
+// Instance is a geometric SetCover input: n points (the elements, stored in
+// memory per the model) and m shapes (the sets, streamed).
+type Instance struct {
+	Points []Point
+	Shapes []Shape
+}
+
+// N returns the number of points.
+func (in *Instance) N() int { return len(in.Points) }
+
+// M returns the number of shapes.
+func (in *Instance) M() int { return len(in.Shapes) }
+
+// ToSetCover materializes the abstract set system (used for ground truth and
+// validation only — the streaming algorithm never does this).
+func (in *Instance) ToSetCover() *setcover.Instance {
+	out := &setcover.Instance{N: len(in.Points)}
+	for _, s := range in.Shapes {
+		out.Sets = append(out.Sets, setcover.Set{Elems: ContainedPoints(s, in.Points, nil)})
+	}
+	out.Normalize()
+	return out
+}
+
+// IsCover reports whether the shapes with the given stream IDs cover every
+// point.
+func (in *Instance) IsCover(ids []int) bool {
+	covered := make([]bool, len(in.Points))
+	for _, id := range ids {
+		if id < 0 || id >= len(in.Shapes) {
+			continue
+		}
+		s := in.Shapes[id]
+		for i, p := range in.Points {
+			if !covered[i] && s.Contains(p) {
+				covered[i] = true
+			}
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// ShapeReader yields the shapes of one pass with their stream IDs.
+type ShapeReader interface {
+	Next() (s Shape, id int, ok bool)
+}
+
+// ShapeRepo is a pass-counted, read-only stream of shapes, the geometric
+// analogue of stream.Repository.
+type ShapeRepo struct {
+	inst   *Instance
+	passes atomic.Int64
+
+	// contained caches r∩U per shape. This is a simulator-speed cache only:
+	// in the model, evaluating which stored points fall in a streamed shape
+	// costs time, not algorithm memory, so no tracker words are charged.
+	contained [][]int32
+}
+
+// NewShapeRepo wraps a geometric instance as a shape stream.
+func NewShapeRepo(in *Instance) *ShapeRepo { return &ShapeRepo{inst: in} }
+
+// NumPoints returns n.
+func (r *ShapeRepo) NumPoints() int { return len(r.inst.Points) }
+
+// NumShapes returns m.
+func (r *ShapeRepo) NumShapes() int { return len(r.inst.Shapes) }
+
+// Points exposes the in-memory point set (granted by the model).
+func (r *ShapeRepo) Points() []Point { return r.inst.Points }
+
+// Passes returns the number of passes started.
+func (r *ShapeRepo) Passes() int { return int(r.passes.Load()) }
+
+// ResetPasses zeroes the pass counter.
+func (r *ShapeRepo) ResetPasses() { r.passes.Store(0) }
+
+// Instance exposes the backing instance for verification code only.
+func (r *ShapeRepo) Instance() *Instance { return r.inst }
+
+// Precompute evaluates and caches r∩U for every shape, trading simulator
+// memory for speed. Safe to call more than once.
+func (r *ShapeRepo) Precompute() {
+	if r.contained != nil {
+		return
+	}
+	r.contained = make([][]int32, len(r.inst.Shapes))
+	for i, s := range r.inst.Shapes {
+		r.contained[i] = ContainedPoints(s, r.inst.Points, nil)
+	}
+}
+
+// Contained returns the sorted global indices of points contained in shape
+// id, computing them on the fly if Precompute was not called.
+func (r *ShapeRepo) Contained(id int) []int32 {
+	if r.contained != nil {
+		return r.contained[id]
+	}
+	return ContainedPoints(r.inst.Shapes[id], r.inst.Points, nil)
+}
+
+// Begin starts a new pass.
+func (r *ShapeRepo) Begin() ShapeReader {
+	r.passes.Add(1)
+	return &shapeReader{shapes: r.inst.Shapes}
+}
+
+type shapeReader struct {
+	shapes []Shape
+	pos    int
+}
+
+func (it *shapeReader) Next() (Shape, int, bool) {
+	if it.pos >= len(it.shapes) {
+		return nil, 0, false
+	}
+	s := it.shapes[it.pos]
+	id := it.pos
+	it.pos++
+	return s, id, true
+}

@@ -1,0 +1,148 @@
+package geom
+
+import "sort"
+
+// This file makes Lemma 4.2's canonical universe explicit. The lemma states:
+// given points U and a shallowness parameter w, one can precompute a family
+// F'_total of O(|U|·w²·log|U|) axis-parallel rectangles such that *any*
+// rectangle containing at most w points of U has the same intersection with
+// U as the union of two members of F'_total.
+//
+// AlgGeomSC uses the equivalent lazy form (split each streamed rectangle at
+// its topmost straddled tree node and dedup the two anchored pieces);
+// RectUniverse enumerates the whole universe offline, which pins down the
+// space bound and lets tests verify that every lazily produced piece is a
+// member of the precomputed family.
+//
+// Enumeration argument (per tree node with split line s): an anchored piece
+// on the left side is {q in left slab : x_q >= x_p, y_q in window} where p
+// is the piece's leftmost point — so every realizable piece is a contiguous
+// y-window, containing p, of the points with x in [x_p, s]. With at most w
+// points per piece there are at most w² windows per anchor point, giving
+// O(n_v·w²) pieces per node and O(|U|·w²·log|U|) over the balanced tree.
+// Right-side pieces mirror with the rightmost point as anchor. Rectangles
+// that straddle no split line (a single distinct x) contribute y-windows of
+// each x-group, tagged node -1 like the lazy path.
+
+// RectUniverse enumerates the canonical universe F'_total for the given
+// points and shallowness w, deduplicated in a CanonicalStore whose keys
+// (node, element set) match those produced lazily by CanonicalPieces.
+func RectUniverse(pts []Point, w int) *CanonicalStore {
+	cs := NewCanonicalStore()
+	if w < 1 || len(pts) == 0 {
+		return cs
+	}
+	tree := NewXSplitTree(pts)
+	xs := tree.xs
+
+	// Group point indices by distinct x, aligned with the tree's xs array.
+	groups := make([][]int32, len(xs))
+	for i, p := range pts {
+		j := sort.SearchFloat64s(xs, p.X)
+		groups[j] = append(groups[j], int32(i))
+	}
+
+	// Non-straddling pieces (node -1): y-windows of each x-group.
+	for _, g := range groups {
+		addYWindows(cs, -1, g, pts, w)
+	}
+
+	// Recurse over the tree nodes, enumerating anchored pieces.
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		mid := (lo + hi) / 2
+		nodeID := lo*len(xs) + hi
+
+		// Left side: anchored on the split from the left. For each anchor
+		// x-index a in [lo, mid], the slab is all points with x in
+		// xs[a..mid]; pieces are y-windows of the slab that include at
+		// least one point at x = xs[a] (otherwise the piece's true anchor
+		// is larger and it is enumerated there).
+		for a := lo; a <= mid; a++ {
+			slab := collect(groups, a, mid)
+			addAnchoredWindows(cs, nodeID, slab, groups[a], pts, w)
+		}
+		// Right side: anchored from the right; anchor x-index b in
+		// [mid+1, hi], slab = xs[mid+1..b]. Right pieces carry the offset
+		// node id -nodeID-2, matching CanonicalPieces.
+		for b := mid + 1; b <= hi; b++ {
+			slab := collect(groups, mid+1, b)
+			addAnchoredWindows(cs, -nodeID-2, slab, groups[b], pts, w)
+		}
+		rec(lo, mid)
+		rec(mid+1, hi)
+	}
+	rec(0, len(xs)-1)
+	return cs
+}
+
+// collect concatenates the point groups for x-indices [a, b].
+func collect(groups [][]int32, a, b int) []int32 {
+	var out []int32
+	for j := a; j <= b; j++ {
+		out = append(out, groups[j]...)
+	}
+	return out
+}
+
+// addYWindows adds every y-contiguous window of at most w points of slab.
+func addYWindows(cs *CanonicalStore, node int, slab []int32, pts []Point, w int) {
+	ys := sortByY(slab, pts)
+	for i := 0; i < len(ys); i++ {
+		for j := i; j < len(ys) && j-i+1 <= w; j++ {
+			piece := append([]int32(nil), ys[i:j+1]...)
+			sortInt32(piece)
+			cs.Add(node, piece)
+		}
+	}
+}
+
+// addAnchoredWindows adds every y-window of slab with at most w points that
+// contains at least one anchor point (a point with the anchor x-coordinate).
+func addAnchoredWindows(cs *CanonicalStore, node int, slab, anchors []int32, pts []Point, w int) {
+	if len(anchors) == 0 {
+		return
+	}
+	anchorSet := make(map[int32]bool, len(anchors))
+	for _, a := range anchors {
+		anchorSet[a] = true
+	}
+	ys := sortByY(slab, pts)
+	// Prefix counts of anchors for O(1) window checks.
+	prefix := make([]int, len(ys)+1)
+	for i, q := range ys {
+		prefix[i+1] = prefix[i]
+		if anchorSet[q] {
+			prefix[i+1]++
+		}
+	}
+	for i := 0; i < len(ys); i++ {
+		for j := i; j < len(ys) && j-i+1 <= w; j++ {
+			if prefix[j+1]-prefix[i] == 0 {
+				continue // no anchor point: enumerated under a later anchor
+			}
+			piece := append([]int32(nil), ys[i:j+1]...)
+			sortInt32(piece)
+			cs.Add(node, piece)
+		}
+	}
+}
+
+func sortByY(idx []int32, pts []Point) []int32 {
+	out := append([]int32(nil), idx...)
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := pts[out[a]], pts[out[b]]
+		if pa.Y != pb.Y {
+			return pa.Y < pb.Y
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}

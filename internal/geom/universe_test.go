@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRectUniverseEmptyAndDegenerate(t *testing.T) {
+	if cs := RectUniverse(nil, 3); cs.Count() != 0 {
+		t.Fatal("empty point set should give empty universe")
+	}
+	if cs := RectUniverse(RandomPoints(5, 1), 0); cs.Count() != 0 {
+		t.Fatal("w=0 should give empty universe")
+	}
+	// A single point: the universe is that singleton.
+	cs := RectUniverse([]Point{{0.5, 0.5}}, 2)
+	if cs.Count() != 1 {
+		t.Fatalf("single point universe = %d pieces, want 1", cs.Count())
+	}
+}
+
+// Lemma 4.2's size bound: |F'_total| = O(n·w²·log n).
+func TestRectUniverseSizeBound(t *testing.T) {
+	for _, n := range []int{32, 64, 128} {
+		for _, w := range []int{2, 4} {
+			pts := RandomPoints(n, int64(n*10+w))
+			cs := RectUniverse(pts, w)
+			bound := 6 * n * w * w * (int(math.Log2(float64(n))) + 1)
+			if cs.Count() > bound {
+				t.Fatalf("n=%d w=%d: universe %d exceeds O(n·w²·log n) budget %d",
+					n, w, cs.Count(), bound)
+			}
+			if cs.Count() == 0 {
+				t.Fatalf("n=%d w=%d: empty universe", n, w)
+			}
+		}
+	}
+}
+
+// The lemma's covering property, via the lazy splitter: every piece that
+// CanonicalPieces derives from a w-shallow rectangle must already be a
+// member of the precomputed universe (same node, same point set).
+func TestRectUniverseContainsLazyPieces(t *testing.T) {
+	const n, w = 60, 4
+	pts := RandomPoints(n, 9)
+	tree := NewXSplitTree(pts)
+	universe := RectUniverse(pts, w)
+	members := make(map[string]bool, universe.Count())
+	for _, p := range universe.Pieces() {
+		members[pieceKey(p.Node, p.Elems)] = true
+	}
+
+	rng := rand.New(rand.NewSource(10))
+	tested := 0
+	for trial := 0; trial < 4000 && tested < 300; trial++ {
+		wd, ht := 0.05+0.3*rng.Float64(), 0.05+0.3*rng.Float64()
+		x, y := rng.Float64()*(1-wd), rng.Float64()*(1-ht)
+		r := Rect{X0: x, X1: x + wd, Y0: y, Y1: y + ht}
+		proj := ContainedPoints(r, pts, nil)
+		if len(proj) == 0 || len(proj) > w {
+			continue
+		}
+		tested++
+		cs := NewCanonicalStore()
+		CanonicalPieces(cs, tree, r, proj, pts)
+		if cs.Count() < 1 || cs.Count() > 2 {
+			t.Fatalf("rect %v produced %d pieces, want 1 or 2", r, cs.Count())
+		}
+		for _, p := range cs.Pieces() {
+			if !members[pieceKey(p.Node, p.Elems)] {
+				t.Fatalf("lazy piece (node %d, elems %v) of rect %v not in the precomputed universe",
+					p.Node, p.Elems, r)
+			}
+		}
+	}
+	if tested < 100 {
+		t.Fatalf("only %d shallow rectangles tested; generator parameters off", tested)
+	}
+}
+
+// The universe on the Figure 1.2 point set stays near-linear even though
+// the instance realizes n²/4 distinct shallow rectangles.
+func TestRectUniverseFigure12(t *testing.T) {
+	in, err := Figure12(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w = 2
+	universe := RectUniverse(in.Points, w)
+	if universe.Count() > 32*w*w*(5+1)*6 {
+		t.Fatalf("universe %d not near-linear", universe.Count())
+	}
+	// Every instance rectangle is 2-shallow, so its lazy pieces must all be
+	// universe members.
+	tree := NewXSplitTree(in.Points)
+	members := make(map[string]bool, universe.Count())
+	for _, p := range universe.Pieces() {
+		members[pieceKey(p.Node, p.Elems)] = true
+	}
+	for id, s := range in.Shapes {
+		proj := ContainedPoints(s, in.Points, nil)
+		cs := NewCanonicalStore()
+		CanonicalPieces(cs, tree, s, proj, in.Points)
+		for _, p := range cs.Pieces() {
+			if !members[pieceKey(p.Node, p.Elems)] {
+				t.Fatalf("rect %d: lazy piece (node %d, %v) missing from universe", id, p.Node, p.Elems)
+			}
+		}
+	}
+}

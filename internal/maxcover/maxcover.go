@@ -1,0 +1,259 @@
+// Package maxcover implements the Max k-Cover problem, the primitive behind
+// Saha and Getoor's streaming SetCover result [SG09] (the paper's Figure 1.1
+// row "O(log n) approx / O(log n) passes"): given a set system and a budget
+// k, pick k sets maximizing the number of covered elements.
+//
+// Three components:
+//
+//   - Greedy: the classic offline (1-1/e)-approximation;
+//   - Streaming: a one-pass thresholding algorithm (accept a set whose
+//     marginal gain is at least v/2k for a guessed optimum coverage v, all
+//     guesses run in parallel within the single pass) with a constant-factor
+//     guarantee — the standard semi-streaming treatment of SG09's primitive;
+//   - SahaGetoorSetCover: SetCover by repeated Max k-Cover — each round runs
+//     the one-pass algorithm on the residual instance and keeps everything
+//     it picked; with k ≥ OPT a constant fraction of the leftovers is
+//     covered per round, so O(log n) rounds = O(log n) passes suffice for an
+//     O(log n)-approximation in Õ(n) space.
+package maxcover
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// Result reports a Max k-Cover solution.
+type Result struct {
+	// Sets are the chosen set IDs, at most k of them.
+	Sets []int
+	// Covered is the number of elements the chosen sets cover.
+	Covered int
+	// Passes and SpaceWords follow the streaming accounting (zero for the
+	// offline greedy).
+	Passes     int
+	SpaceWords int64
+}
+
+// Greedy is the offline (1-1/e)-approximation: k rounds of maximum marginal
+// gain. Ties break toward the smaller set ID.
+func Greedy(in *setcover.Instance, k int) (Result, error) {
+	if k < 0 {
+		return Result{}, fmt.Errorf("maxcover: negative budget %d", k)
+	}
+	uncovered := bitset.New(in.N)
+	uncovered.Fill()
+	var res Result
+	for round := 0; round < k; round++ {
+		bestGain, bestID := 0, -1
+		for _, s := range in.Sets {
+			if g := uncovered.IntersectionWithSlice(s.Elems); g > bestGain {
+				bestGain, bestID = g, s.ID
+			}
+		}
+		if bestID < 0 {
+			break // nothing left to gain
+		}
+		res.Sets = append(res.Sets, bestID)
+		res.Covered += uncovered.SubtractSlice(in.Sets[bestID].Elems)
+	}
+	return res, nil
+}
+
+// Streaming solves Max k-Cover in one pass: for each guess v of the optimal
+// coverage (powers of two up to n), accept an arriving set while fewer than
+// k are held and its marginal gain is at least v/(2k). All guesses share the
+// single physical pass; the best guess's selection is returned.
+//
+// Guarantee: for the guess with OPT/2 < v <= OPT, either k sets are taken
+// (each adding >= v/2k, so coverage >= v/2 >= OPT/4) or every unpicked set
+// had marginal gain < v/2k against the final selection, so OPT's k sets add
+// less than v/2 beyond it — coverage >= OPT - v/2 >= OPT/2. Either way the
+// result is a 1/4-approximation (the standard threshold analysis).
+func Streaming(repo stream.Repository, k int) (Result, error) {
+	if k < 0 {
+		return Result{}, fmt.Errorf("maxcover: negative budget %d", k)
+	}
+	n := repo.UniverseSize()
+	tracker := stream.NewTracker()
+	if n == 0 || k == 0 {
+		return Result{Passes: repo.Passes(), SpaceWords: tracker.Peak()}, nil
+	}
+
+	type guess struct {
+		v         float64
+		uncovered *bitset.Bitset
+		sets      []int
+		covered   int
+	}
+	var guesses []*guess
+	for v := float64(1); v <= float64(2*n); v *= 2 {
+		g := &guess{v: v, uncovered: bitset.New(n)}
+		g.uncovered.Fill()
+		tracker.Grow(stream.WordsForBitset(n))
+		guesses = append(guesses, g)
+	}
+
+	it := repo.Begin()
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		for _, g := range guesses {
+			if len(g.sets) >= k {
+				continue
+			}
+			gain := g.uncovered.IntersectionWithSlice(s.Elems)
+			if float64(gain) >= g.v/(2*float64(k)) {
+				g.sets = append(g.sets, s.ID)
+				tracker.Grow(1)
+				g.covered += g.uncovered.SubtractSlice(s.Elems)
+			}
+		}
+	}
+
+	best := guesses[0]
+	for _, g := range guesses[1:] {
+		if g.covered > best.covered {
+			best = g
+		}
+	}
+	return Result{
+		Sets:       append([]int(nil), best.sets...),
+		Covered:    best.covered,
+		Passes:     repo.Passes(),
+		SpaceWords: tracker.Peak(),
+	}, nil
+}
+
+// SahaGetoorSetCover solves SetCover by repeated one-pass Max k-Cover, the
+// [SG09] strategy: guess k = OPT (all powers of two in parallel, sharing
+// passes), and in each round keep everything the max-cover pass picked and
+// drop the covered elements. With k >= OPT each round covers a constant
+// fraction of the residual, so rounds (= passes) stay O(log n) and the
+// output is an O(log n)-approximation in Õ(n) space.
+func SahaGetoorSetCover(repo stream.Repository) (setcover.Stats, error) {
+	st := setcover.Stats{Algorithm: "saha-getoor[SG09]"}
+	n := repo.UniverseSize()
+	tracker := stream.NewTracker()
+	if n == 0 {
+		st.Valid = true
+		return st, nil
+	}
+	maxRounds := 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
+
+	type run struct {
+		k         int
+		uncovered *bitset.Bitset
+		sol       []int
+		done      bool // covered everything
+		failed    bool // stuck: some element is in no set
+	}
+	var runs []*run
+	kMax := 1 << uint(math.Ceil(math.Log2(float64(n))))
+	if kMax < 1 {
+		kMax = 1
+	}
+	for k := 1; k <= kMax; k *= 2 {
+		r := &run{k: k, uncovered: bitset.New(n)}
+		r.uncovered.Fill()
+		tracker.Grow(stream.WordsForBitset(n))
+		runs = append(runs, r)
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		live := false
+		for _, r := range runs {
+			if !r.done && !r.failed {
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+
+		// One shared pass: each run executes the streaming max-cover
+		// thresholding against its own residual, with v guessed as the
+		// residual size (the best coverable amount is at most that).
+		type roundState struct {
+			sets   []int
+			counts *bitset.Bitset
+			taken  int
+			thresh float64
+			before int
+		}
+		states := make(map[*run]*roundState)
+		for _, r := range runs {
+			if r.done || r.failed {
+				continue
+			}
+			rs := &roundState{counts: r.uncovered.Clone(), before: r.uncovered.Count()}
+			rs.thresh = float64(rs.before) / (2 * float64(r.k))
+			if rs.thresh < 1 {
+				rs.thresh = 1
+			}
+			tracker.Grow(stream.WordsForBitset(n))
+			states[r] = rs
+		}
+		it := repo.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, r := range runs {
+				if r.done || r.failed {
+					continue
+				}
+				rs := states[r]
+				if rs.taken >= r.k {
+					continue
+				}
+				if g := rs.counts.IntersectionWithSlice(s.Elems); float64(g) >= rs.thresh {
+					rs.sets = append(rs.sets, s.ID)
+					tracker.Grow(1)
+					rs.counts.SubtractSlice(s.Elems)
+					rs.taken++
+				}
+			}
+		}
+		for _, r := range runs {
+			if r.done || r.failed {
+				continue
+			}
+			rs := states[r]
+			r.sol = append(r.sol, rs.sets...)
+			r.uncovered.CopyFrom(rs.counts)
+			tracker.Shrink(stream.WordsForBitset(n))
+			if r.uncovered.Empty() {
+				r.done = true
+				continue
+			}
+			// A round with no progress kills the guess: when k >= OPT some
+			// optimal set covers >= residual/k >= threshold, so zero takes
+			// mean the guess is below OPT (or leftovers are uncoverable).
+			if rs.taken == 0 {
+				r.failed = true
+			}
+		}
+	}
+
+	best := -1
+	for i, r := range runs {
+		if r.done && (best < 0 || len(r.sol) < len(runs[best].sol)) {
+			best = i
+		}
+	}
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	if best < 0 {
+		return st, setcover.ErrInfeasible
+	}
+	st.Cover = append([]int(nil), runs[best].sol...)
+	st.Valid = true
+	return st, nil
+}

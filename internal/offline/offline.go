@@ -1,0 +1,257 @@
+// Package offline provides in-memory SetCover solvers used as the
+// algOfflineSC subroutine of the paper's algorithms (Figures 1.3 and 4.1)
+// and as ground truth for approximation-ratio measurements.
+//
+// Two solvers are provided, matching the paper's two computational regimes
+// (Section 2.1): Greedy with ρ = ln n under polynomial time, and Exact with
+// ρ = 1 under "exponential computational power". The exact solver is a
+// branch-and-bound that is fast at the sub-instance sizes iterSetCover
+// produces and doubles as the OPT oracle for the Section 5/6 reduction
+// checks.
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/setcover"
+)
+
+// Solver solves a SetCover instance held entirely in memory and returns the
+// IDs (positions) of the chosen sets.
+type Solver interface {
+	// Name identifies the solver in reports.
+	Name() string
+	// Rho returns the solver's approximation guarantee on instances with n
+	// elements (ln n for greedy, 1 for exact).
+	Rho(n int) float64
+	// Solve returns set IDs covering the instance's universe. It returns
+	// setcover.ErrInfeasible if some element is in no set.
+	Solve(in *setcover.Instance) ([]int, error)
+}
+
+// Greedy is the classic greedy algorithm: repeatedly pick the set covering
+// the most yet-uncovered elements. ρ = H(n) <= ln n + 1.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy" }
+
+// Rho implements Solver.
+func (Greedy) Rho(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Log(float64(n)) + 1
+}
+
+// Solve implements Solver. It runs a lazy-decrement greedy: candidates are
+// kept sorted by stale gain (an upper bound, since gains only shrink) and
+// refreshed on demand. Ties are broken toward the smallest set ID, which
+// makes the trajectory identical to a streaming greedy that scans sets in
+// stream order and keeps the first strict maximum.
+func (Greedy) Solve(in *setcover.Instance) ([]int, error) {
+	uncovered := bitset.New(in.N)
+	uncovered.Fill()
+	remaining := in.N
+
+	// Entries sorted by (stale gain desc, ID asc), lazily re-evaluated.
+	type entry struct {
+		gain int
+		id   int
+	}
+	cands := make([]entry, 0, len(in.Sets))
+	for _, s := range in.Sets {
+		if len(s.Elems) > 0 {
+			cands = append(cands, entry{gain: len(s.Elems), id: s.ID})
+		}
+	}
+	less := func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].id < cands[j].id
+	}
+	sort.Slice(cands, less)
+
+	var cover []int
+	for remaining > 0 {
+		// Find the fresh maximum (smallest ID on ties), refreshing stale
+		// gains as we go. A stale gain strictly below the incumbent ends the
+		// scan: gains only decrease, so no later entry can win. Stale gains
+		// equal to the incumbent must still be refreshed for ID tie-breaking.
+		best, bestGain := -1, 0
+		for i := 0; i < len(cands); i++ {
+			e := &cands[i]
+			if e.gain < bestGain || (e.gain == bestGain && best >= 0 && e.id > cands[best].id) {
+				if e.gain < bestGain {
+					break
+				}
+				continue
+			}
+			fresh := uncovered.IntersectionWithSlice(in.Sets[e.id].Elems)
+			e.gain = fresh
+			if fresh > bestGain || (fresh == bestGain && best >= 0 && fresh > 0 && e.id < cands[best].id) {
+				bestGain = fresh
+				best = i
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			return nil, setcover.ErrInfeasible
+		}
+		id := cands[best].id
+		cover = append(cover, id)
+		remaining -= uncovered.SubtractSlice(in.Sets[id].Elems)
+		cands[best].gain = 0
+		sort.Slice(cands, less)
+	}
+	return cover, nil
+}
+
+// Exact is an optimal branch-and-bound solver (ρ = 1). Worst case is
+// exponential; in practice the instances it sees here (offline sub-problems
+// of iterSetCover, reduction gadgets of Sections 5–6) solve in milliseconds.
+//
+// Strategy: first apply the OPT-preserving dominance reductions of Reduce,
+// then branch on the uncovered element contained in the fewest sets
+// (fail-first), trying its candidate sets in decreasing-gain order; prune
+// with a greedy upper bound and the counting lower bound
+// ceil(#uncovered / max set size).
+type Exact struct {
+	// MaxNodes optionally bounds the search; 0 means unlimited. If the bound
+	// is hit, Solve returns ErrBudget.
+	MaxNodes int64
+	// NoReduce disables the dominance preprocessing (used by tests to
+	// exercise the raw branch-and-bound).
+	NoReduce bool
+}
+
+// ErrBudget is returned by Exact.Solve when MaxNodes is exhausted.
+var ErrBudget = fmt.Errorf("offline: exact solver node budget exhausted")
+
+// Name implements Solver.
+func (Exact) Name() string { return "exact" }
+
+// Rho implements Solver.
+func (Exact) Rho(int) float64 { return 1 }
+
+// Solve implements Solver.
+func (e Exact) Solve(in *setcover.Instance) ([]int, error) {
+	if in.N == 0 {
+		return nil, nil
+	}
+	if !e.NoReduce {
+		red := Reduce(in)
+		if red.RemovedSets > 0 || red.RemovedElems > 0 {
+			inner := Exact{MaxNodes: e.MaxNodes, NoReduce: true}
+			cover, err := inner.Solve(red.Instance)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int, len(cover))
+			for i, id := range cover {
+				out[i] = red.OrigSetID[id]
+			}
+			sort.Ints(out)
+			return out, nil
+		}
+	}
+	sets := in.Bitsets()
+
+	// coveredBy[e] = IDs of sets containing e.
+	coveredBy := make([][]int, in.N)
+	for id, s := range in.Sets {
+		for _, el := range s.Elems {
+			coveredBy[el] = append(coveredBy[el], id)
+		}
+	}
+	for el, ids := range coveredBy {
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("%w: element %d", setcover.ErrInfeasible, el)
+		}
+	}
+
+	// Greedy upper bound seeds the incumbent.
+	incumbent, err := Greedy{}.Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	best := append([]int(nil), incumbent...)
+
+	maxSize := in.MaxSetSize()
+	uncovered := bitset.New(in.N)
+	uncovered.Fill()
+
+	var nodes int64
+	var cur []int
+	var rec func() error
+	rec = func() error {
+		nodes++
+		if e.MaxNodes > 0 && nodes > e.MaxNodes {
+			return ErrBudget
+		}
+		rem := uncovered.Count()
+		if rem == 0 {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return nil
+		}
+		// Counting lower bound.
+		lb := (rem + maxSize - 1) / maxSize
+		if len(cur)+lb >= len(best) {
+			return nil
+		}
+		// Fail-first: element with fewest live candidate sets.
+		pivot, pivotCands := -1, math.MaxInt
+		uncovered.ForEach(func(el int) bool {
+			c := 0
+			for _, id := range coveredBy[el] {
+				if sets[id].Intersects(uncovered) {
+					c++
+				}
+			}
+			if c < pivotCands {
+				pivotCands, pivot = c, el
+			}
+			return pivotCands > 1 // can't do better than 1
+		})
+		// Candidates covering the pivot, largest marginal gain first.
+		cands := append([]int(nil), coveredBy[pivot]...)
+		sort.Slice(cands, func(a, b int) bool {
+			return sets[cands[a]].IntersectionCount(uncovered) > sets[cands[b]].IntersectionCount(uncovered)
+		})
+		for _, id := range cands {
+			gain := sets[id].IntersectionCount(uncovered)
+			if gain == 0 {
+				continue
+			}
+			saved := uncovered.Clone()
+			uncovered.Subtract(sets[id])
+			cur = append(cur, id)
+			if err := rec(); err != nil {
+				return err
+			}
+			cur = cur[:len(cur)-1]
+			uncovered.CopyFrom(saved)
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	sort.Ints(best)
+	return best, nil
+}
+
+// OptSize returns |OPT| for the instance using the exact solver. It is the
+// ground-truth helper used by experiments and reduction checks.
+func OptSize(in *setcover.Instance) (int, error) {
+	cover, err := Exact{}.Solve(in)
+	if err != nil {
+		return 0, err
+	}
+	return len(cover), nil
+}

@@ -1,0 +1,278 @@
+package offline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setcover"
+)
+
+func mk(n int, sets ...[]setcover.Elem) *setcover.Instance {
+	in := &setcover.Instance{N: n}
+	for _, es := range sets {
+		in.Sets = append(in.Sets, setcover.Set{Elems: es})
+	}
+	in.Normalize()
+	return in
+}
+
+func TestGreedyBasic(t *testing.T) {
+	in := mk(6,
+		[]setcover.Elem{0, 1, 2},
+		[]setcover.Elem{2, 3},
+		[]setcover.Elem{3, 4, 5},
+		[]setcover.Elem{0, 5},
+	)
+	cover, err := Greedy{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(cover) {
+		t.Fatalf("greedy returned non-cover %v", cover)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("greedy cover size = %d, want 2 ({0,1,2} then {3,4,5})", len(cover))
+	}
+}
+
+func TestGreedyPicksLargestFirst(t *testing.T) {
+	in := mk(5,
+		[]setcover.Elem{0},
+		[]setcover.Elem{0, 1, 2, 3, 4},
+		[]setcover.Elem{1, 2},
+	)
+	cover, err := Greedy{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 || cover[0] != 1 {
+		t.Fatalf("cover = %v, want [1]", cover)
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	in := mk(3, []setcover.Elem{0, 1})
+	if _, err := (Greedy{}).Solve(in); !errors.Is(err, setcover.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyEmptyUniverse(t *testing.T) {
+	in := mk(0)
+	cover, err := Greedy{}.Solve(in)
+	if err != nil || len(cover) != 0 {
+		t.Fatalf("cover=%v err=%v, want empty/nil", cover, err)
+	}
+}
+
+func TestExactBeatsGreedyOnClassicGap(t *testing.T) {
+	// Classic instance where greedy is suboptimal: OPT = 2 (two disjoint
+	// halves), greedy is lured by a large straddling set.
+	in := mk(8,
+		[]setcover.Elem{0, 1, 2, 3},    // left half
+		[]setcover.Elem{4, 5, 6, 7},    // right half
+		[]setcover.Elem{0, 1, 4, 5, 2}, // lure: 5 elements
+		[]setcover.Elem{3, 6},
+		[]setcover.Elem{7, 2},
+	)
+	g, err := Greedy{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Exact{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(x) {
+		t.Fatalf("exact returned non-cover %v", x)
+	}
+	if len(x) != 2 {
+		t.Fatalf("exact size = %d, want 2", len(x))
+	}
+	if len(g) < len(x) {
+		t.Fatalf("greedy (%d) cannot beat exact (%d)", len(g), len(x))
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	in := mk(3, []setcover.Elem{0})
+	if _, err := (Exact{}).Solve(in); !errors.Is(err, setcover.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestExactEmptyUniverse(t *testing.T) {
+	cover, err := Exact{}.Solve(mk(0))
+	if err != nil || len(cover) != 0 {
+		t.Fatalf("cover=%v err=%v", cover, err)
+	}
+}
+
+func TestExactSingleElement(t *testing.T) {
+	in := mk(1, []setcover.Elem{0}, []setcover.Elem{0})
+	cover, err := Exact{}.Solve(in)
+	if err != nil || len(cover) != 1 {
+		t.Fatalf("cover=%v err=%v, want one set", cover, err)
+	}
+}
+
+func TestExactBudget(t *testing.T) {
+	// A moderately hard random instance with a tiny node budget must
+	// return ErrBudget rather than looping forever.
+	rng := rand.New(rand.NewSource(7))
+	in := randomCoverable(rng, 40, 60, 0.12)
+	_, err := Exact{MaxNodes: 1}.Solve(in)
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget or success", err)
+	}
+}
+
+func TestRho(t *testing.T) {
+	if (Greedy{}).Rho(1) != 1 {
+		t.Fatal("greedy rho(1) should be 1")
+	}
+	if r := (Greedy{}).Rho(1000); r < 6.9 || r > 8.0 {
+		t.Fatalf("greedy rho(1000) = %v, want ~ln(1000)+1", r)
+	}
+	if (Exact{}).Rho(12345) != 1 {
+		t.Fatal("exact rho should be 1")
+	}
+	if (Greedy{}).Name() != "greedy" || (Exact{}).Name() != "exact" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestOptSize(t *testing.T) {
+	in := mk(4, []setcover.Elem{0, 1}, []setcover.Elem{2, 3}, []setcover.Elem{0, 1, 2})
+	opt, err := OptSize(in)
+	if err != nil || opt != 2 {
+		t.Fatalf("OptSize = %d, %v; want 2", opt, err)
+	}
+}
+
+// randomCoverable builds a random instance guaranteed to be coverable by
+// adding singleton patches for missed elements.
+func randomCoverable(rng *rand.Rand, n, m int, p float64) *setcover.Instance {
+	in := &setcover.Instance{N: n}
+	for i := 0; i < m; i++ {
+		var es []setcover.Elem
+		for e := 0; e < n; e++ {
+			if rng.Float64() < p {
+				es = append(es, setcover.Elem(e))
+			}
+		}
+		in.Sets = append(in.Sets, setcover.Set{Elems: es})
+	}
+	in.Normalize()
+	if !in.Coverable() {
+		covered := in.CoverageOf(idRange(len(in.Sets)))
+		var patch []setcover.Elem
+		for e := 0; e < n; e++ {
+			if !covered.Test(e) {
+				patch = append(patch, setcover.Elem(e))
+			}
+		}
+		in.Sets = append(in.Sets, setcover.Set{Elems: patch})
+		in.Normalize()
+	}
+	return in
+}
+
+func idRange(m int) []int {
+	ids := make([]int, m)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// Property: on random instances, exact returns a valid cover no larger than
+// greedy's, and greedy's is within H(n) of exact's.
+func TestPropExactVsGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		m := 5 + rng.Intn(15)
+		in := randomCoverable(rng, n, m, 0.25)
+		g, err := Greedy{}.Solve(in)
+		if err != nil {
+			return false
+		}
+		x, err := Exact{}.Solve(in)
+		if err != nil {
+			return false
+		}
+		if !in.IsCover(x) || !in.IsCover(g) {
+			return false
+		}
+		if len(x) > len(g) {
+			return false // exact can never be worse
+		}
+		return float64(len(g)) <= (Greedy{}).Rho(n)*float64(len(x))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exact is optimal — verified against brute force on tiny instances.
+func TestPropExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		in := randomCoverable(rng, n, m, 0.4)
+		x, err := Exact{}.Solve(in)
+		if err != nil {
+			return false
+		}
+		bf := bruteForceOpt(in)
+		return len(x) == bf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForceOpt(in *setcover.Instance) int {
+	m := len(in.Sets)
+	best := m + 1
+	for mask := 0; mask < 1<<m; mask++ {
+		var ids []int
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) != 0 {
+				ids = append(ids, j)
+			}
+		}
+		if len(ids) < best && in.IsCover(ids) {
+			best = len(ids)
+		}
+	}
+	return best
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomCoverable(rng, 1000, 2000, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Greedy{}).Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := randomCoverable(rng, 30, 40, 0.15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Exact{}).Solve(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package offline
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/setcover"
+)
+
+// Preprocessing reductions for exact solving. Both are classic and preserve
+// the optimum value (and at least one optimal solution):
+//
+//   - set dominance: if set A ⊆ set B (A ≠ B), any solution using A can use
+//     B instead, so A can be dropped;
+//   - element dominance: if every set containing element e also contains
+//     element f (candidates(e) ⊆ candidates(f)), covering e always covers f,
+//     so f can be dropped from the instance.
+//
+// The two rules enable each other, so Reduce iterates to a fixpoint. On the
+// Section 5/6 reduction gadgets (many two-element R/T sets, elements with
+// one or two candidates) this typically shrinks the search dramatically.
+
+// Reduced describes the outcome of Reduce.
+type Reduced struct {
+	// Instance is the reduced instance (re-indexed elements, surviving sets
+	// re-indexed 0..M'-1).
+	Instance *setcover.Instance
+	// OrigSetID maps a reduced set ID to the original set ID.
+	OrigSetID []int
+	// RemovedSets and RemovedElems count what the reductions eliminated.
+	RemovedSets, RemovedElems int
+}
+
+// Reduce applies set- and element-dominance to a fixpoint. The reduced
+// instance has the same optimum value as the input, and any optimal cover of
+// the reduced instance maps (via OrigSetID) to an optimal cover of the
+// original.
+func Reduce(in *setcover.Instance) *Reduced {
+	n := in.N
+	// Live masks.
+	liveElem := bitset.New(n)
+	liveElem.Fill()
+	liveSet := make([]bool, len(in.Sets))
+	for i := range liveSet {
+		liveSet[i] = true
+	}
+	// Working bitset per set, restricted to live elements.
+	sets := in.Bitsets()
+
+	removedSets, removedElems := 0, 0
+	for changed := true; changed; {
+		changed = false
+
+		// Set dominance: drop any live A with A ⊆ B for a live B ≠ A.
+		// On ties (A == B) the larger ID is dropped.
+		for a := range sets {
+			if !liveSet[a] {
+				continue
+			}
+			for b := range sets {
+				if a == b || !liveSet[b] {
+					continue
+				}
+				if sets[a].SubsetOf(sets[b]) && (!sets[b].SubsetOf(sets[a]) || a > b) {
+					liveSet[a] = false
+					removedSets++
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Element dominance: drop f when candidates(e) ⊆ candidates(f) for
+		// some live e ≠ f. Ties drop the larger element index.
+		cands := make([]*bitset.Bitset, n)
+		liveElem.ForEach(func(e int) bool {
+			cands[e] = bitset.New(len(in.Sets))
+			return true
+		})
+		for id, live := range liveSet {
+			if !live {
+				continue
+			}
+			for _, e := range in.Sets[id].Elems {
+				if cands[e] != nil {
+					cands[e].Set(id)
+				}
+			}
+		}
+		var drop []int
+		liveElem.ForEach(func(f int) bool {
+			for e := 0; e < n; e++ {
+				if e == f || cands[e] == nil || !liveElem.Test(e) {
+					continue
+				}
+				if cands[e].SubsetOf(cands[f]) && (!cands[f].SubsetOf(cands[e]) || f > e) {
+					drop = append(drop, f)
+					return true
+				}
+			}
+			return true
+		})
+		for _, f := range drop {
+			if liveElem.Test(f) {
+				liveElem.Clear(f)
+				removedElems++
+				changed = true
+				for id := range sets {
+					if sets[id].Test(f) {
+						sets[id].Clear(f)
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize the reduced instance.
+	newIdx := make([]setcover.Elem, n)
+	for i := range newIdx {
+		newIdx[i] = -1
+	}
+	next := setcover.Elem(0)
+	liveElem.ForEach(func(e int) bool {
+		newIdx[e] = next
+		next++
+		return true
+	})
+	out := &Reduced{
+		Instance:     &setcover.Instance{N: int(next)},
+		RemovedSets:  removedSets,
+		RemovedElems: removedElems,
+	}
+	for id, live := range liveSet {
+		if !live {
+			continue
+		}
+		var elems []setcover.Elem
+		for _, e := range in.Sets[id].Elems {
+			if ni := newIdx[e]; ni >= 0 {
+				elems = append(elems, ni)
+			}
+		}
+		out.Instance.Sets = append(out.Instance.Sets, setcover.Set{ID: len(out.Instance.Sets), Elems: elems})
+		out.OrigSetID = append(out.OrigSetID, id)
+	}
+	out.Instance.Normalize()
+	return out
+}

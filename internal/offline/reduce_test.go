@@ -1,0 +1,145 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setcover"
+)
+
+func TestReduceSetDominance(t *testing.T) {
+	in := mk(4,
+		[]setcover.Elem{0, 1},       // dominated by the next set
+		[]setcover.Elem{0, 1, 2},    //
+		[]setcover.Elem{3},          //
+		[]setcover.Elem{0, 1, 2, 3}, // dominates everything
+	)
+	red := Reduce(in)
+	if red.RemovedSets < 3 {
+		t.Fatalf("removed %d sets, want >= 3 (only the universal set survives)", red.RemovedSets)
+	}
+	if len(red.Instance.Sets) != 1 {
+		t.Fatalf("surviving sets = %d, want 1", len(red.Instance.Sets))
+	}
+	if red.OrigSetID[0] != 3 {
+		t.Fatalf("surviving set = %d, want 3", red.OrigSetID[0])
+	}
+}
+
+func TestReduceEqualSetsKeepOne(t *testing.T) {
+	in := mk(2,
+		[]setcover.Elem{0, 1},
+		[]setcover.Elem{0, 1},
+	)
+	red := Reduce(in)
+	if len(red.Instance.Sets) != 1 || red.OrigSetID[0] != 0 {
+		t.Fatalf("equal sets: kept %v, want just set 0", red.OrigSetID)
+	}
+}
+
+func TestReduceElementDominance(t *testing.T) {
+	// Element 1 appears in a superset of element 0's sets: covering 0
+	// always covers 1, so 1 disappears.
+	in := mk(2,
+		[]setcover.Elem{0, 1},
+		[]setcover.Elem{1},
+	)
+	red := Reduce(in)
+	if red.RemovedElems < 1 {
+		t.Fatalf("removed %d elements, want >= 1", red.RemovedElems)
+	}
+	opt, err := OptSize(red.Instance)
+	if err != nil || opt != 1 {
+		t.Fatalf("reduced OPT = %d (%v), want 1", opt, err)
+	}
+}
+
+func TestReducePreservesInfeasibility(t *testing.T) {
+	in := mk(3, []setcover.Elem{0, 1}) // element 2 uncoverable
+	red := Reduce(in)
+	if red.Instance.Coverable() {
+		t.Fatal("reduction must preserve infeasibility")
+	}
+}
+
+func TestExactUsesReduction(t *testing.T) {
+	// A chain of dominated sets: raw B&B and reduced B&B must agree.
+	in := mk(6,
+		[]setcover.Elem{0},
+		[]setcover.Elem{0, 1},
+		[]setcover.Elem{0, 1, 2},
+		[]setcover.Elem{3},
+		[]setcover.Elem{3, 4},
+		[]setcover.Elem{3, 4, 5},
+	)
+	fast, err := Exact{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Exact{NoReduce: true}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(raw) || len(fast) != 2 {
+		t.Fatalf("fast=%v raw=%v, want size-2 covers", fast, raw)
+	}
+	if !in.IsCover(fast) {
+		t.Fatal("reduced-path cover invalid on the original instance")
+	}
+}
+
+// Property: Reduce preserves the optimum value exactly (checked against the
+// raw exact solver on random instances), and optimal covers map back.
+func TestPropReducePreservesOpt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoverable(rng, 4+rng.Intn(10), 4+rng.Intn(10), 0.3)
+		rawCover, err := Exact{NoReduce: true}.Solve(in)
+		if err != nil {
+			return false
+		}
+		red := Reduce(in)
+		redCover, err := Exact{NoReduce: true}.Solve(red.Instance)
+		if err != nil {
+			return false
+		}
+		if len(redCover) != len(rawCover) {
+			return false
+		}
+		// Mapped-back cover must cover the original instance.
+		mapped := make([]int, len(redCover))
+		for i, id := range redCover {
+			mapped[i] = red.OrigSetID[id]
+		}
+		return in.IsCover(mapped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reduced-path Exact equals the raw-path Exact on random
+// instances (the end-to-end guarantee Exact relies on).
+func TestPropExactReducedEqualsRaw(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoverable(rng, 4+rng.Intn(12), 4+rng.Intn(12), 0.25)
+		fast, err1 := Exact{}.Solve(in)
+		raw, err2 := Exact{NoReduce: true}.Solve(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(fast) == len(raw) && in.IsCover(fast)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceEmptyInstance(t *testing.T) {
+	red := Reduce(mk(0))
+	if red.Instance.N != 0 || len(red.Instance.Sets) != 0 {
+		t.Fatal("empty instance should reduce to empty")
+	}
+}

@@ -1,0 +1,115 @@
+package setcover
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary instance format, for large repositories where the text format is
+// too slow or too big. Layout (all integers unsigned varints):
+//
+//	magic "SCB1" (4 bytes)
+//	n, m
+//	per set: count, then the elements delta-encoded (first element, then
+//	gaps-minus-one between consecutive sorted elements)
+//
+// Delta encoding keeps dense sets near one byte per element.
+
+var binaryMagic = [4]byte{'S', 'C', 'B', '1'}
+
+// WriteBinary serializes the instance in the binary format. Sets must be
+// normalized (sorted unique elements); call Normalize first if unsure.
+func WriteBinary(w io.Writer, in *Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(in.N)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(in.Sets))); err != nil {
+		return err
+	}
+	for _, s := range in.Sets {
+		if err := putUvarint(uint64(len(s.Elems))); err != nil {
+			return err
+		}
+		prev := int64(-1)
+		for _, e := range s.Elems {
+			gap := int64(e) - prev - 1
+			if err := putUvarint(uint64(gap)); err != nil {
+				return err
+			}
+			prev = int64(e)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses an instance in the binary format and validates it.
+func ReadBinary(r io.Reader) (*Instance, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("setcover: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("setcover: bad binary magic %q", magic[:])
+	}
+	readUvarint := func(what string, limit uint64) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("setcover: binary %s: %w", what, err)
+		}
+		if v > limit {
+			return 0, fmt.Errorf("setcover: binary %s %d exceeds limit %d", what, v, limit)
+		}
+		return v, nil
+	}
+	const maxDim = 1 << 31
+	n, err := readUvarint("n", maxDim)
+	if err != nil {
+		return nil, err
+	}
+	m, err := readUvarint("m", maxDim)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{N: int(n)}
+	for i := uint64(0); i < m; i++ {
+		count, err := readUvarint("set size", n)
+		if err != nil {
+			return nil, err
+		}
+		elems := make([]Elem, 0, count)
+		prev := int64(-1)
+		for j := uint64(0); j < count; j++ {
+			gap, err := readUvarint("gap", n)
+			if err != nil {
+				return nil, err
+			}
+			e := prev + 1 + int64(gap)
+			if e >= int64(n) {
+				return nil, fmt.Errorf("setcover: binary set %d: element %d out of range", i, e)
+			}
+			elems = append(elems, Elem(e))
+			prev = e
+		}
+		in.Sets = append(in.Sets, Set{ID: int(i), Elems: elems})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

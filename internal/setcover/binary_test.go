@@ -1,0 +1,180 @@
+package setcover
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := small()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != in.N || len(back.Sets) != len(in.Sets) {
+		t.Fatalf("dims mismatch")
+	}
+	for i := range in.Sets {
+		a, b := in.Sets[i].Elems, back.Sets[i].Elems
+		if len(a) != len(b) {
+			t.Fatalf("set %d: %v vs %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("set %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsInvalidInstance(t *testing.T) {
+	bad := &Instance{N: 2, Sets: []Set{{ID: 0, Elems: []Elem{5}}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, bad); err == nil {
+		t.Fatal("out-of-range instance should fail to serialize")
+	}
+}
+
+func TestBinaryReadErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": []byte("SC"),
+		"bad magic":   []byte("XXXX\x00\x00"),
+		"truncated":   []byte("SCB1\x06"), // n=6, then EOF before m
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Element out of range via a huge gap.
+	var buf bytes.Buffer
+	buf.WriteString("SCB1")
+	buf.WriteByte(3) // n=3
+	buf.WriteByte(1) // m=1
+	buf.WriteByte(2) // set size 2
+	buf.WriteByte(0) // first element 0
+	buf.WriteByte(2) // gap 2 -> element 3 >= n (gap itself is within limit)
+	if _, err := ReadBinary(&buf); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Dense sorted sets should cost roughly one byte per element.
+	in := &Instance{N: 1000}
+	var es []Elem
+	for e := 0; e < 1000; e++ {
+		es = append(es, Elem(e))
+	}
+	in.Sets = append(in.Sets, Set{Elems: es})
+	in.Normalize()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&txt, in); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() > 1200 {
+		t.Fatalf("binary size %d too large for 1000 dense elements", bin.Len())
+	}
+	if bin.Len() >= txt.Len() {
+		t.Fatalf("binary (%d) should be smaller than text (%d)", bin.Len(), txt.Len())
+	}
+}
+
+// Property: random instances round-trip through the binary format.
+func TestPropBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		m := rng.Intn(20)
+		in := &Instance{N: n}
+		for i := 0; i < m; i++ {
+			var es []Elem
+			for e := 0; e < n; e++ {
+				if rng.Intn(4) == 0 {
+					es = append(es, Elem(e))
+				}
+			}
+			in.Sets = append(in.Sets, Set{Elems: es})
+		}
+		in.Normalize()
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, in); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if back.N != in.N || len(back.Sets) != len(in.Sets) {
+			return false
+		}
+		for i := range in.Sets {
+			if len(back.Sets[i].Elems) != len(in.Sets[i].Elems) {
+				return false
+			}
+			for j := range in.Sets[i].Elems {
+				if back.Sets[i].Elems[j] != in.Sets[i].Elems[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz the text parser: must never panic, and anything it accepts must
+// validate and round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("setcover 4 2\n0 1 0\n1\n")
+	f.Add("setcover 0 0\n")
+	f.Add("# comment\nsetcover 3 1\n0 0 1 2\n")
+	f.Add("nonsense")
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted instance fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatalf("accepted instance fails to serialize: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+	})
+}
+
+// Fuzz the binary parser: must never panic, and accepted inputs validate.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, small())
+	f.Add(seed.Bytes())
+	f.Add([]byte("SCB1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted binary instance fails validation: %v", err)
+		}
+	})
+}

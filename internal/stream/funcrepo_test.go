@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/setcover"
+)
+
+func TestFuncRepoBasics(t *testing.T) {
+	// Sets generated on the fly: set i covers {i, (i+1) mod n}.
+	const n, m = 10, 10
+	repo := NewFuncRepo(n, m, func(id int) setcover.Set {
+		a, b := setcover.Elem(id), setcover.Elem((id+1)%n)
+		if a > b {
+			a, b = b, a
+		}
+		return setcover.Set{Elems: []setcover.Elem{a, b}}
+	})
+	if repo.UniverseSize() != n || repo.NumSets() != m {
+		t.Fatal("dims wrong")
+	}
+	it := repo.Begin()
+	count := 0
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		if s.ID != count {
+			t.Fatalf("set ID %d at position %d", s.ID, count)
+		}
+		if len(s.Elems) != 2 {
+			t.Fatalf("set %d has %d elems", s.ID, len(s.Elems))
+		}
+		count++
+	}
+	if count != m || repo.Passes() != 1 {
+		t.Fatalf("count=%d passes=%d", count, repo.Passes())
+	}
+	repo.ResetPasses()
+	if repo.Passes() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestFuncRepoRegeneratesPerPass(t *testing.T) {
+	calls := 0
+	repo := NewFuncRepo(4, 3, func(id int) setcover.Set {
+		calls++
+		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
+	})
+	for p := 0; p < 2; p++ {
+		it := repo.Begin()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+	if calls != 6 {
+		t.Fatalf("generator called %d times, want 6 (3 sets × 2 passes)", calls)
+	}
+}

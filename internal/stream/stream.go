@@ -1,0 +1,207 @@
+// Package stream implements the data-stream model of the paper (Section 1):
+// the elements of U fit in memory, the sets r_1, ..., r_m live in a read-only
+// repository, and an algorithm may only access them through sequential
+// passes. The package provides:
+//
+//   - Repository: a pass-counted, read-only view of the set family. Every
+//     call to Begin starts (and counts) a new sequential scan.
+//   - Tracker: an explicit space meter. Streaming algorithms charge the words
+//     of read-write memory they hold; Peak() is the space column of the
+//     paper's Figure 1.1.
+//
+// The repository contents themselves are never charged — in the model they
+// sit on cheap external storage — only what the algorithm copies into its
+// working memory is.
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/setcover"
+)
+
+// Reader yields the sets of one sequential pass, in stream order.
+type Reader interface {
+	// Next returns the next set of the pass. ok is false when the pass is
+	// exhausted.
+	Next() (s setcover.Set, ok bool)
+}
+
+// Repository is a read-only, sequentially scannable set family.
+type Repository interface {
+	// UniverseSize returns n = |U|.
+	UniverseSize() int
+	// NumSets returns m = |F|.
+	NumSets() int
+	// Begin starts a new pass over the family and returns its reader.
+	// Each call increments the pass counter.
+	Begin() Reader
+	// Passes returns the number of passes started so far.
+	Passes() int
+}
+
+// SliceRepo is the standard in-memory Repository backed by an Instance.
+// It also records the maximum number of concurrently open passes, which tests
+// use to prove that "parallel guesses" of iterSetCover share physical passes
+// instead of multiplying them.
+type SliceRepo struct {
+	inst   *setcover.Instance
+	passes atomic.Int64
+}
+
+// NewSliceRepo wraps an instance as a stream repository.
+func NewSliceRepo(in *setcover.Instance) *SliceRepo {
+	return &SliceRepo{inst: in}
+}
+
+// UniverseSize returns n.
+func (r *SliceRepo) UniverseSize() int { return r.inst.N }
+
+// NumSets returns m.
+func (r *SliceRepo) NumSets() int { return len(r.inst.Sets) }
+
+// Passes returns the number of passes started so far.
+func (r *SliceRepo) Passes() int { return int(r.passes.Load()) }
+
+// ResetPasses zeroes the pass counter (used between experiment phases).
+func (r *SliceRepo) ResetPasses() { r.passes.Store(0) }
+
+// Instance exposes the backing instance for verification code (ground truth,
+// validity checks). Streaming algorithms must not call this; tests enforce
+// the discipline by construction.
+func (r *SliceRepo) Instance() *setcover.Instance { return r.inst }
+
+// Begin starts a new pass.
+func (r *SliceRepo) Begin() Reader {
+	r.passes.Add(1)
+	return &sliceReader{sets: r.inst.Sets}
+}
+
+type sliceReader struct {
+	sets []setcover.Set
+	pos  int
+}
+
+func (it *sliceReader) Next() (setcover.Set, bool) {
+	if it.pos >= len(it.sets) {
+		return setcover.Set{}, false
+	}
+	s := it.sets[it.pos]
+	it.pos++
+	return s, true
+}
+
+// FuncRepo is a Repository whose sets are produced on demand by a generator
+// function — a true streaming source with no backing slice, so nothing can
+// be randomly accessed or retained between passes. It exists both as a
+// discipline check (algorithms must work against any Repository) and as a
+// way to stream instances too large to materialize.
+type FuncRepo struct {
+	n, m   int
+	gen    func(id int) setcover.Set
+	passes atomic.Int64
+}
+
+// NewFuncRepo builds a repository of m sets over n elements; gen(id) must
+// return set id with sorted-unique elements in [0, n) and is called once per
+// set per pass.
+func NewFuncRepo(n, m int, gen func(id int) setcover.Set) *FuncRepo {
+	return &FuncRepo{n: n, m: m, gen: gen}
+}
+
+// UniverseSize returns n.
+func (r *FuncRepo) UniverseSize() int { return r.n }
+
+// NumSets returns m.
+func (r *FuncRepo) NumSets() int { return r.m }
+
+// Passes returns the number of passes started so far.
+func (r *FuncRepo) Passes() int { return int(r.passes.Load()) }
+
+// ResetPasses zeroes the pass counter.
+func (r *FuncRepo) ResetPasses() { r.passes.Store(0) }
+
+// Begin starts a new pass.
+func (r *FuncRepo) Begin() Reader {
+	r.passes.Add(1)
+	return &funcReader{repo: r}
+}
+
+type funcReader struct {
+	repo *FuncRepo
+	pos  int
+}
+
+func (it *funcReader) Next() (setcover.Set, bool) {
+	if it.pos >= it.repo.m {
+		return setcover.Set{}, false
+	}
+	s := it.repo.gen(it.pos)
+	s.ID = it.pos
+	it.pos++
+	return s, true
+}
+
+// Tracker is an explicit space meter, in 64-bit words. Algorithms call Grow
+// when they allocate working state and Shrink when they release it; Peak
+// reports the high-water mark. Tracker is not safe for concurrent use — the
+// algorithms here are single-goroutine, matching the streaming model.
+type Tracker struct {
+	cur  int64
+	peak int64
+}
+
+// NewTracker returns a zeroed tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Grow charges w words of working memory.
+func (t *Tracker) Grow(w int64) {
+	if w < 0 {
+		panic("stream: Grow with negative words")
+	}
+	t.cur += w
+	if t.cur > t.peak {
+		t.peak = t.cur
+	}
+}
+
+// Shrink releases w words.
+func (t *Tracker) Shrink(w int64) {
+	if w < 0 {
+		panic("stream: Shrink with negative words")
+	}
+	t.cur -= w
+	if t.cur < 0 {
+		panic(fmt.Sprintf("stream: tracker went negative (%d)", t.cur))
+	}
+}
+
+// FreeAll releases everything currently held (end of an iteration whose
+// state is discarded, cf. Lemma 2.2: "the algorithm does not need to keep the
+// memory space used by the earlier iterations").
+func (t *Tracker) FreeAll() { t.cur = 0 }
+
+// Current returns the words currently held.
+func (t *Tracker) Current() int64 { return t.cur }
+
+// Peak returns the high-water mark in words.
+func (t *Tracker) Peak() int64 { return t.peak }
+
+// Max merges another tracker's peak into this one (used when alternatives
+// run sequentially but are accounted as parallel).
+func (t *Tracker) Max(other *Tracker) {
+	if other.peak > t.peak {
+		t.peak = other.peak
+	}
+}
+
+// WordsForElems returns the space charge for storing k element indices.
+// Elements are int32, two per word.
+func WordsForElems(k int) int64 { return int64((k + 1) / 2) }
+
+// WordsForBitset returns the space charge for a bitset over a universe of n.
+func WordsForBitset(n int) int64 { return int64((n + 63) / 64) }
+
+// WordsForIDs returns the space charge for storing k set IDs (one word each).
+func WordsForIDs(k int) int64 { return int64(k) }

@@ -1,0 +1,151 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/setcover"
+)
+
+func inst() *setcover.Instance {
+	in := &setcover.Instance{N: 4, Sets: []setcover.Set{
+		{Elems: []setcover.Elem{0, 1}},
+		{Elems: []setcover.Elem{2}},
+		{Elems: []setcover.Elem{3}},
+	}}
+	in.Normalize()
+	return in
+}
+
+func TestSliceRepoBasics(t *testing.T) {
+	r := NewSliceRepo(inst())
+	if r.UniverseSize() != 4 || r.NumSets() != 3 {
+		t.Fatalf("dims = %d/%d", r.UniverseSize(), r.NumSets())
+	}
+	if r.Passes() != 0 {
+		t.Fatalf("Passes = %d before any Begin", r.Passes())
+	}
+}
+
+func TestPassCountingAndOrder(t *testing.T) {
+	r := NewSliceRepo(inst())
+	for p := 1; p <= 3; p++ {
+		it := r.Begin()
+		if r.Passes() != p {
+			t.Fatalf("Passes = %d, want %d", r.Passes(), p)
+		}
+		var ids []int
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			ids = append(ids, s.ID)
+		}
+		if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+			t.Fatalf("pass %d yielded %v", p, ids)
+		}
+		// Next after exhaustion keeps returning false.
+		if _, ok := it.Next(); ok {
+			t.Fatal("Next after exhaustion returned ok")
+		}
+	}
+}
+
+func TestResetPasses(t *testing.T) {
+	r := NewSliceRepo(inst())
+	r.Begin()
+	r.Begin()
+	r.ResetPasses()
+	if r.Passes() != 0 {
+		t.Fatalf("Passes after reset = %d", r.Passes())
+	}
+}
+
+func TestTrackerGrowShrinkPeak(t *testing.T) {
+	tr := NewTracker()
+	tr.Grow(10)
+	tr.Grow(5)
+	if tr.Current() != 15 || tr.Peak() != 15 {
+		t.Fatalf("cur=%d peak=%d", tr.Current(), tr.Peak())
+	}
+	tr.Shrink(12)
+	if tr.Current() != 3 || tr.Peak() != 15 {
+		t.Fatalf("cur=%d peak=%d after shrink", tr.Current(), tr.Peak())
+	}
+	tr.Grow(4)
+	if tr.Peak() != 15 {
+		t.Fatalf("peak should stay 15, got %d", tr.Peak())
+	}
+	tr.FreeAll()
+	if tr.Current() != 0 || tr.Peak() != 15 {
+		t.Fatalf("FreeAll: cur=%d peak=%d", tr.Current(), tr.Peak())
+	}
+}
+
+func TestTrackerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative grow":   func() { NewTracker().Grow(-1) },
+		"negative shrink": func() { NewTracker().Shrink(-1) },
+		"underflow":       func() { NewTracker().Shrink(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTrackerMax(t *testing.T) {
+	a, b := NewTracker(), NewTracker()
+	a.Grow(5)
+	b.Grow(9)
+	a.Max(b)
+	if a.Peak() != 9 {
+		t.Fatalf("Max: peak=%d, want 9", a.Peak())
+	}
+	b2 := NewTracker()
+	b2.Grow(1)
+	a.Max(b2)
+	if a.Peak() != 9 {
+		t.Fatalf("Max with smaller peak changed peak to %d", a.Peak())
+	}
+}
+
+func TestWordCharges(t *testing.T) {
+	if WordsForElems(0) != 0 || WordsForElems(1) != 1 || WordsForElems(2) != 1 || WordsForElems(3) != 2 {
+		t.Fatal("WordsForElems wrong")
+	}
+	if WordsForBitset(0) != 0 || WordsForBitset(1) != 1 || WordsForBitset(64) != 1 || WordsForBitset(65) != 2 {
+		t.Fatal("WordsForBitset wrong")
+	}
+	if WordsForIDs(7) != 7 {
+		t.Fatal("WordsForIDs wrong")
+	}
+}
+
+func TestConcurrentReadersIndependent(t *testing.T) {
+	// Two interleaved passes must not share cursor state (the "parallel
+	// guesses" of iterSetCover rely on this when they share a physical scan).
+	r := NewSliceRepo(inst())
+	a, b := r.Begin(), r.Begin()
+	sa, _ := a.Next()
+	sb, _ := b.Next()
+	if sa.ID != 0 || sb.ID != 0 {
+		t.Fatal("each reader should start at set 0")
+	}
+	sa2, _ := a.Next()
+	if sa2.ID != 1 {
+		t.Fatal("reader a should advance independently")
+	}
+	sb2, _ := b.Next()
+	if sb2.ID != 1 {
+		t.Fatal("reader b should advance independently")
+	}
+	if r.Passes() != 2 {
+		t.Fatalf("Passes = %d, want 2", r.Passes())
+	}
+}
