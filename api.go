@@ -14,7 +14,12 @@
 //     (Sections 3, 5, 6) in repro/internal/comm;
 //   - instance generators, a pass-counting stream model, and explicit space
 //     accounting so the paper's pass/space/approximation trade-offs are
-//     measurable.
+//     measurable;
+//   - a shared pass engine (internal/engine) under every set-system
+//     algorithm (IterSetCover and the Figure 1.1 baselines): one physical
+//     pass per scan, batched delivery, and the paper's "parallel guesses"
+//     (Lemma 2.1) running as actual goroutines — tune it with
+//     Options.Engine (EngineOptions).
 //
 // Quick start:
 //
@@ -35,6 +40,7 @@ package streamsetcover
 import (
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/maxcover"
@@ -62,8 +68,17 @@ type (
 	Repository = stream.Repository
 	// SliceRepo is the standard in-memory repository.
 	SliceRepo = stream.SliceRepo
-	// Tracker meters working memory in 64-bit words.
+	// Tracker meters working memory in 64-bit words. Safe for concurrent
+	// use: the pass engine charges it from several workers at once.
 	Tracker = stream.Tracker
+
+	// EngineOptions tunes the shared pass executor (internal/engine, see
+	// DESIGN.md §5) that fans each physical pass out to the algorithm's
+	// observers: Workers goroutines (default GOMAXPROCS) consuming batches
+	// of BatchSize sets (default engine.DefaultBatchSize). Set it on
+	// Options.Engine. Results, pass counts, and space accounting are
+	// identical for every setting — it is purely a wall-clock knob.
+	EngineOptions = engine.Options
 )
 
 // NewRepository wraps an instance as a pass-counted stream.

@@ -37,6 +37,8 @@ func main() {
 		eps        = flag.Float64("eps", 0, "partial-cover slack: cover at least a (1-eps) fraction")
 		seed       = flag.Int64("seed", 1, "random seed")
 		exact      = flag.Bool("exact-offline", false, "use the exact offline solver inside iter (rho = 1)")
+		workers    = flag.Int("workers", 0, "pass-engine worker goroutines for iter (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 0, "pass-engine batch size for iter (0 = default)")
 		reduce     = flag.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving")
 		printCover = flag.Bool("print-cover", false, "print the chosen set IDs")
 	)
@@ -62,7 +64,8 @@ func main() {
 	var st ssc.Stats
 	switch *algo {
 	case "iter":
-		opts := ssc.Options{Delta: *delta, Seed: *seed, PartialEps: *eps}
+		opts := ssc.Options{Delta: *delta, Seed: *seed, PartialEps: *eps,
+			Engine: ssc.EngineOptions{Workers: *workers, BatchSize: *batch}}
 		if *exact {
 			opts.Offline = ssc.ExactSolver{}
 		}

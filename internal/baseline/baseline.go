@@ -19,6 +19,13 @@
 //
 // Each function returns setcover.Stats with verified validity, the pass
 // count read from the repository, and the peak space charged to a Tracker.
+//
+// Every pass here is executed by the shared pass engine (internal/engine),
+// the same machinery that runs iterSetCover's parallel guesses: one
+// engine.Run = one physical pass, delivered in batches. The baselines each
+// register a single observer per pass, so the engine degrades to its
+// sequential path — results are identical to a hand-rolled Next loop, and
+// the pass/space accounting is untouched.
 package baseline
 
 import (
@@ -28,6 +35,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/offline"
 	"repro/internal/sample"
 	"repro/internal/setcover"
@@ -36,6 +44,11 @@ import (
 
 // ErrInfeasible mirrors setcover.ErrInfeasible for streaming baselines.
 var ErrInfeasible = setcover.ErrInfeasible
+
+// eng is the shared pass executor for all baselines. Each baseline registers
+// one observer per pass, so execution is sequential regardless of the
+// default worker count (the engine never runs more workers than observers).
+var eng = engine.New(engine.Options{})
 
 // allowedLeftovers converts ε into an element budget.
 func allowedLeftovers(n int, eps float64) (int, error) {
@@ -54,17 +67,14 @@ func OnePassGreedy(repo stream.Repository) (setcover.Stats, error) {
 	tracker := stream.NewTracker()
 
 	stored := &setcover.Instance{N: repo.UniverseSize()}
-	it := repo.Begin()
-	for {
-		s, ok := it.Next()
-		if !ok {
-			break
+	eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+		for _, s := range batch {
+			cp := make([]setcover.Elem, len(s.Elems))
+			copy(cp, s.Elems)
+			stored.Sets = append(stored.Sets, setcover.Set{ID: s.ID, Elems: cp})
+			tracker.Grow(stream.WordsForElems(len(cp)) + 1)
 		}
-		cp := make([]setcover.Elem, len(s.Elems))
-		copy(cp, s.Elems)
-		stored.Sets = append(stored.Sets, setcover.Set{ID: s.ID, Elems: cp})
-		tracker.Grow(stream.WordsForElems(len(cp)) + 1)
-	}
+	}))
 	cover, err := (offline.Greedy{}).Solve(stored)
 	if err != nil {
 		st.Passes = repo.Passes()
@@ -108,37 +118,47 @@ func multiPassGreedy(repo stream.Repository, eps float64) (setcover.Stats, error
 	tracker.Grow(stream.WordsForElems(n))
 
 	var cover []int
+	best := &bestSetObserver{uncovered: uncovered}
 	for uncovered.Count() > allowed {
 		if len(cover) > n {
 			return st, fmt.Errorf("baseline: greedy-npass exceeded %d passes", n)
 		}
-		bestGain, bestID := 0, -1
-		var bestElems []setcover.Elem
-		it := repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			if g := uncovered.IntersectionWithSlice(s.Elems); g > bestGain {
-				bestGain, bestID = g, s.ID
-				bestElems = append(bestElems[:0], s.Elems...)
-			}
-		}
-		if bestID < 0 {
+		eng.Run(repo, best)
+		if best.id < 0 {
 			st.Passes = repo.Passes()
 			st.SpaceWords = tracker.Peak()
 			return st, ErrInfeasible
 		}
-		cover = append(cover, bestID)
+		cover = append(cover, best.id)
 		tracker.Grow(1)
-		uncovered.SubtractSlice(bestElems)
+		uncovered.SubtractSlice(best.elems)
 	}
 	st.Cover = cover
 	st.Valid = true
 	st.Passes = repo.Passes()
 	st.SpaceWords = tracker.Peak()
 	return st, nil
+}
+
+// bestSetObserver is MultiPassGreedy's per-pass primitive: find the set with
+// maximum gain against uncovered, ties broken by stream position. BeginPass
+// (an engine lifecycle hook) resets the argmax so one observer serves every
+// pick's pass.
+type bestSetObserver struct {
+	uncovered *bitset.Bitset
+	gain, id  int
+	elems     []setcover.Elem
+}
+
+func (o *bestSetObserver) BeginPass() { o.gain, o.id = 0, -1 }
+func (o *bestSetObserver) EndPass()   {}
+func (o *bestSetObserver) Observe(batch []setcover.Set) {
+	for _, s := range batch {
+		if g := o.uncovered.IntersectionWithSlice(s.Elems); g > o.gain {
+			o.gain, o.id = g, s.ID
+			o.elems = append(o.elems[:0], s.Elems...)
+		}
+	}
 }
 
 // ThresholdGreedy is the [SG09]-style thresholded greedy the paper describes
@@ -169,18 +189,15 @@ func thresholdGreedy(repo stream.Repository, eps float64) (setcover.Stats, error
 
 	var cover []int
 	tau := float64(n)
-	for {
-		if uncovered.Count() <= allowed {
-			break
-		}
-		it := repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
+	// Once the fractional goal is reached mid-pass the observer stops
+	// accepting but the engine still drains the stream: a begun pass always
+	// costs a full scan in this model (the seed's mid-pass break was cheaper
+	// only by violating that), so results are identical and only wall-clock
+	// differs.
+	accept := engine.Func(func(batch []setcover.Set) {
+		for _, s := range batch {
 			if uncovered.Count() <= allowed {
-				break // fractional goal reached mid-pass
+				return // fractional goal reached: stop accepting
 			}
 			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
 				cover = append(cover, s.ID)
@@ -188,6 +205,12 @@ func thresholdGreedy(repo stream.Repository, eps float64) (setcover.Stats, error
 				uncovered.SubtractSlice(s.Elems)
 			}
 		}
+	})
+	for {
+		if uncovered.Count() <= allowed {
+			break
+		}
+		eng.Run(repo, accept)
 		if tau <= 1 {
 			break
 		}
@@ -251,23 +274,20 @@ func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
 	tracker.Grow(stream.WordsForElems(n)) // int32 per element
 
 	var cover []int
-	it := repo.Begin()
-	for {
-		s, ok := it.Next()
-		if !ok {
-			break
-		}
-		for _, e := range s.Elems {
-			if firstCover[e] < 0 {
-				firstCover[e] = int32(s.ID)
+	eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+		for _, s := range batch {
+			for _, e := range s.Elems {
+				if firstCover[e] < 0 {
+					firstCover[e] = int32(s.ID)
+				}
+			}
+			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= threshold {
+				cover = append(cover, s.ID)
+				tracker.Grow(1)
+				uncovered.SubtractSlice(s.Elems)
 			}
 		}
-		if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= threshold {
-			cover = append(cover, s.ID)
-			tracker.Grow(1)
-			uncovered.SubtractSlice(s.Elems)
-		}
-	}
+	}))
 	patch, infeasible := patchLeftovers(uncovered, firstCover, allowed)
 	tracker.Grow(int64(len(patch)))
 	st.Passes = repo.Passes()
@@ -330,25 +350,22 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover
 			break
 		}
 		tau := math.Pow(float64(n), (p+1-float64(j))/(p+1))
-		it := repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			if j == 1 {
-				for _, e := range s.Elems {
-					if firstCover[e] < 0 {
-						firstCover[e] = int32(s.ID)
+		eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+			for _, s := range batch {
+				if j == 1 {
+					for _, e := range s.Elems {
+						if firstCover[e] < 0 {
+							firstCover[e] = int32(s.ID)
+						}
 					}
 				}
+				if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
+					cover = append(cover, s.ID)
+					tracker.Grow(1)
+					uncovered.SubtractSlice(s.Elems)
+				}
 			}
-			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
-				cover = append(cover, s.ID)
-				tracker.Grow(1)
-				uncovered.SubtractSlice(s.Elems)
-			}
-		}
+		}))
 	}
 	patch, infeasible := patchLeftovers(uncovered, firstCover, allowed)
 	tracker.Grow(int64(len(patch)))
@@ -454,28 +471,25 @@ func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) 
 		var projWords int64
 		var projIDs []int
 		var projElems [][]setcover.Elem
-		it := repo.Begin()
-		for {
-			set, ok := it.Next()
-			if !ok {
-				break
-			}
-			inS := s.IntersectionWithSlice(set.Elems)
-			if inS == 0 {
-				continue
-			}
-			proj := make([]setcover.Elem, 0, inS)
-			for _, e := range set.Elems {
-				if s.Test(int(e)) {
-					proj = append(proj, e)
+		eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+			for _, set := range batch {
+				inS := s.IntersectionWithSlice(set.Elems)
+				if inS == 0 {
+					continue
 				}
+				proj := make([]setcover.Elem, 0, inS)
+				for _, e := range set.Elems {
+					if s.Test(int(e)) {
+						proj = append(proj, e)
+					}
+				}
+				projElems = append(projElems, proj)
+				projIDs = append(projIDs, set.ID)
+				w := stream.WordsForElems(len(proj)) + 1
+				projWords += w
+				tracker.Grow(w)
 			}
-			projElems = append(projElems, proj)
-			projIDs = append(projIDs, set.ID)
-			w := stream.WordsForElems(len(proj)) + 1
-			projWords += w
-			tracker.Grow(w)
-		}
+		}))
 
 		// Offline greedy on the sampled sub-instance.
 		newIdx := make(map[setcover.Elem]setcover.Elem)
@@ -511,16 +525,13 @@ func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) 
 		}
 
 		// Pass B: remove everything the new picks cover.
-		it = repo.Begin()
-		for {
-			set, ok := it.Next()
-			if !ok {
-				break
+		eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+			for _, set := range batch {
+				if picked[set.ID] {
+					uncovered.SubtractSlice(set.Elems)
+				}
 			}
-			if picked[set.ID] {
-				uncovered.SubtractSlice(set.Elems)
-			}
-		}
+		}))
 		tracker.Shrink(projWords + stream.WordsForBitset(n))
 	}
 	st.Passes = repo.Passes()

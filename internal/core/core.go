@@ -34,6 +34,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/offline"
 	"repro/internal/sample"
 	"repro/internal/setcover"
@@ -118,6 +119,14 @@ type Options struct {
 	// adds one pass and O(leftovers) sets, rescuing runs whose sampling
 	// undershot. When some guess already finished, the pass is skipped.
 	FinalPatch bool
+
+	// Engine configures the shared pass executor (internal/engine) that
+	// fans every physical pass out to the parallel guesses: Workers
+	// goroutines (default GOMAXPROCS) consuming batches of BatchSize sets.
+	// Results, pass counts, and space accounting are identical for every
+	// setting — each guess owns disjoint state and sees the stream in
+	// order — so this is purely a wall-clock knob.
+	Engine engine.Options
 }
 
 // DefaultOptions returns options matching Theorem 2.8 with δ = 1/2 and the
@@ -186,6 +195,7 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	runs := makeRuns(n, opts, tracker)
+	eng := engine.New(opts.Engine)
 
 	iterations := int(math.Ceil(1 / opts.Delta))
 	maxIter := iterations
@@ -211,20 +221,13 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 			g.beginIteration(rng, n, m, opts, tracker)
 		}
 
-		// Pass 1: size test + projection storage, shared by all guesses.
-		it := repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			for _, g := range runs {
-				if g.done || g.failed {
-					continue
-				}
-				g.observe(s, opts, tracker)
-			}
-		}
+		// Pass 1: size test + projection storage. One engine run = one
+		// physical pass shared by all live guesses (Lemma 2.1); each guess
+		// is its own observer, so the engine runs them on parallel workers
+		// over disjoint state.
+		eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
+			return &sizeTestObserver{g: g, opts: &opts, tracker: tracker}
+		})...)
 		var iterProjWords int64
 		for _, g := range runs {
 			if !g.done && !g.failed {
@@ -244,29 +247,20 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 		}
 
 		// Pass 2: recompute uncovered elements, shared by all guesses.
-		it = repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			for _, g := range runs {
-				if g.done || g.failed {
-					continue
-				}
-				if g.newPicks[s.ID] {
-					g.uncovered.SubtractSlice(s.Elems)
-				}
-			}
-		}
+		eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
+			return &recomputeObserver{g: g}
+		})...)
 
 		// Close the iteration: release per-iteration memory (Lemma 2.2:
-		// earlier iterations' space is not kept).
+		// earlier iterations' space is not kept). Guesses that failed in
+		// solveOffline this iteration still hold their iteration's charge
+		// (iterWords > 0) and must release it too; guesses settled in
+		// earlier iterations were already closed and hold nothing.
 		for _, g := range runs {
-			if g.done || g.failed {
+			if g.iterWords == 0 {
 				continue
 			}
-			if g.uncovered.Count() <= targetUncovered {
+			if !g.done && !g.failed && g.uncovered.Count() <= targetUncovered {
 				g.done = true
 			}
 			g.endIteration(tracker)
@@ -278,26 +272,9 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 	// every unfinished guess; it only runs when no guess finished on its
 	// own (rescue semantics — the pass budget stays 2/δ otherwise).
 	if opts.FinalPatch && !anyDone(runs) {
-		it := repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			for _, g := range runs {
-				if g.done || g.failed {
-					continue
-				}
-				if g.uncovered.IntersectionWithSlice(s.Elems) > 0 {
-					g.sol = append(g.sol, s.ID)
-					tracker.Grow(1)
-					g.uncovered.SubtractSlice(s.Elems)
-					if g.uncovered.Count() <= targetUncovered {
-						g.done = true
-					}
-				}
-			}
-		}
+		eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
+			return &patchObserver{g: g, target: targetUncovered, tracker: tracker}
+		})...)
 	}
 
 	// Return the best valid solution over all parallel executions.
@@ -318,6 +295,76 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 	res.BestK = runs[best].k
 	res.CoveredFraction = 1 - float64(runs[best].uncovered.Count())/float64(n)
 	return res, nil
+}
+
+// liveObservers wraps every guess that is still running (neither done nor
+// failed) as an engine observer. The done/failed flags only flip between
+// passes (observe never touches them; solveOffline and the iteration close
+// run outside the engine), so snapshotting the live set at pass start is
+// equivalent to the seed's per-set skip check — except for the final patch
+// pass, whose observer re-checks done as it flips mid-pass.
+func liveObservers(runs []*guessRun, mk func(*guessRun) engine.Observer) []engine.Observer {
+	obs := make([]engine.Observer, 0, len(runs))
+	for _, g := range runs {
+		if !g.done && !g.failed {
+			obs = append(obs, mk(g))
+		}
+	}
+	return obs
+}
+
+// sizeTestObserver runs pass 1 of an iteration (Figure 1.3's Size Test +
+// projection storage) for one guess.
+type sizeTestObserver struct {
+	g       *guessRun
+	opts    *Options
+	tracker *stream.Tracker
+}
+
+func (o *sizeTestObserver) Observe(batch []setcover.Set) {
+	for _, s := range batch {
+		o.g.observe(s, *o.opts, o.tracker)
+	}
+}
+
+// recomputeObserver runs pass 2 of an iteration: subtract everything this
+// iteration's picks cover from the guess's uncovered set.
+type recomputeObserver struct {
+	g *guessRun
+}
+
+func (o *recomputeObserver) Observe(batch []setcover.Set) {
+	for _, s := range batch {
+		if o.g.newPicks[s.ID] {
+			o.g.uncovered.SubtractSlice(s.Elems)
+		}
+	}
+}
+
+// patchObserver runs the optional final patch pass (Section 4.2's idea):
+// cover each remaining element with an arbitrary set containing it, until
+// the guess reaches its target.
+type patchObserver struct {
+	g       *guessRun
+	target  int
+	tracker *stream.Tracker
+}
+
+func (o *patchObserver) Observe(batch []setcover.Set) {
+	g := o.g
+	for _, s := range batch {
+		if g.done {
+			return
+		}
+		if g.uncovered.IntersectionWithSlice(s.Elems) > 0 {
+			g.sol = append(g.sol, s.ID)
+			o.tracker.Grow(1)
+			g.uncovered.SubtractSlice(s.Elems)
+			if g.uncovered.Count() <= o.target {
+				g.done = true
+			}
+		}
+	}
 }
 
 func makeRuns(n int, opts Options, tracker *stream.Tracker) []*guessRun {

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// The engine's determinism contract, end to end: for a fixed seed,
+// IterSetCover at Workers = GOMAXPROCS (and other worker counts) must be
+// byte-identical to Workers = 1 — same Cover, same Passes, same SpaceWords.
+// Each parallel guess owns disjoint state and sees the stream in order, so
+// worker count is purely a wall-clock knob (ISSUE: "parallel guesses become
+// actual goroutines" without changing the paper's accounting).
+func TestEngineWorkersIdenticalResults(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"delta=0.5", Options{Delta: 0.5, Seed: 7}},
+		{"delta=0.25", Options{Delta: 0.25, Seed: 11}},
+		{"final-patch", Options{Delta: 0.5, Seed: 13, FinalPatch: true}},
+		{"partial", Options{Delta: 0.5, Seed: 17, PartialEps: 0.1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers, batch int) Result {
+				repo, _ := plantedRepo(t, 512, 1024, 8, 51)
+				opts := tc.opts
+				opts.Engine = engine.Options{Workers: workers, BatchSize: batch}
+				res, err := IterSetCover(repo, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res
+			}
+			want := run(1, 1)
+			for _, cfg := range [][2]int{{runtime.GOMAXPROCS(0), 0}, {3, 5}, {16, 1024}} {
+				got := run(cfg[0], cfg[1])
+				if !reflect.DeepEqual(got.Cover, want.Cover) {
+					t.Errorf("workers=%d/batch=%d: cover %v != sequential %v",
+						cfg[0], cfg[1], got.Cover, want.Cover)
+				}
+				if got.Passes != want.Passes {
+					t.Errorf("workers=%d: passes %d != %d", cfg[0], got.Passes, want.Passes)
+				}
+				if got.SpaceWords != want.SpaceWords {
+					t.Errorf("workers=%d: space %d != %d", cfg[0], got.SpaceWords, want.SpaceWords)
+				}
+				if got.BestK != want.BestK || got.Iterations != want.Iterations {
+					t.Errorf("workers=%d: BestK/Iterations %d/%d != %d/%d",
+						cfg[0], got.BestK, got.Iterations, want.BestK, want.Iterations)
+				}
+			}
+		})
+	}
+}
+
+// Pass-sharing invariant under the parallel engine: with Workers > 1 the
+// pass count is still exactly 2·ceil(1/δ), plus one for FinalPatch when no
+// guess finishes on its own. A size-1 sampler guarantees no guess can finish
+// within the iteration budget (each iteration picks O(1) sets), so the
+// budget is fully spent and the counts are exact, not just upper bounds.
+func TestEnginePassBudgetExact(t *testing.T) {
+	one := func(k, n, m, uncovered int) int { return 1 }
+	for _, delta := range []float64{0.5, 0.25} {
+		iters := int(math.Ceil(1 / delta))
+
+		repo, _ := plantedRepo(t, 512, 1024, 8, 51)
+		_, err := IterSetCover(repo, Options{
+			Delta: delta, Seed: 1, Sizer: one,
+			Engine: engine.Options{Workers: runtime.GOMAXPROCS(0)},
+		})
+		if !errors.Is(err, ErrNoCover) {
+			t.Fatalf("delta=%v: size-1 sampler should not finish, got err=%v", delta, err)
+		}
+		if got, want := repo.Passes(), 2*iters; got != want {
+			t.Fatalf("delta=%v: passes = %d, want exactly %d", delta, got, want)
+		}
+
+		// FinalPatch adds exactly one pass and rescues the run.
+		repo, _ = plantedRepo(t, 512, 1024, 8, 51)
+		res, err := IterSetCover(repo, Options{
+			Delta: delta, Seed: 1, Sizer: one, FinalPatch: true,
+			Engine: engine.Options{Workers: runtime.GOMAXPROCS(0)},
+		})
+		if err != nil {
+			t.Fatalf("delta=%v with patch: %v", delta, err)
+		}
+		if got, want := res.Passes, 2*iters+1; got != want {
+			t.Fatalf("delta=%v: patched passes = %d, want exactly %d", delta, got, want)
+		}
+		if !repo.Instance().IsCover(res.Cover) {
+			t.Fatalf("delta=%v: patched result is not a cover", delta)
+		}
+	}
+}
+
+// The determinism contract also holds on the failure path: an infeasible
+// instance (one element in no set) makes guesses fail in solveOffline, whose
+// iteration memory must still be released (Lemma 2.2) and whose accounting
+// must not depend on the worker count.
+func TestEngineWorkersIdenticalOnInfeasible(t *testing.T) {
+	mk := func() *stream.SliceRepo {
+		in := &setcover.Instance{N: 64}
+		for i := 0; i < 62; i++ {
+			in.Sets = append(in.Sets, setcover.Set{Elems: []setcover.Elem{
+				int32(i), int32((i + 1) % 62),
+			}})
+		}
+		in.Normalize() // elements 62 and 63 are uncoverable
+		return stream.NewSliceRepo(in)
+	}
+	run := func(workers int) Result {
+		res, err := IterSetCover(mk(), Options{
+			Delta: 0.25, Seed: 9,
+			Engine: engine.Options{Workers: workers, BatchSize: 8},
+		})
+		if !errors.Is(err, ErrNoCover) {
+			t.Fatalf("workers=%d: want ErrNoCover, got %v", workers, err)
+		}
+		return res
+	}
+	seq, par := run(1), run(8)
+	if seq.Passes != par.Passes || seq.SpaceWords != par.SpaceWords {
+		t.Fatalf("failure path diverged: passes %d/%d space %d/%d",
+			seq.Passes, par.Passes, seq.SpaceWords, par.SpaceWords)
+	}
+}
+
+// A FuncRepo (generate-on-the-fly, no backing slice) must work as an engine
+// source at Workers > 1, and produce the same cover as Workers = 1: the
+// engine's single reader goroutine is the only consumer of the pass, so the
+// generator is never called concurrently.
+func TestEngineFuncRepoSource(t *testing.T) {
+	const n, blockSize = 256, 16
+	const k = n / blockSize
+	mk := func() *stream.FuncRepo {
+		return stream.NewFuncRepo(n, k+100, func(id int) setcover.Set {
+			var es []setcover.Elem
+			if id < k {
+				for e := id * blockSize; e < (id+1)*blockSize; e++ {
+					es = append(es, setcover.Elem(e))
+				}
+			} else {
+				for i := 0; i < blockSize; i++ {
+					es = append(es, setcover.Elem((id*31+i*17)%n))
+				}
+			}
+			s := &setcover.Instance{N: n, Sets: []setcover.Set{{Elems: es}}}
+			s.Normalize()
+			return s.Sets[0]
+		})
+	}
+	run := func(workers int) Result {
+		opts := Options{Delta: 0.5, Seed: 3, Engine: engine.Options{Workers: workers, BatchSize: 32}}
+		res, err := IterSetCover(mk(), opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq.Cover, par.Cover) || seq.Passes != par.Passes || seq.SpaceWords != par.SpaceWords {
+		t.Fatalf("FuncRepo: parallel run diverged: %v/%d/%d vs %v/%d/%d",
+			par.Cover, par.Passes, par.SpaceWords, seq.Cover, seq.Passes, seq.SpaceWords)
+	}
+}

@@ -1,0 +1,235 @@
+// Package engine is the shared pass executor: every set-system streaming
+// algorithm (internal/core and all of internal/baseline) reads the
+// repository through it instead of hand-rolling a
+// `repo.Begin(); for { Next() }` loop. The geometric algorithm
+// (internal/geom), the max-k-cover primitives (internal/maxcover), and the
+// communication protocols (internal/comm) still scan directly; converting
+// them is future work tracked in DESIGN.md §5.
+//
+// The paper's central accounting trick (Lemma 2.1) is that all O(log n)
+// parallel guesses of the optimum size k share physical passes: one scan of
+// the repository feeds every guess. The engine makes that sharing literal.
+// A call to Run starts exactly ONE pass (one repo.Begin()), reads the stream
+// in batches — amortizing the per-set interface call through the optional
+// stream.BatchReader fast path — and fans each batch out to every registered
+// Observer. Observers are sharded across a worker pool: each observer's
+// callbacks run on exactly one goroutine, in stream order, so observers that
+// own disjoint state (the paper's parallel guesses, and every baseline's
+// per-pass scan state) need no locks and behave identically at any worker
+// count. The paper's "parallel guesses" thereby become actual goroutines
+// without changing pass counts, space accounting, or results.
+//
+// Invariants the engine guarantees (tested in engine_test.go and relied on
+// by internal/core's pass-sharing tests):
+//
+//   - One Run = one pass: exactly one repo.Begin() per call, even with zero
+//     observers (the stream is still drained — the model does not allow a
+//     partial scan to be cheaper).
+//   - Full drain: every pass reads all m sets.
+//   - Per-observer sequentiality: Observe is called with consecutive,
+//     non-overlapping batches covering the stream in order; BeginPass and
+//     EndPass (optional, via PassLifecycle) bracket them on the same
+//     goroutine ordering guarantees.
+//   - Determinism: for observers with disjoint state, results are identical
+//     for every Workers/BatchSize setting.
+//
+// Batches are pooled and reference-counted across workers, so a pass
+// allocates O(Workers · BatchSize) words of scratch regardless of stream
+// length. Observers must not retain a batch (or the element slices of a
+// SliceRepo-backed set) past the Observe call; copy what must survive —
+// which is exactly the discipline the space model charges for anyway.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// DefaultBatchSize is the number of sets delivered per Observe call when
+// Options.BatchSize is unset. Large enough to amortize channel and interface
+// overhead, small enough to keep per-worker scratch in cache.
+const DefaultBatchSize = 256
+
+// Observer consumes one physical pass over the set stream. Observe is called
+// with consecutive batches in stream order; each observer's calls happen on
+// a single goroutine, but different observers may run concurrently.
+type Observer interface {
+	Observe(batch []setcover.Set)
+}
+
+// PassLifecycle is the optional hook pair an Observer may additionally
+// implement: BeginPass runs before the pass's first batch and EndPass after
+// its last, both on the caller's goroutine in observer registration order.
+type PassLifecycle interface {
+	BeginPass()
+	EndPass()
+}
+
+// Func adapts a plain function to an Observer, for algorithms whose per-pass
+// state lives in the enclosing scope.
+type Func func(batch []setcover.Set)
+
+// Observe implements Observer.
+func (f Func) Observe(batch []setcover.Set) { f(batch) }
+
+// Options configures an Engine. The zero value is usable: it runs one worker
+// per CPU with DefaultBatchSize.
+type Options struct {
+	// Workers is the number of goroutines batches fan out to. Observers are
+	// sharded across workers, so at most len(observers) workers are ever
+	// active. <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BatchSize is the number of sets per Observe call. <= 0 means
+	// DefaultBatchSize.
+	BatchSize int
+}
+
+// normalized fills in defaults.
+func (o Options) normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// Engine executes passes. It is stateless between Runs and safe to reuse;
+// the batch pool is shared across Runs to keep steady-state allocation flat.
+type Engine struct {
+	opts Options
+	pool sync.Pool
+}
+
+// New returns an engine with the given options (zero value: see Options).
+func New(opts Options) *Engine {
+	e := &Engine{opts: opts.normalized()}
+	e.pool.New = func() any {
+		return &batch{sets: make([]setcover.Set, 0, e.opts.BatchSize)}
+	}
+	return e
+}
+
+// Workers reports the configured worker count after defaulting.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// BatchSize reports the configured batch size after defaulting.
+func (e *Engine) BatchSize() int { return e.opts.BatchSize }
+
+// batch is a pooled, reference-counted slice of sets. The reader fills it,
+// every worker reads it (read-only), and the last worker to finish returns
+// it to the pool.
+type batch struct {
+	sets []setcover.Set
+	refs atomic.Int32
+}
+
+// Run executes one physical pass over repo and feeds it to the observers.
+// It returns when the pass is fully drained and every observer has seen
+// every batch. Observers with disjoint state need no synchronization.
+func (e *Engine) Run(repo stream.Repository, observers ...Observer) {
+	for _, o := range observers {
+		if l, ok := o.(PassLifecycle); ok {
+			l.BeginPass()
+		}
+	}
+
+	it := repo.Begin()
+	workers := e.opts.Workers
+	if workers > len(observers) {
+		workers = len(observers)
+	}
+	if workers <= 1 {
+		e.runSequential(it, observers)
+	} else {
+		e.runParallel(it, observers, workers)
+	}
+
+	for _, o := range observers {
+		if l, ok := o.(PassLifecycle); ok {
+			l.EndPass()
+		}
+	}
+}
+
+// fill loads the next batch of the pass into buf (up to cap(buf)), using the
+// BatchReader fast path when the reader provides one.
+func fill(it stream.Reader, buf []setcover.Set) []setcover.Set {
+	if br, ok := it.(stream.BatchReader); ok {
+		return buf[:br.NextBatch(buf[:0])]
+	}
+	buf = buf[:0]
+	for len(buf) < cap(buf) {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, s)
+	}
+	return buf
+}
+
+// runSequential drains the pass on the calling goroutine, reusing a single
+// batch buffer. Also used with zero observers: the pass is still a full
+// scan, it just feeds no one.
+func (e *Engine) runSequential(it stream.Reader, observers []Observer) {
+	b := e.pool.Get().(*batch)
+	defer e.pool.Put(b)
+	for {
+		sets := fill(it, b.sets[:0])
+		if len(sets) == 0 {
+			return
+		}
+		for _, o := range observers {
+			o.Observe(sets)
+		}
+	}
+}
+
+// runParallel shards observers across workers (observer i belongs to worker
+// i % workers) and streams ref-counted batches to all of them. Channel FIFO
+// order per worker preserves stream order per observer.
+func (e *Engine) runParallel(it stream.Reader, observers []Observer, workers int) {
+	chans := make([]chan *batch, workers)
+	for w := range chans {
+		chans[w] = make(chan *batch, 2)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := range chans[w] {
+				for i := w; i < len(observers); i += workers {
+					observers[i].Observe(b.sets)
+				}
+				if b.refs.Add(-1) == 0 {
+					b.sets = b.sets[:0]
+					e.pool.Put(b)
+				}
+			}
+		}(w)
+	}
+
+	for {
+		b := e.pool.Get().(*batch)
+		b.sets = fill(it, b.sets[:0])
+		if len(b.sets) == 0 {
+			e.pool.Put(b)
+			break
+		}
+		b.refs.Store(int32(workers))
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}

@@ -28,6 +28,15 @@ type Reader interface {
 	Next() (s setcover.Set, ok bool)
 }
 
+// BatchReader is an optional fast path a Reader may implement: NextBatch
+// fills dst (up to cap(dst)) with the next sets of the pass and returns how
+// many were written, amortizing the per-set interface call of Next. Zero
+// means the pass is exhausted. internal/engine probes for this interface and
+// falls back to Next otherwise; the two must yield identical streams.
+type BatchReader interface {
+	NextBatch(dst []setcover.Set) int
+}
+
 // Repository is a read-only, sequentially scannable set family.
 type Repository interface {
 	// UniverseSize returns n = |U|.
@@ -92,6 +101,13 @@ func (it *sliceReader) Next() (setcover.Set, bool) {
 	return s, true
 }
 
+// NextBatch copies up to cap(dst) sets into dst in stream order.
+func (it *sliceReader) NextBatch(dst []setcover.Set) int {
+	n := copy(dst[:cap(dst)], it.sets[it.pos:])
+	it.pos += n
+	return n
+}
+
 // FuncRepo is a Repository whose sets are produced on demand by a generator
 // function — a true streaming source with no backing slice, so nothing can
 // be randomly accessed or retained between passes. It exists both as a
@@ -105,7 +121,11 @@ type FuncRepo struct {
 
 // NewFuncRepo builds a repository of m sets over n elements; gen(id) must
 // return set id with sorted-unique elements in [0, n) and is called once per
-// set per pass.
+// set per pass. The returned Elems must be freshly allocated (or at least
+// never mutated afterwards): the pass engine batches generated sets and
+// observers on other goroutines read them while gen is already producing the
+// next batch, so a generator that reuses a scratch buffer would corrupt
+// in-flight sets.
 func NewFuncRepo(n, m int, gen func(id int) setcover.Set) *FuncRepo {
 	return &FuncRepo{n: n, m: m, gen: gen}
 }
@@ -143,13 +163,33 @@ func (it *funcReader) Next() (setcover.Set, bool) {
 	return s, true
 }
 
+// NextBatch generates up to cap(dst) sets into dst in stream order.
+func (it *funcReader) NextBatch(dst []setcover.Set) int {
+	dst = dst[:cap(dst)]
+	n := 0
+	for n < len(dst) && it.pos < it.repo.m {
+		s := it.repo.gen(it.pos)
+		s.ID = it.pos
+		dst[n] = s
+		it.pos++
+		n++
+	}
+	return n
+}
+
 // Tracker is an explicit space meter, in 64-bit words. Algorithms call Grow
 // when they allocate working state and Shrink when they release it; Peak
-// reports the high-water mark. Tracker is not safe for concurrent use — the
-// algorithms here are single-goroutine, matching the streaming model.
+// reports the high-water mark. Tracker is safe for concurrent use: the
+// pass engine (internal/engine) fans one physical pass out to observers
+// running on several goroutines, all charging the same meter. The current
+// total is an atomic counter and the high-water mark is maintained with a
+// CAS loop, so concurrent Grows are linearizable. Note that during a
+// Grow-only phase (which is what passes are — releases happen between
+// passes) the final Peak is independent of goroutine interleaving, which is
+// what makes space accounting deterministic across worker counts.
 type Tracker struct {
-	cur  int64
-	peak int64
+	cur  atomic.Int64
+	peak atomic.Int64
 }
 
 // NewTracker returns a zeroed tracker.
@@ -160,9 +200,17 @@ func (t *Tracker) Grow(w int64) {
 	if w < 0 {
 		panic("stream: Grow with negative words")
 	}
-	t.cur += w
-	if t.cur > t.peak {
-		t.peak = t.cur
+	c := t.cur.Add(w)
+	t.raisePeak(c)
+}
+
+// raisePeak lifts the high-water mark to at least c.
+func (t *Tracker) raisePeak(c int64) {
+	for {
+		p := t.peak.Load()
+		if c <= p || t.peak.CompareAndSwap(p, c) {
+			return
+		}
 	}
 }
 
@@ -171,29 +219,26 @@ func (t *Tracker) Shrink(w int64) {
 	if w < 0 {
 		panic("stream: Shrink with negative words")
 	}
-	t.cur -= w
-	if t.cur < 0 {
-		panic(fmt.Sprintf("stream: tracker went negative (%d)", t.cur))
+	if c := t.cur.Add(-w); c < 0 {
+		panic(fmt.Sprintf("stream: tracker went negative (%d)", c))
 	}
 }
 
 // FreeAll releases everything currently held (end of an iteration whose
 // state is discarded, cf. Lemma 2.2: "the algorithm does not need to keep the
 // memory space used by the earlier iterations").
-func (t *Tracker) FreeAll() { t.cur = 0 }
+func (t *Tracker) FreeAll() { t.cur.Store(0) }
 
 // Current returns the words currently held.
-func (t *Tracker) Current() int64 { return t.cur }
+func (t *Tracker) Current() int64 { return t.cur.Load() }
 
 // Peak returns the high-water mark in words.
-func (t *Tracker) Peak() int64 { return t.peak }
+func (t *Tracker) Peak() int64 { return t.peak.Load() }
 
 // Max merges another tracker's peak into this one (used when alternatives
 // run sequentially but are accounted as parallel).
 func (t *Tracker) Max(other *Tracker) {
-	if other.peak > t.peak {
-		t.peak = other.peak
-	}
+	t.raisePeak(other.peak.Load())
 }
 
 // WordsForElems returns the space charge for storing k element indices.

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/setcover"
@@ -112,6 +113,74 @@ func TestTrackerMax(t *testing.T) {
 	a.Max(b2)
 	if a.Peak() != 9 {
 		t.Fatalf("Max with smaller peak changed peak to %d", a.Peak())
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	// A Grow-only phase from many goroutines (the engine's fan-out shape)
+	// must end with cur == sum of charges and peak == cur, regardless of
+	// interleaving. Run under -race this also proves memory safety.
+	const goroutines, grows = 8, 1000
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < grows; i++ {
+				tr.Grow(3)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(goroutines * grows * 3)
+	if tr.Current() != want || tr.Peak() != want {
+		t.Fatalf("cur=%d peak=%d, want both %d", tr.Current(), tr.Peak(), want)
+	}
+	// Concurrent Shrinks back to zero must not underflow or move the peak.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < grows; i++ {
+				tr.Shrink(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Current() != 0 || tr.Peak() != want {
+		t.Fatalf("after shrink: cur=%d peak=%d, want 0/%d", tr.Current(), tr.Peak(), want)
+	}
+}
+
+func TestBatchReaders(t *testing.T) {
+	// Both repository readers implement the BatchReader fast path and must
+	// yield exactly the stream Next would.
+	repos := map[string]Repository{
+		"slice": NewSliceRepo(inst()),
+		"func": NewFuncRepo(4, 3, func(id int) setcover.Set {
+			return setcover.Set{Elems: []setcover.Elem{int32(id)}}
+		}),
+	}
+	for name, r := range repos {
+		br, ok := r.Begin().(BatchReader)
+		if !ok {
+			t.Fatalf("%s: reader does not implement BatchReader", name)
+		}
+		buf := make([]setcover.Set, 2)
+		var ids []int
+		for {
+			n := br.NextBatch(buf)
+			if n == 0 {
+				break
+			}
+			for _, s := range buf[:n] {
+				ids = append(ids, s.ID)
+			}
+		}
+		if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+			t.Fatalf("%s: batched pass yielded %v", name, ids)
+		}
 	}
 }
 
