@@ -38,13 +38,17 @@
 package streamsetcover
 
 import (
+	"io"
+
 	"repro/internal/baseline"
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/maxcover"
 	"repro/internal/offline"
+	"repro/internal/scdisk"
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
@@ -68,6 +72,12 @@ type (
 	Repository = stream.Repository
 	// SliceRepo is the standard in-memory repository.
 	SliceRepo = stream.SliceRepo
+	// FuncRepo streams generator-produced sets with no backing slice.
+	FuncRepo = stream.FuncRepo
+	// DiskRepo is the out-of-core repository: sets stream straight off an
+	// SCB1 file (see DESIGN.md §6), so instances larger than memory run
+	// through every algorithm unmodified. Open one with OpenFile.
+	DiskRepo = scdisk.Repo
 	// Tracker meters working memory in 64-bit words. Safe for concurrent
 	// use: the pass engine charges it from several workers at once.
 	Tracker = stream.Tracker
@@ -83,6 +93,61 @@ type (
 
 // NewRepository wraps an instance as a pass-counted stream.
 func NewRepository(in *Instance) *SliceRepo { return stream.NewSliceRepo(in) }
+
+// NewFuncRepository builds a repository of m generator-produced sets over n
+// elements; gen(id) must return set id with freshly allocated sorted-unique
+// elements (see stream.NewFuncRepo for the full contract).
+func NewFuncRepository(n, m int, gen func(id int) Set) *FuncRepo {
+	return stream.NewFuncRepo(n, m, gen)
+}
+
+// OpenFile opens an SCB1 instance file (plain or with the scdisk index
+// footer) as a disk-backed repository. Every algorithm in this package runs
+// against it unmodified, holding O(BatchSize · avg-set-size) decoded sets
+// live instead of the whole family. Close it when done; check
+// DiskRepo.Err after a run to detect a truncated or corrupt file.
+func OpenFile(path string) (*DiskRepo, error) { return scdisk.Open(path) }
+
+// InstanceWriter streams an instance to the indexed SCB1 format set by set
+// (NewInstanceWriter, then exactly m WriteSet calls, then Close), so
+// generators can emit families larger than RAM.
+type InstanceWriter = scdisk.Writer
+
+// NewInstanceWriter writes the SCB1 header for n elements and m sets and
+// returns the streaming writer.
+func NewInstanceWriter(w io.Writer, n, m int) (*InstanceWriter, error) {
+	return scdisk.NewWriter(w, n, m)
+}
+
+// WriteInstanceFile writes a materialized instance to path in the indexed
+// SCB1 format understood by OpenFile (and by ReadInstanceBinary, which
+// ignores the index).
+var WriteInstanceFile = scdisk.WriteFile
+
+// VerifyCover spends one extra pass over the repository and reports how many
+// elements of U the given set IDs cover. It is the streaming counterpart of
+// Instance.CoverageOf for backends with no materialized instance; the pass is
+// charged to the repository's counter like any other. It runs through the
+// pass engine, so disk-backed repositories verify on the batched,
+// buffer-recycling path instead of allocating every set afresh.
+func VerifyCover(repo Repository, cover []int) (covered, n int) {
+	n = repo.UniverseSize()
+	chosen := make(map[int]bool, len(cover))
+	for _, id := range cover {
+		chosen[id] = true
+	}
+	seen := bitset.New(n)
+	engine.New(engine.Options{Workers: 1}).Run(repo, engine.Func(func(batch []Set) {
+		for _, s := range batch {
+			if chosen[s.ID] {
+				for _, e := range s.Elems {
+					seen.Set(int(e))
+				}
+			}
+		}
+	}))
+	return seen.Count(), n
+}
 
 // The main algorithm (Figure 1.3 / Theorem 2.8).
 type (
@@ -194,6 +259,10 @@ type PlantedConfig = gen.PlantedConfig
 var (
 	// Planted builds an instance whose optimum is K by construction.
 	Planted = gen.Planted
+	// PlantedFunc is the out-of-core Planted: a deterministic per-set
+	// generator (for NewFuncRepository or InstanceWriter) that never
+	// materializes the family.
+	PlantedFunc = gen.PlantedFunc
 	// Uniform builds an instance with i.i.d. random sets, patched coverable.
 	Uniform = gen.Uniform
 	// Sparse builds an s-sparse instance (Section 6's regime).

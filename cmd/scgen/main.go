@@ -1,5 +1,5 @@
-// Command scgen generates SetCover instances in the text format understood
-// by cmd/setcover.
+// Command scgen generates SetCover instances for cmd/setcover, in the text
+// format or the indexed SCB1 binary format.
 //
 // Usage:
 //
@@ -7,29 +7,97 @@
 //	scgen -kind uniform -n 500 -m 1000 -p 0.02 > uniform.txt
 //	scgen -kind sparse -n 1000 -m 4000 -s 8 > sparse.txt
 //	scgen -kind trap -levels 6 > trap.txt
+//	scgen -kind planted -n 100000 -m 1000000 -k 500 -format binary -out big.scb
+//
+// With -format binary and -kind planted the family is generated and written
+// set by set (gen.PlantedFunc through the streaming SCB1 writer): scgen holds
+// the generator's O(n + k) state plus the writer's O(m)-word index
+// accumulator — never the decoded family — so it can emit files far larger
+// than RAM. The other kinds materialize the instance first. Binary output carries the
+// scdisk index footer, so cmd/setcover -format disk can seek as well as scan;
+// the known-optimum comment of the text format is printed to stderr instead.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ssc "repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against explicit streams so tests drive the full
+// CLI path in-process. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kind   = flag.String("kind", "planted", "instance kind: planted|uniform|sparse|trap")
-		n      = flag.Int("n", 1000, "universe size")
-		m      = flag.Int("m", 2000, "number of sets")
-		k      = flag.Int("k", 20, "planted optimal cover size (planted)")
-		s      = flag.Int("s", 8, "sparsity: max set size (sparse)")
-		p      = flag.Float64("p", 0.02, "element inclusion probability (uniform)")
-		levels = flag.Int("levels", 6, "width exponent for the greedy trap")
-		seed   = flag.Int64("seed", 1, "random seed")
+		kind    = fs.String("kind", "planted", "instance kind: planted|uniform|sparse|trap")
+		n       = fs.Int("n", 1000, "universe size")
+		m       = fs.Int("m", 2000, "number of sets")
+		k       = fs.Int("k", 20, "planted optimal cover size (planted)")
+		s       = fs.Int("s", 8, "sparsity: max set size (sparse)")
+		p       = fs.Float64("p", 0.02, "element inclusion probability (uniform)")
+		levels  = fs.Int("levels", 6, "width exponent for the greedy trap")
+		seed    = fs.Int64("seed", 1, "random seed")
+		format  = fs.String("format", "text", "output format: text | binary (indexed SCB1; planted streams set-by-set)")
+		outPath = fs.String("out", "-", "output file ('-' = stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "scgen:", err)
+		return 2
+	}
+
+	out := io.Writer(stdout)
+	var outFile *os.File
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fatal(err)
+		}
+		defer f.Close() // backstop for error paths; success closes explicitly
+		outFile = f
+		out = f
+	}
+	// finish closes -out and propagates close-time write-back errors (ENOSPC,
+	// NFS) into the exit code: a caller must never see success for a
+	// truncated file.
+	finish := func() int {
+		if outFile != nil {
+			if err := outFile.Close(); err != nil {
+				return fatal(err)
+			}
+		}
+		return 0
+	}
+
+	// The out-of-core path: planted + binary streams the family set by set,
+	// never materializing an Instance.
+	if *format == "binary" && *kind == "planted" {
+		genSet, _, opt, err := ssc.PlantedFunc(ssc.PlantedConfig{N: *n, M: *m, K: *k, Seed: *seed})
+		if err != nil {
+			return fatal(err)
+		}
+		if err := writeBinary(out, *n, *m, func(id int) []ssc.Elem { return genSet(id).Elems }); err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stderr, "# scgen -kind planted n=%d m=%d seed=%d (streamed), known optimum: %d\n",
+			*n, *m, *seed, opt)
+		return finish()
+	}
 
 	var (
 		in  *ssc.Instance
@@ -49,21 +117,46 @@ func main() {
 		err = fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "scgen:", err)
-		os.Exit(2)
+		return fatal(err)
 	}
 
-	w := bufio.NewWriter(os.Stdout)
-	fmt.Fprintf(w, "# scgen -kind %s -n %d -m %d -seed %d\n", *kind, in.N, in.M(), *seed)
-	if opt >= 0 {
-		fmt.Fprintf(w, "# known optimum: %d\n", opt)
+	switch *format {
+	case "binary":
+		if err := writeBinary(out, in.N, in.M(), func(id int) []ssc.Elem { return in.Sets[id].Elems }); err != nil {
+			return fatal(err)
+		}
+		if opt >= 0 {
+			fmt.Fprintf(stderr, "# known optimum: %d\n", opt)
+		}
+	case "text":
+		bw := bufio.NewWriter(out)
+		fmt.Fprintf(bw, "# scgen -kind %s -n %d -m %d -seed %d\n", *kind, in.N, in.M(), *seed)
+		if opt >= 0 {
+			fmt.Fprintf(bw, "# known optimum: %d\n", opt)
+		}
+		if err := ssc.WriteInstance(bw, in); err != nil {
+			return fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fatal(err)
+		}
+	default:
+		return fatal(fmt.Errorf("unknown format %q", *format))
 	}
-	if err := ssc.WriteInstance(w, in); err != nil {
-		fmt.Fprintln(os.Stderr, "scgen:", err)
-		os.Exit(2)
+	return finish()
+}
+
+// writeBinary streams m sets to out in the indexed SCB1 format. The
+// InstanceWriter buffers internally, so out is used directly.
+func writeBinary(out io.Writer, n, m int, elems func(id int) []ssc.Elem) error {
+	w, err := ssc.NewInstanceWriter(out, n, m)
+	if err != nil {
+		return err
 	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "scgen:", err)
-		os.Exit(2)
+	for id := 0; id < m; id++ {
+		if err := w.WriteSet(elems(id)); err != nil {
+			return err
+		}
 	}
+	return w.Close()
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ssc "repro"
+)
+
+// End to end over the streaming path: generate a planted instance straight to
+// an indexed SCB1 file, open it as a disk repository, solve it, and verify
+// the cover with a streaming pass — without ever materializing the family.
+func TestStreamedBinaryGenerateSolveVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "planted.scb")
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "planted", "-n", "400", "-m", "900", "-k", "16",
+		"-seed", "5", "-format", "binary", "-out", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "known optimum: 16") {
+		t.Fatalf("missing optimum note on stderr: %q", errb.String())
+	}
+
+	d, err := ssc.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.UniverseSize() != 400 || d.NumSets() != 900 {
+		t.Fatalf("dims n=%d m=%d", d.UniverseSize(), d.NumSets())
+	}
+	if !d.HasIndex() {
+		t.Fatal("binary output should carry the index footer")
+	}
+	res, err := ssc.IterSetCover(d, ssc.Options{Delta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, n := ssc.VerifyCover(d, res.Cover)
+	if covered != n {
+		t.Fatalf("cover leaves %d of %d uncovered", n-covered, n)
+	}
+	// 16 is OPT; the paper's bound is O(rho/delta)·OPT.
+	if len(res.Cover) > 8*16 {
+		t.Fatalf("cover size %d implausibly large vs OPT 16", len(res.Cover))
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The streamed binary file must decode (via the compat path) to the same
+// family that PlantedFunc generates.
+func TestStreamedBinaryMatchesGenerator(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.scb")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "planted", "-n", "150", "-m", "300", "-k", "10",
+		"-seed", "2", "-format", "binary", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ssc.ReadInstanceBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	genSet, _, _, err := ssc.PlantedFunc(ssc.PlantedConfig{N: 150, M: 300, K: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 300; id++ {
+		want := genSet(id)
+		got := in.Sets[id]
+		if len(want.Elems) != len(got.Elems) {
+			t.Fatalf("set %d: size %d vs %d", id, len(want.Elems), len(got.Elems))
+		}
+		for j := range want.Elems {
+			if want.Elems[j] != got.Elems[j] {
+				t.Fatalf("set %d differs at %d", id, j)
+			}
+		}
+	}
+}
+
+// Text output (the seed path) still round-trips and reports ground truth.
+func TestTextGenerate(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "trap", "-levels", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "# known optimum: 2") {
+		t.Fatal("missing optimum comment")
+	}
+	in, err := ssc.ReadInstance(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Coverable() {
+		t.Fatal("generated instance not coverable")
+	}
+}
+
+// Materialized kinds can also be written as binary.
+func TestBinaryUniform(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "uniform.scb")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "uniform", "-n", "80", "-m", "160", "-p", "0.05",
+		"-format", "binary", "-out", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	d, err := ssc.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.NumSets() != 160 || !d.HasIndex() {
+		t.Fatalf("m=%d index=%v", d.NumSets(), d.HasIndex())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown kind should exit 2, got %d", code)
+	}
+	if code := run([]string{"-format", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown format should exit 2, got %d", code)
+	}
+}

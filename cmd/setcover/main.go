@@ -6,6 +6,8 @@
 //	setcover -algo iter -delta 0.5 -in instance.txt
 //	setcover -algo er14 -in instance.txt -print-cover
 //	scgen -kind planted -n 1000 -m 2000 -k 20 | setcover -algo cw16 -passes 3
+//	scgen -kind planted -n 100000 -m 1000000 -format binary -out big.scb
+//	setcover -algo iter -format disk -in big.scb
 //
 // Algorithms: iter (the paper's iterSetCover), greedy1 (one-pass greedy),
 // greedyn (n-pass greedy), threshold (SG09-style thresholding), sg09
@@ -13,11 +15,22 @@
 // (Chakrabarti–Wirth), dimv14 (element sampling).
 //
 // -eps switches iter/er14/cw16/threshold/greedyn to the ε-Partial Set Cover
-// problem (cover at least a 1-ε fraction). -format selects text or binary
-// instance input.
+// problem (cover at least a 1-ε fraction).
+//
+// -format selects how the instance is accessed:
+//
+//	text    — the human-readable format, loaded into memory
+//	binary  — the SCB1 varint format, loaded into memory
+//	disk    — the SCB1 file (plain or indexed) streamed out-of-core: sets are
+//	          decoded per pass and only O(BatchSize) of them are ever
+//	          resident, so instances larger than RAM solve fine. Requires
+//	          -in to name a file; -reduce is unavailable (it needs the whole
+//	          family in memory), and the cover is verified with one extra
+//	          streaming pass.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,40 +41,81 @@ import (
 )
 
 func main() {
-	var (
-		algo       = flag.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14")
-		inPath     = flag.String("in", "-", "instance file ('-' = stdin)")
-		format     = flag.String("format", "text", "instance format: text|binary")
-		delta      = flag.Float64("delta", 0.5, "delta for iter/dimv14 (passes 2/delta, space ~ m*n^delta)")
-		passes     = flag.Int("passes", 2, "pass budget for cw16")
-		eps        = flag.Float64("eps", 0, "partial-cover slack: cover at least a (1-eps) fraction")
-		seed       = flag.Int64("seed", 1, "random seed")
-		exact      = flag.Bool("exact-offline", false, "use the exact offline solver inside iter (rho = 1)")
-		workers    = flag.Int("workers", 0, "pass-engine worker goroutines for iter (0 = GOMAXPROCS)")
-		batch      = flag.Int("batch", 0, "pass-engine batch size for iter (0 = default)")
-		reduce     = flag.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving")
-		printCover = flag.Bool("print-cover", false, "print the chosen set IDs")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	original, err := readInstance(*inPath, *format)
-	if err != nil {
-		fatal(err)
+// run executes the command against explicit streams so tests drive the full
+// CLI path in-process. It returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("setcover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		algo       = fs.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14")
+		inPath     = fs.String("in", "-", "instance file ('-' = stdin)")
+		format     = fs.String("format", "text", "instance access: text|binary (in-memory) | disk (stream the SCB1 file out-of-core)")
+		delta      = fs.Float64("delta", 0.5, "delta for iter/dimv14 (passes 2/delta, space ~ m*n^delta)")
+		passes     = fs.Int("passes", 2, "pass budget for cw16")
+		eps        = fs.Float64("eps", 0, "partial-cover slack: cover at least a (1-eps) fraction")
+		seed       = fs.Int64("seed", 1, "random seed")
+		exact      = fs.Bool("exact-offline", false, "use the exact offline solver inside iter (rho = 1)")
+		workers    = fs.Int("workers", 0, "pass-engine worker goroutines for iter (0 = GOMAXPROCS)")
+		batch      = fs.Int("batch", 0, "pass-engine batch size for iter (0 = default)")
+		reduce     = fs.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving (text/binary only)")
+		printCover = fs.Bool("print-cover", false, "print the chosen set IDs")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	// The instance the algorithm runs on; with -reduce this is the
-	// dominance-reduced instance, whose optimal covers map back to the
-	// original via origID.
-	in := original
-	var origID []int
-	if *reduce {
-		red := ssc.Reduce(original)
-		fmt.Printf("reduced:     -%d sets, -%d elements (n=%d m=%d remain)\n",
-			red.RemovedSets, red.RemovedElems, red.Instance.N, red.Instance.M())
-		in = red.Instance
-		origID = red.OrigSetID
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "setcover:", err)
+		return 2
+	}
+
+	// Open the repository: disk mode streams the file out-of-core, the other
+	// formats materialize an Instance (which verification then reuses).
+	var (
+		repo     ssc.Repository
+		original *ssc.Instance
+		origID   []int
+	)
+	switch *format {
+	case "disk":
+		if *inPath == "-" {
+			return fatal(fmt.Errorf("-format disk needs -in to name a file (passes must seek back to the start)"))
+		}
+		if *reduce {
+			return fatal(fmt.Errorf("-reduce needs the whole family in memory; use -format binary"))
+		}
+		d, err := ssc.OpenFile(*inPath)
+		if err != nil {
+			return fatal(err)
+		}
+		defer d.Close()
+		repo = d
+	case "text", "binary":
+		in, err := readInstance(*inPath, *format, stdin)
+		if err != nil {
+			return fatal(err)
+		}
+		original = in
+		solveOn := in
+		if *reduce {
+			red := ssc.Reduce(in)
+			fmt.Fprintf(stdout, "reduced:     -%d sets, -%d elements (n=%d m=%d remain)\n",
+				red.RemovedSets, red.RemovedElems, red.Instance.N, red.Instance.M())
+			solveOn = red.Instance
+			origID = red.OrigSetID
+		}
+		repo = ssc.NewRepository(solveOn)
+	default:
+		return fatal(fmt.Errorf("unknown format %q", *format))
 	}
 
 	var st ssc.Stats
+	var err error
 	switch *algo {
 	case "iter":
 		opts := ssc.Options{Delta: *delta, Seed: *seed, PartialEps: *eps,
@@ -69,31 +123,31 @@ func main() {
 		if *exact {
 			opts.Offline = ssc.ExactSolver{}
 		}
-		res, err := ssc.IterSetCover(ssc.NewRepository(in), opts)
-		if err != nil {
-			fatal(err)
+		var res ssc.Result
+		res, err = ssc.IterSetCover(repo, opts)
+		if err == nil {
+			st = res.Stats
+			fmt.Fprintf(stdout, "best guess k: %d\n", res.BestK)
 		}
-		st = res.Stats
-		fmt.Printf("best guess k: %d\n", res.BestK)
 	case "greedy1":
-		st, err = ssc.OnePassGreedy(ssc.NewRepository(in))
+		st, err = ssc.OnePassGreedy(repo)
 	case "greedyn":
-		st, err = ssc.MultiPassGreedyPartial(ssc.NewRepository(in), *eps)
+		st, err = ssc.MultiPassGreedyPartial(repo, *eps)
 	case "threshold":
-		st, err = ssc.ThresholdGreedyPartial(ssc.NewRepository(in), *eps)
+		st, err = ssc.ThresholdGreedyPartial(repo, *eps)
 	case "sg09":
-		st, err = ssc.SahaGetoorSetCover(ssc.NewRepository(in))
+		st, err = ssc.SahaGetoorSetCover(repo)
 	case "er14":
-		st, err = ssc.EmekRosenPartial(ssc.NewRepository(in), *eps)
+		st, err = ssc.EmekRosenPartial(repo, *eps)
 	case "cw16":
-		st, err = ssc.ChakrabartiWirthPartial(ssc.NewRepository(in), *passes, *eps)
+		st, err = ssc.ChakrabartiWirthPartial(repo, *passes, *eps)
 	case "dimv14":
-		st, err = ssc.DIMV14(ssc.NewRepository(in), ssc.DIMV14Options{Delta: *delta, Seed: *seed})
+		st, err = ssc.DIMV14(repo, ssc.DIMV14Options{Delta: *delta, Seed: *seed})
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		err = fmt.Errorf("unknown algorithm %q", *algo)
 	}
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 
 	if origID != nil {
@@ -103,25 +157,46 @@ func main() {
 		}
 	}
 
-	valid := original.IsPartialCover(st.Cover, *eps)
-	fmt.Printf("algorithm:   %s\n", st.Algorithm)
-	fmt.Printf("instance:    n=%d m=%d\n", original.N, original.M())
-	fmt.Printf("cover size:  %d (coverage=%.3f, goal>=%.3f, valid=%v)\n",
-		len(st.Cover), original.CoverageFraction(st.Cover), 1-*eps, valid)
-	fmt.Printf("passes:      %d\n", st.Passes)
-	fmt.Printf("space:       %d words\n", st.SpaceWords)
+	// Verify against the instance when it is in memory, or with one extra
+	// streaming pass when it only exists on disk.
+	n, m := repo.UniverseSize(), repo.NumSets()
+	var covered int
+	if original != nil {
+		n, m = original.N, original.M()
+		covered = original.CoverageOf(st.Cover).Count()
+	} else {
+		covered, n = ssc.VerifyCover(repo, st.Cover)
+		if d, ok := repo.(*ssc.DiskRepo); ok {
+			if derr := d.Err(); derr != nil {
+				return fatal(fmt.Errorf("disk repository reported a decode error: %w", derr))
+			}
+		}
+	}
+	coverage := 1.0
+	if n > 0 {
+		coverage = float64(covered) / float64(n)
+	}
+	valid := float64(n-covered) <= *eps*float64(n)
+
+	fmt.Fprintf(stdout, "algorithm:   %s\n", st.Algorithm)
+	fmt.Fprintf(stdout, "instance:    n=%d m=%d\n", n, m)
+	fmt.Fprintf(stdout, "cover size:  %d (coverage=%.3f, goal>=%.3f, valid=%v)\n",
+		len(st.Cover), coverage, 1-*eps, valid)
+	fmt.Fprintf(stdout, "passes:      %d\n", st.Passes)
+	fmt.Fprintf(stdout, "space:       %d words\n", st.SpaceWords)
 	if *printCover {
 		ids := append([]int(nil), st.Cover...)
 		sort.Ints(ids)
-		fmt.Printf("cover:       %v\n", ids)
+		fmt.Fprintf(stdout, "cover:       %v\n", ids)
 	}
 	if !valid {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func readInstance(path, format string) (*ssc.Instance, error) {
-	var r io.Reader = os.Stdin
+func readInstance(path, format string, stdin io.Reader) (*ssc.Instance, error) {
+	r := stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -138,9 +213,4 @@ func readInstance(path, format string) (*ssc.Instance, error) {
 	default:
 		return nil, fmt.Errorf("unknown format %q", format)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "setcover:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ssc "repro"
+)
+
+// genFile writes a planted instance to dir in the indexed SCB1 format and
+// returns its path plus the instance for ground truth.
+func genFile(t *testing.T, dir string) (string, *ssc.Instance) {
+	t.Helper()
+	in, _, _, err := ssc.Planted(ssc.PlantedConfig{N: 300, M: 650, K: 15, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "planted.scb")
+	if err := ssc.WriteInstanceFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	return path, in
+}
+
+// End to end: generate → write binary → solve from disk → the reported cover
+// is verified (exit 0) and the summary is printed.
+func TestSolveFromDiskEndToEnd(t *testing.T) {
+	path, _ := genFile(t, t.TempDir())
+	for _, algo := range []string{"iter", "greedy1", "greedyn", "threshold", "sg09", "er14", "cw16", "dimv14"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-algo", algo, "-format", "disk", "-in", path}, strings.NewReader(""), &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d\nstdout: %s\nstderr: %s", algo, code, out.String(), errb.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "valid=true") {
+			t.Fatalf("%s: cover not verified:\n%s", algo, s)
+		}
+		if !strings.Contains(s, "instance:    n=300 m=650") {
+			t.Fatalf("%s: wrong dims:\n%s", algo, s)
+		}
+	}
+}
+
+// The same instance solved from disk and from memory must report the same
+// cover line (the algorithms are deterministic given the seed and stream).
+func TestDiskMatchesBinaryInMemory(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := genFile(t, dir)
+	var fromDisk, fromMem bytes.Buffer
+	if code := run([]string{"-algo", "iter", "-seed", "7", "-format", "disk", "-in", path, "-print-cover"},
+		strings.NewReader(""), &fromDisk, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("disk run failed:\n%s", fromDisk.String())
+	}
+	if code := run([]string{"-algo", "iter", "-seed", "7", "-format", "binary", "-in", path, "-print-cover"},
+		strings.NewReader(""), &fromMem, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("binary run failed:\n%s", fromMem.String())
+	}
+	if fromDisk.String() != fromMem.String() {
+		t.Fatalf("disk vs in-memory output differs:\n--- disk\n%s--- memory\n%s", fromDisk.String(), fromMem.String())
+	}
+}
+
+// Text input over stdin still works (the seed's original main path).
+func TestSolveFromStdinText(t *testing.T) {
+	in, _, _, err := ssc.Planted(ssc.PlantedConfig{N: 100, M: 220, K: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := ssc.WriteInstance(&txt, in); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code := run([]string{"-algo", "greedy1"}, bytes.NewReader(txt.Bytes()), &out, &bytes.Buffer{})
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "valid=true") {
+		t.Fatalf("cover not verified:\n%s", out.String())
+	}
+}
+
+// Guard rails of the disk mode.
+func TestDiskModeErrors(t *testing.T) {
+	path, _ := genFile(t, t.TempDir())
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "disk"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("disk from stdin should fail, got exit %d", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-format", "disk", "-in", path, "-reduce"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("disk + -reduce should fail, got exit %d", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-format", "disk", "-in", filepath.Join(t.TempDir(), "missing.scb")},
+		strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("missing file should fail, got exit %d", code)
+	}
+}

@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/maxcover"
+	"repro/internal/scdisk"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// Every baseline must be unable to tell the storage backends apart: identical
+// covers, pass counts, and space charges on SliceRepo, FuncRepo, and
+// DiskRepo. Together with core's TestIterSetCoverBackendConformance this
+// covers all seven algorithms of the repository (plus the faithful SG09
+// loop from internal/maxcover, which scans through Reader.Next directly and
+// so exercises the disk backend's unbatched path).
+func TestBaselineBackendConformance(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 350, M: 800, K: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "conf.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		mk   func() stream.Repository
+	}{
+		{"slice", func() stream.Repository { return stream.NewSliceRepo(in) }},
+		{"func", func() stream.Repository {
+			return stream.NewFuncRepo(in.N, in.M(), func(id int) setcover.Set {
+				es := make([]setcover.Elem, len(in.Sets[id].Elems))
+				copy(es, in.Sets[id].Elems)
+				return setcover.Set{ID: id, Elems: es}
+			})
+		}},
+		{"disk", func() stream.Repository {
+			d, err := scdisk.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+	}
+
+	algos := []struct {
+		name string
+		run  func(stream.Repository) (setcover.Stats, error)
+	}{
+		{"greedy-1pass", OnePassGreedy},
+		{"greedy-npass", MultiPassGreedy},
+		{"threshold-greedy", ThresholdGreedy},
+		{"emek-rosen", EmekRosen},
+		{"chakrabarti-wirth", func(r stream.Repository) (setcover.Stats, error) {
+			return ChakrabartiWirth(r, 3)
+		}},
+		{"dimv14", func(r stream.Repository) (setcover.Stats, error) {
+			return DIMV14(r, DIMV14Options{Delta: 0.5, Seed: 5})
+		}},
+		{"saha-getoor", maxcover.SahaGetoorSetCover},
+	}
+
+	for _, algo := range algos {
+		ref, err := algo.run(stream.NewSliceRepo(in))
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", algo.name, err)
+		}
+		if !ref.Valid || !in.IsCover(ref.Cover) {
+			t.Fatalf("%s: reference cover invalid", algo.name)
+		}
+		for _, b := range backends {
+			st, err := algo.run(b.mk())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo.name, b.name, err)
+			}
+			if st.Passes != ref.Passes {
+				t.Errorf("%s/%s: passes %d, want %d", algo.name, b.name, st.Passes, ref.Passes)
+			}
+			if st.SpaceWords != ref.SpaceWords {
+				t.Errorf("%s/%s: space %d, want %d", algo.name, b.name, st.SpaceWords, ref.SpaceWords)
+			}
+			if len(st.Cover) != len(ref.Cover) {
+				t.Fatalf("%s/%s: cover size %d, want %d", algo.name, b.name, len(st.Cover), len(ref.Cover))
+			}
+			for i := range ref.Cover {
+				if st.Cover[i] != ref.Cover[i] {
+					t.Fatalf("%s/%s: cover[%d] = %d, want %d", algo.name, b.name, i, st.Cover[i], ref.Cover[i])
+				}
+			}
+		}
+	}
+}
+
+// The ε-partial variants must conform as well (they stop accepting mid-pass,
+// which stresses the drain-everything contract on every backend).
+func TestPartialBaselineBackendConformance(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 240, M: 520, K: 12, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "conf.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.15
+	algos := []struct {
+		name string
+		run  func(stream.Repository) (setcover.Stats, error)
+	}{
+		{"greedyn-partial", func(r stream.Repository) (setcover.Stats, error) {
+			return MultiPassGreedyPartial(r, eps)
+		}},
+		{"threshold-partial", func(r stream.Repository) (setcover.Stats, error) {
+			return ThresholdGreedyPartial(r, eps)
+		}},
+		{"er14-partial", func(r stream.Repository) (setcover.Stats, error) {
+			return EmekRosenPartial(r, eps)
+		}},
+		{"cw16-partial", func(r stream.Repository) (setcover.Stats, error) {
+			return ChakrabartiWirthPartial(r, 2, eps)
+		}},
+	}
+	for _, algo := range algos {
+		ref, err := algo.run(stream.NewSliceRepo(in))
+		if err != nil {
+			t.Fatalf("%s: %v", algo.name, err)
+		}
+		if !in.IsPartialCover(ref.Cover, eps) {
+			t.Fatalf("%s: reference not a (1-eps)-cover", algo.name)
+		}
+		d, err := scdisk.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := algo.run(d)
+		d.Close()
+		if err != nil {
+			t.Fatalf("%s/disk: %v", algo.name, err)
+		}
+		if st.Passes != ref.Passes || st.SpaceWords != ref.SpaceWords || len(st.Cover) != len(ref.Cover) {
+			t.Fatalf("%s/disk: stats diverge: passes %d/%d space %d/%d cover %d/%d",
+				algo.name, st.Passes, ref.Passes, st.SpaceWords, ref.SpaceWords, len(st.Cover), len(ref.Cover))
+		}
+		for i := range ref.Cover {
+			if st.Cover[i] != ref.Cover[i] {
+				t.Fatalf("%s/disk: cover[%d] differs", algo.name, i)
+			}
+		}
+	}
+}

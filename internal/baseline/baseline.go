@@ -295,7 +295,7 @@ func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
 	if infeasible {
 		return st, ErrInfeasible
 	}
-	for id := range patch {
+	for _, id := range patch {
 		cover = append(cover, int(id))
 	}
 	st.Cover = cover
@@ -374,7 +374,7 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover
 	if infeasible {
 		return st, ErrInfeasible
 	}
-	for id := range patch {
+	for _, id := range patch {
 		cover = append(cover, int(id))
 	}
 	st.Cover = cover
@@ -386,9 +386,13 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover
 // until at most allowed elements remain unpatched. Elements with no
 // remembered cover make the instance infeasible unless they fit in the
 // allowance. Accounting is conservative: each patched set is guaranteed to
-// cover at least its triggering element.
-func patchLeftovers(uncovered *bitset.Bitset, firstCover []int32, allowed int) (map[int32]bool, bool) {
-	patch := make(map[int32]bool)
+// cover at least its triggering element. The patch is returned in
+// first-triggering-element order (deduplicated), so covers stay
+// deterministic — the cross-backend conformance suite compares them
+// byte for byte.
+func patchLeftovers(uncovered *bitset.Bitset, firstCover []int32, allowed int) ([]int32, bool) {
+	var patch []int32
+	seen := make(map[int32]bool)
 	need := uncovered.Count() - allowed
 	if need <= 0 {
 		return patch, false
@@ -403,7 +407,10 @@ func patchLeftovers(uncovered *bitset.Bitset, firstCover []int32, allowed int) (
 			infeasible = true
 			return false
 		}
-		patch[id] = true
+		if !seen[id] {
+			seen[id] = true
+			patch = append(patch, id)
+		}
 		need--
 		return true
 	})

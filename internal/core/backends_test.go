@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/scdisk"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// conformanceRepos builds the three storage backends over the same instance.
+// Algorithms must be unable to tell them apart: covers, pass counts, and
+// space charges have to be byte-identical, because the model's Repository is
+// the only thing they are allowed to observe.
+func conformanceRepos(t testing.TB, in *setcover.Instance) map[string]func() stream.Repository {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "conf.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]func() stream.Repository{
+		"slice": func() stream.Repository { return stream.NewSliceRepo(in) },
+		"func": func() stream.Repository {
+			return stream.NewFuncRepo(in.N, in.M(), func(id int) setcover.Set {
+				es := make([]setcover.Elem, len(in.Sets[id].Elems))
+				copy(es, in.Sets[id].Elems)
+				return setcover.Set{ID: id, Elems: es}
+			})
+		},
+		"disk": func() stream.Repository {
+			d, err := scdisk.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+	}
+}
+
+func conformanceInstances(t testing.TB) map[string]*setcover.Instance {
+	t.Helper()
+	planted, _, _, err := gen.Planted(gen.PlantedConfig{N: 400, M: 900, K: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := gen.Uniform(300, 600, 0.03, 17)
+	return map[string]*setcover.Instance{"planted": planted, "uniform": uniform}
+}
+
+func sameStats(t *testing.T, label string, want, got setcover.Stats) {
+	t.Helper()
+	if got.Passes != want.Passes {
+		t.Errorf("%s: passes %d, want %d", label, got.Passes, want.Passes)
+	}
+	if got.SpaceWords != want.SpaceWords {
+		t.Errorf("%s: space %d, want %d", label, got.SpaceWords, want.SpaceWords)
+	}
+	if got.Valid != want.Valid {
+		t.Errorf("%s: valid %v, want %v", label, got.Valid, want.Valid)
+	}
+	if len(got.Cover) != len(want.Cover) {
+		t.Fatalf("%s: cover size %d, want %d", label, len(got.Cover), len(want.Cover))
+	}
+	for i := range want.Cover {
+		if got.Cover[i] != want.Cover[i] {
+			t.Fatalf("%s: cover[%d] = %d, want %d", label, i, got.Cover[i], want.Cover[i])
+		}
+	}
+}
+
+// IterSetCover must produce byte-identical covers, pass counts, and space
+// charges on SliceRepo, FuncRepo, and DiskRepo, at one worker and at
+// GOMAXPROCS workers.
+func TestIterSetCoverBackendConformance(t *testing.T) {
+	workersList := []int{1, runtime.GOMAXPROCS(0)}
+	for instName, in := range conformanceInstances(t) {
+		repos := conformanceRepos(t, in)
+		for _, workers := range workersList {
+			opts := Options{Delta: 0.5, Seed: 7, FinalPatch: true,
+				Engine: engine.Options{Workers: workers}}
+			ref, err := IterSetCover(stream.NewSliceRepo(in), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for backend, mk := range repos {
+				label := fmt.Sprintf("%s/%s/workers=%d", instName, backend, workers)
+				res, err := IterSetCover(mk(), opts)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				sameStats(t, label, ref.Stats, res.Stats)
+				if res.BestK != ref.BestK || res.Iterations != ref.Iterations {
+					t.Errorf("%s: bestK/iterations %d/%d, want %d/%d",
+						label, res.BestK, res.Iterations, ref.BestK, ref.Iterations)
+				}
+				if res.StoredProjectionWordsPeak != ref.StoredProjectionWordsPeak {
+					t.Errorf("%s: projection peak %d, want %d",
+						label, res.StoredProjectionWordsPeak, ref.StoredProjectionWordsPeak)
+				}
+			}
+		}
+	}
+}
+
+// The partial-cover variant must conform too (it exercises the patch pass's
+// mid-pass done flipping).
+func TestIterSetCoverPartialBackendConformance(t *testing.T) {
+	in := conformanceInstances(t)["planted"]
+	repos := conformanceRepos(t, in)
+	opts := Options{Delta: 0.5, Seed: 5, PartialEps: 0.1, FinalPatch: true}
+	ref, err := IterSetCover(stream.NewSliceRepo(in), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for backend, mk := range repos {
+		res, err := IterSetCover(mk(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		sameStats(t, backend, ref.Stats, res.Stats)
+	}
+}

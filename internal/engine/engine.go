@@ -38,6 +38,13 @@
 // length. Observers must not retain a batch (or the element slices of a
 // SliceRepo-backed set) past the Observe call; copy what must survive —
 // which is exactly the discipline the space model charges for anyway.
+//
+// That discipline is also what enables the pooled decode path for disk-backed
+// repositories: when a pass's reader implements stream.Recycler, the engine
+// hands each batch back to it (Recycle) after the last observer has finished
+// with it, so a decoding reader (internal/scdisk) reuses its element buffers
+// across batches and a full pass runs in O(Workers · BatchSize · avg-set-size)
+// live heap instead of allocating every set afresh.
 package engine
 
 import (
@@ -176,8 +183,10 @@ func fill(it stream.Reader, buf []setcover.Set) []setcover.Set {
 
 // runSequential drains the pass on the calling goroutine, reusing a single
 // batch buffer. Also used with zero observers: the pass is still a full
-// scan, it just feeds no one.
+// scan, it just feeds no one. When the reader recycles (stream.Recycler),
+// each batch is handed back as soon as the observers are done with it.
 func (e *Engine) runSequential(it stream.Reader, observers []Observer) {
+	rec, _ := it.(stream.Recycler)
 	b := e.pool.Get().(*batch)
 	defer e.pool.Put(b)
 	for {
@@ -188,6 +197,9 @@ func (e *Engine) runSequential(it stream.Reader, observers []Observer) {
 		for _, o := range observers {
 			o.Observe(sets)
 		}
+		if rec != nil {
+			rec.Recycle(sets)
+		}
 	}
 }
 
@@ -195,6 +207,7 @@ func (e *Engine) runSequential(it stream.Reader, observers []Observer) {
 // i % workers) and streams ref-counted batches to all of them. Channel FIFO
 // order per worker preserves stream order per observer.
 func (e *Engine) runParallel(it stream.Reader, observers []Observer, workers int) {
+	rec, _ := it.(stream.Recycler)
 	chans := make([]chan *batch, workers)
 	for w := range chans {
 		chans[w] = make(chan *batch, 2)
@@ -209,6 +222,9 @@ func (e *Engine) runParallel(it stream.Reader, observers []Observer, workers int
 					observers[i].Observe(b.sets)
 				}
 				if b.refs.Add(-1) == 0 {
+					if rec != nil {
+						rec.Recycle(b.sets)
+					}
 					b.sets = b.sets[:0]
 					e.pool.Put(b)
 				}

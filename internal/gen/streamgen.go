@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/setcover"
+)
+
+// PlantedFunc is the out-of-core sibling of Planted: it returns a
+// deterministic per-set generator instead of a materialized instance, so the
+// family can be streamed — through stream.NewFuncRepo, or straight into
+// scdisk.Writer — without ever holding more than O(N + K) words (the model's
+// "elements of U fit in memory" budget; the M sets never do). genSet(id) is
+// pure given cfg: it may be called in any order, repeatedly, and from
+// multiple goroutines, and always returns freshly allocated sorted-unique
+// elements, which is exactly the stream.NewFuncRepo contract.
+//
+// The construction mirrors Planted — the universe is partitioned into K
+// blocks over a random permutation (the planted cover, opt = K by the same
+// counting argument), every other stream position carries a pseudo-random
+// noise subset of size at most the block size — but stream positions of the
+// planted blocks are drawn by a sparse Fisher–Yates sample of K positions
+// out of M, so no O(M) permutation is ever built. The distribution therefore
+// differs from Planted's; the ground truth (plantedIDs, opt) is identical in
+// kind.
+func PlantedFunc(cfg PlantedConfig) (genSet func(id int) setcover.Set, plantedIDs []int, opt int, err error) {
+	if cfg.K <= 0 || cfg.N <= 0 || cfg.K > cfg.N {
+		return nil, nil, 0, fmt.Errorf("gen: need 0 < K <= N, got K=%d N=%d", cfg.K, cfg.N)
+	}
+	if cfg.M < cfg.K {
+		return nil, nil, 0, fmt.Errorf("gen: need M >= K, got M=%d K=%d", cfg.M, cfg.K)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	blockSize := (cfg.N + cfg.K - 1) / cfg.K
+
+	// Planted partition over a random permutation of U, each block sorted so
+	// sets come out normalized.
+	perm := rng.Perm(cfg.N)
+	blocks := make([][]setcover.Elem, cfg.K)
+	for i, e := range perm {
+		b := i / blockSize
+		if b >= cfg.K {
+			b = cfg.K - 1
+		}
+		blocks[b] = append(blocks[b], setcover.Elem(e))
+	}
+	for _, b := range blocks {
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	}
+
+	// Sparse Fisher–Yates: sample K distinct stream positions out of M in
+	// O(K) space.
+	swapped := make(map[int]int, 2*cfg.K)
+	at := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	plantedIDs = make([]int, cfg.K)
+	for i := 0; i < cfg.K; i++ {
+		j := i + rng.Intn(cfg.M-i)
+		plantedIDs[i] = at(j)
+		swapped[j] = at(i)
+	}
+	blockAt := make(map[int]int, cfg.K)
+	for b, pos := range plantedIDs {
+		blockAt[pos] = b
+	}
+	sort.Ints(plantedIDs)
+
+	genSet = func(id int) setcover.Set {
+		if id < 0 || id >= cfg.M {
+			panic(fmt.Sprintf("gen: set id %d out of range [0,%d)", id, cfg.M))
+		}
+		if b, ok := blockAt[id]; ok {
+			es := make([]setcover.Elem, len(blocks[b]))
+			copy(es, blocks[b])
+			return setcover.Set{ID: id, Elems: es}
+		}
+		// Noise: a per-id seeded subset, size biased toward blockSize like
+		// Planted's noise sets.
+		r := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15)))
+		size := blockSize/2 + r.Intn(blockSize/2+1)
+		if size < 1 {
+			size = 1
+		}
+		if size > blockSize {
+			size = blockSize
+		}
+		if size > cfg.N {
+			size = cfg.N
+		}
+		seen := make(map[int]bool, size)
+		es := make([]setcover.Elem, 0, size)
+		for len(es) < size {
+			e := r.Intn(cfg.N)
+			if !seen[e] {
+				seen[e] = true
+				es = append(es, setcover.Elem(e))
+			}
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+		return setcover.Set{ID: id, Elems: es}
+	}
+	return genSet, plantedIDs, cfg.K, nil
+}

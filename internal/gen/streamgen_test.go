@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/setcover"
+)
+
+func TestPlantedFuncGroundTruth(t *testing.T) {
+	cfg := PlantedConfig{N: 300, M: 700, K: 12, Seed: 9}
+	genSet, plantedIDs, opt, err := PlantedFunc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != cfg.K || len(plantedIDs) != cfg.K {
+		t.Fatalf("opt=%d planted=%d", opt, len(plantedIDs))
+	}
+
+	// The planted positions cover U exactly once each block; all sets are
+	// normalized, in range, and no larger than the block size.
+	blockSize := (cfg.N + cfg.K - 1) / cfg.K
+	covered := bitset.New(cfg.N)
+	planted := make(map[int]bool, len(plantedIDs))
+	for _, id := range plantedIDs {
+		planted[id] = true
+	}
+	for id := 0; id < cfg.M; id++ {
+		s := genSet(id)
+		if s.ID != id {
+			t.Fatalf("set %d: ID %d", id, s.ID)
+		}
+		if len(s.Elems) == 0 || len(s.Elems) > blockSize {
+			t.Fatalf("set %d: size %d out of (0,%d]", id, len(s.Elems), blockSize)
+		}
+		for j, e := range s.Elems {
+			if e < 0 || int(e) >= cfg.N {
+				t.Fatalf("set %d: element %d out of range", id, e)
+			}
+			if j > 0 && e <= s.Elems[j-1] {
+				t.Fatalf("set %d: not sorted-unique", id)
+			}
+		}
+		if planted[id] {
+			covered.Union(bitset.FromSlice(cfg.N, s.Elems))
+		}
+	}
+	if covered.Count() != cfg.N {
+		t.Fatalf("planted blocks cover %d of %d", covered.Count(), cfg.N)
+	}
+}
+
+// genSet must be pure: same id, same set, across calls and orderings.
+func TestPlantedFuncDeterministic(t *testing.T) {
+	cfg := PlantedConfig{N: 120, M: 260, K: 8, Seed: 4}
+	g1, p1, _, err := PlantedFunc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, p2, _, err := PlantedFunc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != len(p2) {
+		t.Fatal("planted positions differ")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("planted positions differ")
+		}
+	}
+	for id := cfg.M - 1; id >= 0; id-- { // reverse order on purpose
+		a, b := g1(id), g2(id)
+		if len(a.Elems) != len(b.Elems) {
+			t.Fatalf("set %d differs", id)
+		}
+		for j := range a.Elems {
+			if a.Elems[j] != b.Elems[j] {
+				t.Fatalf("set %d differs at %d", id, j)
+			}
+		}
+	}
+	// Freshness: mutating a returned set must not leak into later calls.
+	s := g1(p1[0])
+	want := append([]setcover.Elem(nil), s.Elems...)
+	for i := range s.Elems {
+		s.Elems[i] = -1
+	}
+	s2 := g1(p1[0])
+	for j := range want {
+		if s2.Elems[j] != want[j] {
+			t.Fatal("generator returned a previously handed-out buffer")
+		}
+	}
+}
+
+func TestPlantedFuncRejectsBadConfig(t *testing.T) {
+	if _, _, _, err := PlantedFunc(PlantedConfig{N: 10, M: 5, K: 6, Seed: 1}); err == nil {
+		t.Fatal("M < K should be rejected")
+	}
+	if _, _, _, err := PlantedFunc(PlantedConfig{N: 5, M: 10, K: 6, Seed: 1}); err == nil {
+		t.Fatal("K > N should be rejected")
+	}
+}

@@ -1,0 +1,347 @@
+package scdisk
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// readerBufSize is the bufio window each pass reads the file through: large
+// enough that a sequential scan issues few syscalls, small enough that
+// concurrent passes stay cheap.
+const readerBufSize = 256 << 10
+
+// maxPooledElems caps the recycle pool so a burst of passes cannot pin
+// unbounded decode buffers.
+const maxPooledElems = 4096
+
+// Repo is the disk-backed stream.Repository: a pass-counted, read-only view
+// of an SCB1 file. Every Begin starts an independent sequential decode of the
+// file — concurrent passes each own their buffered window over the shared
+// io.ReaderAt — and a pass keeps only the sets currently in flight resident.
+//
+// Repo additionally implements stream.BatchReader (batched decode straight
+// into engine batches) and stream.Recycler on its readers (the engine hands
+// consumed batches back so decode buffers are reused; see DESIGN.md §6).
+type Repo struct {
+	r       io.ReaderAt
+	closer  io.Closer
+	size    int64
+	n, m    int
+	dataOff int64
+
+	// offs[i] is the absolute file offset of set i; offs[m] is the end of the
+	// set data. cards[i] is |set i|. Both nil when the file has no index.
+	offs  []int64
+	cards []int32
+
+	passes atomic.Int64
+	free   elemPool
+
+	mu  sync.Mutex
+	err error
+}
+
+// Open opens an SCB1 file (with or without index footer) as a repository.
+func Open(path string) (*Repo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d, err := NewRepo(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.closer = f
+	return d, nil
+}
+
+// NewRepo wraps any io.ReaderAt holding size bytes of SCB1 data as a
+// repository. The header (and the index footer, when present) is parsed
+// eagerly; set data is only touched by passes.
+func NewRepo(r io.ReaderAt, size int64) (*Repo, error) {
+	head := make([]byte, 24) // magic + two max-length varints
+	if int64(len(head)) > size {
+		head = head[:size]
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(r, 0, size), head); err != nil {
+		return nil, fmt.Errorf("scdisk: header: %w", err)
+	}
+	br := bytes.NewReader(head)
+	n, m, err := setcover.ReadBinaryHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	d := &Repo{r: r, size: size, n: n, m: m,
+		dataOff: int64(len(head)) - int64(br.Len())}
+	if err := d.loadIndex(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readFull reads exactly len(buf) bytes at off.
+func (d *Repo) readFull(buf []byte, off int64) error {
+	_, err := d.r.ReadAt(buf, off)
+	return err
+}
+
+// loadIndex detects and parses the optional index footer. A file without the
+// trailer magic is a plain SCB1 stream: no error, just no seek index. The
+// trailer magic alone cannot prove a footer exists — a plain file's set data
+// may coincidentally end in those four bytes — so when the bytes before it do
+// not validate as an index, the file degrades to plain sequential mode
+// (HasIndex reports false, BeginAt/SetSpan are unavailable) instead of being
+// rejected: sequential decoding is self-delimiting and stays correct either
+// way, and genuinely corrupt set data still surfaces through Err mid-pass.
+func (d *Repo) loadIndex() error {
+	if d.size < d.dataOff+trailerLen {
+		return nil
+	}
+	var tr [trailerLen]byte
+	if err := d.readFull(tr[:], d.size-trailerLen); err != nil {
+		return fmt.Errorf("scdisk: trailer: %w", err)
+	}
+	if !bytes.Equal(tr[8:], trailerMagic[:]) {
+		return nil
+	}
+	if err := d.parseIndex(int64(binary.LittleEndian.Uint64(tr[:8]))); err != nil {
+		d.offs, d.cards = nil, nil
+	}
+	return nil
+}
+
+// parseIndex validates and loads the index claimed to start at indexOff.
+func (d *Repo) parseIndex(indexOff int64) error {
+	if indexOff < d.dataOff || indexOff > d.size-trailerLen {
+		return fmt.Errorf("scdisk: index offset %d out of file bounds", indexOff)
+	}
+	ir := bufio.NewReaderSize(io.NewSectionReader(d.r, indexOff, d.size-trailerLen-indexOff), 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(ir, magic[:]); err != nil {
+		return fmt.Errorf("scdisk: index: %w", err)
+	}
+	if magic != indexMagic {
+		return fmt.Errorf("scdisk: bad index magic %q", magic[:])
+	}
+	im, err := binary.ReadUvarint(ir)
+	if err != nil {
+		return fmt.Errorf("scdisk: index m: %w", err)
+	}
+	if int64(im) != int64(d.m) {
+		return fmt.Errorf("scdisk: index lists %d sets, header %d", im, d.m)
+	}
+	offs := make([]int64, 0, d.m+1)
+	cards := make([]int32, 0, d.m)
+	off := d.dataOff
+	for i := 0; i < d.m; i++ {
+		l, err := binary.ReadUvarint(ir)
+		if err != nil {
+			return fmt.Errorf("scdisk: index entry %d: %w", i, err)
+		}
+		c, err := binary.ReadUvarint(ir)
+		if err != nil {
+			return fmt.Errorf("scdisk: index entry %d: %w", i, err)
+		}
+		if c > uint64(d.n) {
+			return fmt.Errorf("scdisk: index entry %d: cardinality %d exceeds n", i, c)
+		}
+		// Bound the length against the remaining data span before summing:
+		// lengths are untrusted, and an oversized value must not be able to
+		// overflow the running offset past the checks below.
+		if l > uint64(indexOff-off) {
+			return fmt.Errorf("scdisk: index entry %d: set data overruns index", i)
+		}
+		offs = append(offs, off)
+		cards = append(cards, int32(c))
+		off += int64(l)
+	}
+	if off != indexOff {
+		return fmt.Errorf("scdisk: index byte lengths sum to %d, data section ends at %d", off, indexOff)
+	}
+	d.offs = append(offs, off)
+	d.cards = cards
+	return nil
+}
+
+// Close releases the underlying file when the repository owns one.
+func (d *Repo) Close() error {
+	if d.closer != nil {
+		return d.closer.Close()
+	}
+	return nil
+}
+
+// UniverseSize returns n.
+func (d *Repo) UniverseSize() int { return d.n }
+
+// NumSets returns m.
+func (d *Repo) NumSets() int { return d.m }
+
+// Passes returns the number of passes started so far.
+func (d *Repo) Passes() int { return int(d.passes.Load()) }
+
+// ResetPasses zeroes the pass counter (used between experiment phases).
+func (d *Repo) ResetPasses() { d.passes.Store(0) }
+
+// HasIndex reports whether the file carries the seek index footer.
+func (d *Repo) HasIndex() bool { return d.offs != nil }
+
+// SetSpan returns the absolute byte offset, encoded length, and cardinality
+// of set i, when the index is present.
+func (d *Repo) SetSpan(i int) (off, length int64, card int, ok bool) {
+	if d.offs == nil || i < 0 || i >= d.m {
+		return 0, 0, 0, false
+	}
+	return d.offs[i], d.offs[i+1] - d.offs[i], int(d.cards[i]), true
+}
+
+// Err returns the first decode error any pass hit (a reader that fails stops
+// early, so callers that care about truncation must check this after a run).
+func (d *Repo) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *Repo) setErr(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// Begin starts a new sequential pass over the whole family.
+func (d *Repo) Begin() stream.Reader {
+	return d.beginAt(0, d.dataOff)
+}
+
+// BeginAt starts a pass at set start, using the index to seek straight to its
+// byte offset without re-decoding the prefix. It counts as a pass like any
+// other and requires the index footer.
+func (d *Repo) BeginAt(start int) (stream.Reader, error) {
+	if d.offs == nil {
+		return nil, fmt.Errorf("scdisk: BeginAt needs the index footer")
+	}
+	if start < 0 || start > d.m {
+		return nil, fmt.Errorf("scdisk: BeginAt(%d) out of range [0,%d]", start, d.m)
+	}
+	// offs has m+1 entries; offs[m] is the end of the set data, so start == m
+	// yields an immediately exhausted (but still counted) pass.
+	return d.beginAt(start, d.offs[start]), nil
+}
+
+func (d *Repo) beginAt(pos int, off int64) *reader {
+	d.passes.Add(1)
+	return &reader{
+		d:   d,
+		br:  bufio.NewReaderSize(io.NewSectionReader(d.r, off, d.size-off), readerBufSize),
+		pos: pos,
+	}
+}
+
+// reader decodes one sequential pass. Each reader owns its buffered file
+// window, so concurrent passes never share decode state.
+type reader struct {
+	d      *Repo
+	br     *bufio.Reader
+	pos    int
+	failed bool
+	err    error
+}
+
+// Next decodes the next set into a freshly allocated element slice. The
+// batched path (NextBatch) is the one that reuses recycled buffers; Next is
+// kept allocation-fresh so direct scanners may retain what they are handed.
+func (it *reader) Next() (setcover.Set, bool) {
+	if it.failed || it.pos >= it.d.m {
+		return setcover.Set{}, false
+	}
+	elems, err := setcover.ReadSetBinary(it.br, it.d.n, nil)
+	if err != nil {
+		it.fail(err)
+		return setcover.Set{}, false
+	}
+	s := setcover.Set{ID: it.pos, Elems: elems}
+	it.pos++
+	return s, true
+}
+
+// NextBatch decodes up to cap(dst) sets, drawing element buffers from the
+// repository's recycle pool. Callers (the pass engine) must hand the batch
+// back via Recycle once every consumer is done with it; a caller that does
+// not recycle simply forfeits reuse.
+func (it *reader) NextBatch(dst []setcover.Set) int {
+	dst = dst[:cap(dst)]
+	k := 0
+	for k < len(dst) && !it.failed && it.pos < it.d.m {
+		elems, err := setcover.ReadSetBinary(it.br, it.d.n, it.d.free.get())
+		if err != nil {
+			it.fail(err)
+			break
+		}
+		dst[k] = setcover.Set{ID: it.pos, Elems: elems}
+		it.pos++
+		k++
+	}
+	return k
+}
+
+// Recycle implements stream.Recycler: consumed batches return their element
+// buffers to the repository pool for later decodes.
+func (it *reader) Recycle(sets []setcover.Set) { it.d.free.put(sets) }
+
+// Err returns the decode error that ended this pass early, if any.
+func (it *reader) Err() error { return it.err }
+
+func (it *reader) fail(err error) {
+	err = fmt.Errorf("scdisk: set %d: %w", it.pos, err)
+	it.failed = true
+	it.err = err
+	it.d.setErr(err)
+}
+
+// elemPool is the shared free list of decode buffers. sync.Mutex rather than
+// sync.Pool: buffers must survive GC cycles between passes for the
+// steady-state allocation profile tests rely on, and contention is one
+// lock per batch decode/recycle.
+type elemPool struct {
+	mu   sync.Mutex
+	free [][]setcover.Elem
+}
+
+func (p *elemPool) get() []setcover.Elem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+func (p *elemPool) put(sets []setcover.Set) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range sets {
+		if cap(s.Elems) > 0 && len(p.free) < maxPooledElems {
+			p.free = append(p.free, s.Elems[:0])
+		}
+	}
+}

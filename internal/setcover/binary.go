@@ -7,8 +7,8 @@ import (
 	"io"
 )
 
-// Binary instance format, for large repositories where the text format is
-// too slow or too big. Layout (all integers unsigned varints):
+// Binary instance format (SCB1), for large repositories where the text format
+// is too slow or too big. Layout (all integers unsigned varints):
 //
 //	magic "SCB1" (4 bytes)
 //	n, m
@@ -16,8 +16,124 @@ import (
 //	gaps-minus-one between consecutive sorted elements)
 //
 // Delta encoding keeps dense sets near one byte per element.
+//
+// The per-set encoding is exposed as AppendSetBinary/ReadSetBinary and the
+// header as AppendBinaryHeader/ReadBinaryHeader so that streaming backends
+// (internal/scdisk) encode and decode sets one at a time, byte-identically to
+// WriteBinary, without ever materializing an Instance. A file may carry
+// trailing data after the m-th set (scdisk appends an optional seek index
+// there); ReadBinary ignores it, which is what keeps the two formats
+// compatible in both directions.
 
 var binaryMagic = [4]byte{'S', 'C', 'B', '1'}
+
+// MaxBinaryDim bounds n and m in the binary header; writers (scdisk) reject
+// larger dimensions up front so they cannot emit files no reader accepts.
+// Chosen to fit int32 so dimension values and comparisons are portable to
+// 32-bit platforms.
+const MaxBinaryDim = 1<<31 - 1
+
+// maxPrealloc caps speculative allocation driven by untrusted length fields:
+// a decoder may only reserve this many entries up front and must grow
+// incrementally from there, so a handful of malicious header bytes cannot
+// demand gigabytes (each decoded entry costs at least one input byte, which
+// bounds the incremental growth by the input size).
+const maxPrealloc = 1 << 12
+
+// preallocCap clamps an untrusted count to a safe initial capacity.
+func preallocCap(count uint64) int {
+	if count > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(count)
+}
+
+// AppendBinaryHeader appends the SCB1 magic and the n, m varints to dst.
+func AppendBinaryHeader(dst []byte, n, m int) []byte {
+	dst = append(dst, binaryMagic[:]...)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.AppendUvarint(dst, uint64(m))
+	return dst
+}
+
+// ReadBinaryHeader reads the SCB1 magic and dimensions from r.
+func ReadBinaryHeader(r io.ByteReader) (n, m int, err error) {
+	for i := 0; i < len(binaryMagic); i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, 0, fmt.Errorf("setcover: binary header: %w", err)
+		}
+		if b != binaryMagic[i] {
+			return 0, 0, fmt.Errorf("setcover: bad binary magic")
+		}
+	}
+	un, err := readBoundedUvarint(r, "n", MaxBinaryDim)
+	if err != nil {
+		return 0, 0, fmt.Errorf("setcover: %w", err)
+	}
+	um, err := readBoundedUvarint(r, "m", MaxBinaryDim)
+	if err != nil {
+		return 0, 0, fmt.Errorf("setcover: %w", err)
+	}
+	return int(un), int(um), nil
+}
+
+// AppendSetBinary appends the SCB1 encoding of one set (count, then
+// delta-encoded elements) to dst. Elems must be sorted-unique and
+// non-negative; WriteBinary validates the whole instance before calling this,
+// and scdisk.Writer validates per set.
+func AppendSetBinary(dst []byte, elems []Elem) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(elems)))
+	prev := int64(-1)
+	for _, e := range elems {
+		dst = binary.AppendUvarint(dst, uint64(int64(e)-prev-1))
+		prev = int64(e)
+	}
+	return dst
+}
+
+// ReadSetBinary decodes one SCB1-encoded set from r into buf (reusing its
+// capacity; pass nil to allocate) and returns the decoded elements, which are
+// guaranteed sorted-unique in [0, n). Allocation is bounded by the bytes
+// actually consumed, never by the claimed count alone.
+func ReadSetBinary(r io.ByteReader, n int, buf []Elem) ([]Elem, error) {
+	count, err := readBoundedUvarint(r, "set size", uint64(n))
+	if err != nil {
+		return nil, err
+	}
+	buf = buf[:0]
+	if cap(buf) == 0 && count > 0 {
+		buf = make([]Elem, 0, preallocCap(count))
+	}
+	prev := int64(-1)
+	for j := uint64(0); j < count; j++ {
+		gap, err := readBoundedUvarint(r, "gap", uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		e := prev + 1 + int64(gap)
+		if e >= int64(n) {
+			return nil, fmt.Errorf("binary set: element %d out of range", e)
+		}
+		buf = append(buf, Elem(e))
+		prev = e
+	}
+	return buf, nil
+}
+
+// readBoundedUvarint reads a varint and rejects values above limit. Errors
+// carry no package prefix: the exported entry points (ReadBinaryHeader,
+// ReadBinary, scdisk's readers) each add their own context exactly once.
+func readBoundedUvarint(r io.ByteReader, what string, limit uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("binary %s: %w", what, err)
+	}
+	if v > limit {
+		return 0, fmt.Errorf("binary %s %d exceeds limit %d", what, v, limit)
+	}
+	return v, nil
+}
 
 // WriteBinary serializes the instance in the binary format. Sets must be
 // normalized (sorted unique elements); call Normalize first if unsure.
@@ -26,87 +142,36 @@ func WriteBinary(w io.Writer, in *Instance) error {
 		return err
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putUvarint(uint64(in.N)); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(len(in.Sets))); err != nil {
+	var buf []byte
+	buf = AppendBinaryHeader(buf, in.N, len(in.Sets))
+	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
 	for _, s := range in.Sets {
-		if err := putUvarint(uint64(len(s.Elems))); err != nil {
+		buf = AppendSetBinary(buf[:0], s.Elems)
+		if _, err := bw.Write(buf); err != nil {
 			return err
-		}
-		prev := int64(-1)
-		for _, e := range s.Elems {
-			gap := int64(e) - prev - 1
-			if err := putUvarint(uint64(gap)); err != nil {
-				return err
-			}
-			prev = int64(e)
 		}
 	}
 	return bw.Flush()
 }
 
 // ReadBinary parses an instance in the binary format and validates it.
+// Trailing bytes after the m-th set (e.g. an scdisk index footer) are
+// ignored.
 func ReadBinary(r io.Reader) (*Instance, error) {
 	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("setcover: binary header: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("setcover: bad binary magic %q", magic[:])
-	}
-	readUvarint := func(what string, limit uint64) (uint64, error) {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, fmt.Errorf("setcover: binary %s: %w", what, err)
-		}
-		if v > limit {
-			return 0, fmt.Errorf("setcover: binary %s %d exceeds limit %d", what, v, limit)
-		}
-		return v, nil
-	}
-	const maxDim = 1 << 31
-	n, err := readUvarint("n", maxDim)
+	n, m, err := ReadBinaryHeader(br)
 	if err != nil {
 		return nil, err
 	}
-	m, err := readUvarint("m", maxDim)
-	if err != nil {
-		return nil, err
-	}
-	in := &Instance{N: int(n)}
-	for i := uint64(0); i < m; i++ {
-		count, err := readUvarint("set size", n)
+	in := &Instance{N: n, Sets: make([]Set, 0, preallocCap(uint64(m)))}
+	for i := 0; i < m; i++ {
+		elems, err := ReadSetBinary(br, n, nil)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("setcover: set %d: %w", i, err)
 		}
-		elems := make([]Elem, 0, count)
-		prev := int64(-1)
-		for j := uint64(0); j < count; j++ {
-			gap, err := readUvarint("gap", n)
-			if err != nil {
-				return nil, err
-			}
-			e := prev + 1 + int64(gap)
-			if e >= int64(n) {
-				return nil, fmt.Errorf("setcover: binary set %d: element %d out of range", i, e)
-			}
-			elems = append(elems, Elem(e))
-			prev = e
-		}
-		in.Sets = append(in.Sets, Set{ID: int(i), Elems: elems})
+		in.Sets = append(in.Sets, Set{ID: i, Elems: elems})
 	}
 	if err := in.Validate(); err != nil {
 		return nil, err

@@ -136,13 +136,36 @@ func TestPropBinaryRoundTrip(t *testing.T) {
 	}
 }
 
-// Fuzz the text parser: must never panic, and anything it accepts must
-// validate and round-trip.
+// sameInstances reports whether two instances are structurally identical.
+func sameInstances(a, b *Instance) bool {
+	if a.N != b.N || len(a.Sets) != len(b.Sets) {
+		return false
+	}
+	for i := range a.Sets {
+		if len(a.Sets[i].Elems) != len(b.Sets[i].Elems) {
+			return false
+		}
+		for j := range a.Sets[i].Elems {
+			if a.Sets[i].Elems[j] != b.Sets[i].Elems[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Fuzz the text parser: arbitrary bytes must return an error, never panic
+// (and never allocate proportionally to claimed header dimensions — see
+// preallocCap). Anything accepted must validate, round-trip through the text
+// format, and round-trip through the binary format (the text↔binary
+// property: both Write∘Read and WriteBinary∘ReadBinary are the identity on
+// normalized instances).
 func FuzzRead(f *testing.F) {
 	f.Add("setcover 4 2\n0 1 0\n1\n")
 	f.Add("setcover 0 0\n")
 	f.Add("# comment\nsetcover 3 1\n0 0 1 2\n")
 	f.Add("nonsense")
+	f.Add("setcover 2000000000 2000000000\n") // huge claimed dims, no data
 	f.Fuzz(func(t *testing.T, src string) {
 		in, err := Read(strings.NewReader(src))
 		if err != nil {
@@ -155,18 +178,42 @@ func FuzzRead(f *testing.F) {
 		if err := Write(&buf, in); err != nil {
 			t.Fatalf("accepted instance fails to serialize: %v", err)
 		}
-		if _, err := Read(&buf); err != nil {
-			t.Fatalf("round-trip failed: %v", err)
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("text round-trip failed: %v", err)
+		}
+		if !sameInstances(in, back) {
+			t.Fatal("text round-trip not the identity")
+		}
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, in); err != nil {
+			t.Fatalf("accepted instance fails binary serialization: %v", err)
+		}
+		binBack, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("text->binary round-trip failed: %v", err)
+		}
+		if !sameInstances(in, binBack) {
+			t.Fatal("text->binary round-trip not the identity")
 		}
 	})
 }
 
-// Fuzz the binary parser: must never panic, and accepted inputs validate.
+// Fuzz the binary parser: arbitrary bytes must return an error, never panic,
+// and never allocate unboundedly (claimed counts only steer a capped
+// preallocation; growth beyond it costs input bytes). Accepted inputs must
+// validate and re-encode to a decodable identity.
 func FuzzReadBinary(f *testing.F) {
 	var seed bytes.Buffer
 	_ = WriteBinary(&seed, small())
 	f.Add(seed.Bytes())
+	// A valid stream with trailing bytes shaped like an scdisk index footer:
+	// the parser must ignore anything after the m-th set.
+	withFooter := append([]byte(nil), seed.Bytes()...)
+	withFooter = append(withFooter, []byte("SCIX\x02junkjunk\x00\x00\x00\x00\x00\x00\x00\x00SCX1")...)
+	f.Add(withFooter)
 	f.Add([]byte("SCB1"))
+	f.Add([]byte("SCB1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")) // n near the dim limit
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		in, err := ReadBinary(bytes.NewReader(data))
@@ -175,6 +222,17 @@ func FuzzReadBinary(f *testing.F) {
 		}
 		if err := in.Validate(); err != nil {
 			t.Fatalf("accepted binary instance fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, in); err != nil {
+			t.Fatalf("accepted instance fails to re-serialize: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("binary round-trip failed: %v", err)
+		}
+		if !sameInstances(in, back) {
+			t.Fatal("binary round-trip not the identity")
 		}
 	})
 }

@@ -37,6 +37,18 @@ type BatchReader interface {
 	NextBatch(dst []setcover.Set) int
 }
 
+// Recycler is an optional interface a Reader may implement when its sets are
+// decoded into buffers the reader owns (disk-backed repositories): Recycle
+// hands a batch previously returned by NextBatch back to the reader once
+// every consumer is done with it, so the element buffers can be reused for
+// later batches instead of becoming garbage. Only internal/engine calls it,
+// and only after all observers have returned from Observe — which is exactly
+// the engine's documented no-retention discipline. Recycle may be called from
+// a different goroutine than NextBatch.
+type Recycler interface {
+	Recycle(sets []setcover.Set)
+}
+
 // Repository is a read-only, sequentially scannable set family.
 type Repository interface {
 	// UniverseSize returns n = |U|.
