@@ -17,9 +17,12 @@
 //     measurable;
 //   - a shared pass engine (internal/engine) under every set-system
 //     algorithm (IterSetCover and the Figure 1.1 baselines): one physical
-//     pass per scan, batched delivery, and the paper's "parallel guesses"
-//     (Lemma 2.1) running as actual goroutines — tune it with
-//     Options.Engine (EngineOptions).
+//     pass per scan, batched delivery, the paper's "parallel guesses"
+//     (Lemma 2.1) running as actual goroutines, and segmented parallel
+//     decode of the stream itself on capable repositories — tune it with
+//     Options.Engine (EngineOptions). Passes that fail mid-stream
+//     (truncated or corrupt storage) surface as errors from every solve
+//     entry point, never as covers built from a partial scan.
 //
 // Quick start:
 //
@@ -85,7 +88,12 @@ type (
 	// EngineOptions tunes the shared pass executor (internal/engine, see
 	// DESIGN.md §5) that fans each physical pass out to the algorithm's
 	// observers: Workers goroutines (default GOMAXPROCS) consuming batches
-	// of BatchSize sets (default engine.DefaultBatchSize). Set it on
+	// of BatchSize sets (default engine.DefaultBatchSize). With Workers > 1
+	// the stream itself is also DECODED in parallel when the repository
+	// supports it (indexed SCB1 files and both in-memory backends): the pass
+	// splits into contiguous chunks decoded on separate goroutines and
+	// reassembled in stream order, so the CPU-bound varint decode of a disk
+	// pass scales with cores (DisableSegmented opts out). Set it on
 	// Options.Engine. Results, pass counts, and space accounting are
 	// identical for every setting — it is purely a wall-clock knob.
 	EngineOptions = engine.Options
@@ -104,8 +112,11 @@ func NewFuncRepository(n, m int, gen func(id int) Set) *FuncRepo {
 // OpenFile opens an SCB1 instance file (plain or with the scdisk index
 // footer) as a disk-backed repository. Every algorithm in this package runs
 // against it unmodified, holding O(BatchSize · avg-set-size) decoded sets
-// live instead of the whole family. Close it when done; check
-// DiskRepo.Err after a run to detect a truncated or corrupt file.
+// live instead of the whole family; on indexed files with Workers > 1 the
+// pass engine decodes each pass on several goroutines (segmented decode).
+// Close it when done. A truncated or corrupt file fails loudly: the solve
+// entry points and VerifyCover return the decode error of the pass that hit
+// it (DiskRepo.Err is only a sticky first-failure diagnostic).
 func OpenFile(path string) (*DiskRepo, error) { return scdisk.Open(path) }
 
 // InstanceWriter streams an instance to the indexed SCB1 format set by set
@@ -128,16 +139,20 @@ var WriteInstanceFile = scdisk.WriteFile
 // elements of U the given set IDs cover. It is the streaming counterpart of
 // Instance.CoverageOf for backends with no materialized instance; the pass is
 // charged to the repository's counter like any other. It runs through the
-// pass engine, so disk-backed repositories verify on the batched,
-// buffer-recycling path instead of allocating every set afresh.
-func VerifyCover(repo Repository, cover []int) (covered, n int) {
+// pass engine configured by opts (the zero value means engine defaults) —
+// disk-backed repositories verify on the batched, buffer-recycling,
+// segmented-decode path, and opts.DisableSegmented pins the verify pass to
+// the single-reader path along with everything else. A non-nil error means
+// the pass failed mid-stream (truncated or corrupt file): the counts are
+// from a partial scan and must not be trusted as a verification.
+func VerifyCover(repo Repository, cover []int, opts EngineOptions) (covered, n int, err error) {
 	n = repo.UniverseSize()
 	chosen := make(map[int]bool, len(cover))
 	for _, id := range cover {
 		chosen[id] = true
 	}
 	seen := bitset.New(n)
-	engine.New(engine.Options{Workers: 1}).Run(repo, engine.Func(func(batch []Set) {
+	err = engine.New(opts).Run(repo, engine.Func(func(batch []Set) {
 		for _, s := range batch {
 			if chosen[s.ID] {
 				for _, e := range s.Elems {
@@ -146,7 +161,7 @@ func VerifyCover(repo Repository, cover []int) (covered, n int) {
 			}
 		}
 	}))
-	return seen.Count(), n
+	return seen.Count(), n, err
 }
 
 // The main algorithm (Figure 1.3 / Theorem 2.8).
@@ -204,6 +219,13 @@ var (
 	// SahaGetoorSetCover is the faithful [SG09] algorithm: SetCover via
 	// repeated one-pass Max k-Cover.
 	SahaGetoorSetCover = maxcover.SahaGetoorSetCover
+
+	// SetBaselineEngine reconfigures the pass executor shared by all the
+	// baseline algorithms above (worker count, batch size, segmented-decode
+	// switch), whose signatures predate EngineOptions. Results are identical
+	// at every setting; only wall-clock changes. Not safe to call
+	// concurrently with running solves — it is CLI/benchmark plumbing.
+	SetBaselineEngine = baseline.SetEngine
 
 	// Partial (ε-Partial Set Cover) variants: cover at least a (1-ε)
 	// fraction of U.

@@ -2,6 +2,8 @@ package streamsetcover
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -78,6 +80,78 @@ func TestPublicAPIGeometric(t *testing.T) {
 	}
 	if fig.M() != 64 {
 		t.Fatalf("Figure12 m = %d", fig.M())
+	}
+}
+
+// A truncated SCB1 instance must fail loudly through the public API: the
+// solve entry points return the decode error, never a valid-looking cover
+// built from the prefix of the family that still decodes. This is the
+// regression test for the silent-truncation bug (library callers used to get
+// a "valid" partial-stream cover unless they knew to poll DiskRepo.Err).
+func TestPublicAPITruncatedFileFailsLoudly(t *testing.T) {
+	in, _, _, err := Planted(PlantedConfig{N: 300, M: 600, K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(t.TempDir(), "full.scb")
+	if err := WriteInstanceFile(full, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.scb")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := OpenFile(trunc)
+	if err != nil {
+		t.Fatalf("truncated file should still open (header intact): %v", err)
+	}
+	defer d.Close()
+
+	if res, err := IterSetCover(d, Options{Delta: 0.5, Seed: 1}); err == nil {
+		t.Fatalf("IterSetCover returned a cover of %d sets from a truncated stream", len(res.Cover))
+	}
+	if st, err := EmekRosen(d); err == nil {
+		t.Fatalf("EmekRosen returned a cover of %d sets from a truncated stream", len(st.Cover))
+	}
+	if st, err := SahaGetoorSetCover(d); err == nil {
+		t.Fatalf("SahaGetoorSetCover returned a cover of %d sets from a truncated stream", len(st.Cover))
+	}
+	if _, _, err := VerifyCover(d, []int{0, 1, 2}, EngineOptions{}); err == nil {
+		t.Fatal("VerifyCover reported counts from a truncated stream without error")
+	}
+}
+
+// VerifyCover over a healthy disk repository reports full coverage for a
+// real cover and no error — and still works after a failed pass on the same
+// repository (pass errors are scoped per pass; DiskRepo.Err stays sticky for
+// diagnostics only).
+func TestPublicAPIVerifyCoverDisk(t *testing.T) {
+	in, plantedIDs, _, err := Planted(PlantedConfig{N: 300, M: 600, K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "full.scb")
+	if err := WriteInstanceFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, opts := range []EngineOptions{{}, {Workers: 1}, {Workers: 4, DisableSegmented: true}} {
+		covered, n, err := VerifyCover(d, plantedIDs, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: verify pass failed: %v", opts, err)
+		}
+		if covered != n {
+			t.Fatalf("opts %+v: planted cover leaves %d of %d uncovered", opts, n-covered, n)
+		}
 	}
 }
 

@@ -7,41 +7,80 @@
 //	experiments -quick          # small workloads (seconds)
 //	experiments -markdown       # GitHub markdown (EXPERIMENTS.md source)
 //	experiments -only E2,E7     # subset of experiments
+//	experiments -workers 8      # pass-engine parallelism (identical tables)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
 func main() {
-	var (
-		seed     = flag.Int64("seed", 1, "random seed (all experiments are deterministic given it)")
-		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
-		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E7)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	fmt.Printf("# streaming set cover reproduction — seed=%d quick=%v\n\n", *seed, *quick)
+// run executes the command against explicit streams so tests drive the full
+// CLI path in-process. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Int64("seed", 1, "random seed (all experiments are deterministic given it)")
+		quick    = fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavored markdown")
+		only     = fs.String("only", "", "comma-separated experiment IDs to run (e.g. E2,E7)")
+		workers  = fs.Int("workers", 0, "pass-engine worker goroutines: observer fan-out and segmented parallel decode (0 = GOMAXPROCS); tables are identical at every value")
+		batch    = fs.Int("batch", 0, "pass-engine batch size (0 = default)")
+		noSeg    = fs.Bool("no-segmented", false, "force the single-reader decode path (tables are identical; isolates the segmented decoder when benchmarking)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	experiments.SetEngine(engine.Options{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg})
+
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
-	for _, t := range experiments.All(*seed, *quick) {
-		if len(want) > 0 && !want[t.ID] {
-			continue
+	// Resolve -only against the registry BEFORE running anything: unknown IDs
+	// fail fast, and a subset run pays only for its subset.
+	specs := experiments.Registry()
+	if len(want) > 0 {
+		matched := 0
+		selected := make([]experiments.Spec, 0, len(want))
+		for _, s := range specs {
+			if want[s.ID] {
+				matched++
+				selected = append(selected, s)
+			}
 		}
+		if matched != len(want) {
+			fmt.Fprintf(stderr, "experiments: -only matched %d of %d requested IDs\n", matched, len(want))
+			return 2
+		}
+		specs = selected
+	}
+
+	fmt.Fprintf(stdout, "# streaming set cover reproduction — seed=%d quick=%v\n\n", *seed, *quick)
+	for _, s := range specs {
+		t := s.Build(*seed, *quick)
 		if *markdown {
-			t.Markdown(os.Stdout)
+			t.Markdown(stdout)
 		} else {
-			t.Render(os.Stdout)
+			t.Render(stdout)
 		}
 	}
+	return 0
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// End to end: the quick reproduction of one experiment must run clean and
+// print its table — this is the smoke test CI runs so the reproduction
+// binary cannot silently rot.
+func TestQuickE2EndToEnd(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "E2") || !strings.Contains(s, "delta") {
+		t.Fatalf("E2 table missing from output:\n%s", s)
+	}
+	if strings.Contains(s, "E1 ") {
+		t.Fatalf("-only E2 also printed other experiments:\n%s", s)
+	}
+}
+
+// The -workers knob must not change any table (the engine's determinism
+// contract surfaces here as byte-identical reproduction output).
+func TestWorkersIdenticalTables(t *testing.T) {
+	render := func(workers string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-quick", "-only", "E2", "-workers", workers}, &out, &errb); code != 0 {
+			t.Fatalf("workers=%s: exit %d\nstderr: %s", workers, code, errb.String())
+		}
+		return out.String()
+	}
+	seq, par := render("1"), render("4")
+	if seq != par {
+		t.Fatalf("tables diverge across -workers:\n--- workers=1\n%s--- workers=4\n%s", seq, par)
+	}
+}
+
+// Unknown experiment IDs must fail, not silently print nothing.
+func TestUnknownExperimentID(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E99"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown ID exited %d, want 2", code)
+	}
+}
+
+// Markdown mode renders GitHub tables.
+func TestMarkdownMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E2", "-markdown"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "| --- |") {
+		t.Fatalf("markdown separator missing:\n%s", out.String())
+	}
+}

@@ -40,16 +40,16 @@ func TestStreamedBinaryGenerateSolveVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	covered, n := ssc.VerifyCover(d, res.Cover)
+	covered, n, err := ssc.VerifyCover(d, res.Cover, ssc.EngineOptions{})
+	if err != nil {
+		t.Fatalf("verify pass failed: %v", err)
+	}
 	if covered != n {
 		t.Fatalf("cover leaves %d of %d uncovered", n-covered, n)
 	}
 	// 16 is OPT; the paper's bound is O(rho/delta)·OPT.
 	if len(res.Cover) > 8*16 {
 		t.Fatalf("cover size %d implausibly large vs OPT 16", len(res.Cover))
-	}
-	if err := d.Err(); err != nil {
-		t.Fatal(err)
 	}
 }
 

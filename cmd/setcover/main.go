@@ -58,8 +58,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		eps        = fs.Float64("eps", 0, "partial-cover slack: cover at least a (1-eps) fraction")
 		seed       = fs.Int64("seed", 1, "random seed")
 		exact      = fs.Bool("exact-offline", false, "use the exact offline solver inside iter (rho = 1)")
-		workers    = fs.Int("workers", 0, "pass-engine worker goroutines for iter (0 = GOMAXPROCS)")
-		batch      = fs.Int("batch", 0, "pass-engine batch size for iter (0 = default)")
+		workers    = fs.Int("workers", 0, "pass-engine worker goroutines: observer fan-out and, at >1 on indexed files, segmented parallel decode (0 = GOMAXPROCS)")
+		batch      = fs.Int("batch", 0, "pass-engine batch size (0 = default)")
+		noSeg      = fs.Bool("no-segmented", false, "force the single-reader decode path even at -workers > 1 (results identical; separates decode parallelism from observer fan-out when debugging)")
 		reduce     = fs.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving (text/binary only)")
 		printCover = fs.Bool("print-cover", false, "print the chosen set IDs")
 	)
@@ -73,6 +74,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "setcover:", err)
 		return 2
 	}
+
+	// -workers/-batch tune the pass engine for every algorithm: iter takes
+	// them through Options.Engine below, the baselines through the shared
+	// executor. Results are identical at every setting.
+	engOpts := ssc.EngineOptions{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg}
+	ssc.SetBaselineEngine(engOpts)
 
 	// Open the repository: disk mode streams the file out-of-core, the other
 	// formats materialize an Instance (which verification then reuses).
@@ -119,7 +126,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	switch *algo {
 	case "iter":
 		opts := ssc.Options{Delta: *delta, Seed: *seed, PartialEps: *eps,
-			Engine: ssc.EngineOptions{Workers: *workers, BatchSize: *batch}}
+			Engine: engOpts}
 		if *exact {
 			opts.Offline = ssc.ExactSolver{}
 		}
@@ -165,11 +172,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		n, m = original.N, original.M()
 		covered = original.CoverageOf(st.Cover).Count()
 	} else {
-		covered, n = ssc.VerifyCover(repo, st.Cover)
-		if d, ok := repo.(*ssc.DiskRepo); ok {
-			if derr := d.Err(); derr != nil {
-				return fatal(fmt.Errorf("disk repository reported a decode error: %w", derr))
-			}
+		// A decode failure during the verify pass means the counts are from
+		// a partial scan: fail loudly. (Solve passes over a bad file already
+		// failed above — the engine reports mid-pass errors per pass, so
+		// there is no repository-level flag left to poll here.)
+		if covered, n, err = ssc.VerifyCover(repo, st.Cover, engOpts); err != nil {
+			return fatal(err)
 		}
 	}
 	coverage := 1.0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,6 +81,60 @@ func TestSolveFromStdinText(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "valid=true") {
 		t.Fatalf("cover not verified:\n%s", out.String())
+	}
+}
+
+// A truncated SCB1 file must fail the whole command (exit 2 with the decode
+// error on stderr), for every algorithm — never print a valid-looking
+// summary from the prefix that still decodes.
+func TestDiskModeTruncatedFileFails(t *testing.T) {
+	dir := t.TempDir()
+	full, _ := genFile(t, dir)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.scb")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"iter", "greedy1", "er14", "sg09"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-algo", algo, "-format", "disk", "-in", trunc},
+			strings.NewReader(""), &out, &errb)
+		if code != 2 {
+			t.Fatalf("%s: truncated file exited %d, want 2\nstdout: %s\nstderr: %s",
+				algo, code, out.String(), errb.String())
+		}
+		if !strings.Contains(errb.String(), "scdisk") {
+			t.Fatalf("%s: stderr does not carry the decode error: %q", algo, errb.String())
+		}
+		if strings.Contains(out.String(), "valid=true") {
+			t.Fatalf("%s: truncated run still printed a valid summary:\n%s", algo, out.String())
+		}
+	}
+}
+
+// -workers must be accepted at any value with byte-identical output: the
+// engine's determinism contract, CLI edition (workers > 1 exercises the
+// segmented parallel decode on the indexed file).
+func TestDiskModeWorkersIdenticalOutput(t *testing.T) {
+	path, _ := genFile(t, t.TempDir())
+	outputs := make([]string, 0, 3)
+	for _, workers := range []string{"1", "2", "5"} {
+		var out bytes.Buffer
+		code := run([]string{"-algo", "iter", "-seed", "7", "-format", "disk", "-in", path,
+			"-workers", workers, "-print-cover"}, strings.NewReader(""), &out, &bytes.Buffer{})
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d\n%s", workers, code, out.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("output diverges across -workers:\n--- workers=1\n%s--- other\n%s",
+				outputs[0], outputs[i])
+		}
 	}
 }
 

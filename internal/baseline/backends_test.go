@@ -1,9 +1,13 @@
 package baseline
 
 import (
+	"bytes"
+	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/maxcover"
 	"repro/internal/scdisk"
@@ -65,7 +69,18 @@ func TestBaselineBackendConformance(t *testing.T) {
 		{"saha-getoor", maxcover.SahaGetoorSetCover},
 	}
 
+	// Sweep the shared executor across worker counts: workers = 1 is the
+	// sequential reference, workers > 1 decodes segmentable backends (all
+	// three — an indexed SCB1 file included) through the segmented parallel
+	// path. The baselines must be unable to tell any of it apart.
+	engines := []engine.Options{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: runtime.GOMAXPROCS(0)},
+	}
+	defer SetEngine(engine.Options{})
 	for _, algo := range algos {
+		SetEngine(engine.Options{Workers: 1})
 		ref, err := algo.run(stream.NewSliceRepo(in))
 		if err != nil {
 			t.Fatalf("%s: reference run: %v", algo.name, err)
@@ -73,25 +88,79 @@ func TestBaselineBackendConformance(t *testing.T) {
 		if !ref.Valid || !in.IsCover(ref.Cover) {
 			t.Fatalf("%s: reference cover invalid", algo.name)
 		}
-		for _, b := range backends {
-			st, err := algo.run(b.mk())
-			if err != nil {
-				t.Fatalf("%s/%s: %v", algo.name, b.name, err)
-			}
-			if st.Passes != ref.Passes {
-				t.Errorf("%s/%s: passes %d, want %d", algo.name, b.name, st.Passes, ref.Passes)
-			}
-			if st.SpaceWords != ref.SpaceWords {
-				t.Errorf("%s/%s: space %d, want %d", algo.name, b.name, st.SpaceWords, ref.SpaceWords)
-			}
-			if len(st.Cover) != len(ref.Cover) {
-				t.Fatalf("%s/%s: cover size %d, want %d", algo.name, b.name, len(st.Cover), len(ref.Cover))
-			}
-			for i := range ref.Cover {
-				if st.Cover[i] != ref.Cover[i] {
-					t.Fatalf("%s/%s: cover[%d] = %d, want %d", algo.name, b.name, i, st.Cover[i], ref.Cover[i])
+		for _, engOpts := range engines {
+			SetEngine(engOpts)
+			for _, b := range backends {
+				label := fmt.Sprintf("%s/%s/workers=%d", algo.name, b.name, engOpts.Workers)
+				st, err := algo.run(b.mk())
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if st.Passes != ref.Passes {
+					t.Errorf("%s: passes %d, want %d", label, st.Passes, ref.Passes)
+				}
+				if st.SpaceWords != ref.SpaceWords {
+					t.Errorf("%s: space %d, want %d", label, st.SpaceWords, ref.SpaceWords)
+				}
+				if len(st.Cover) != len(ref.Cover) {
+					t.Fatalf("%s: cover size %d, want %d", label, len(st.Cover), len(ref.Cover))
+				}
+				for i := range ref.Cover {
+					if st.Cover[i] != ref.Cover[i] {
+						t.Fatalf("%s: cover[%d] = %d, want %d", label, i, st.Cover[i], ref.Cover[i])
+					}
 				}
 			}
+		}
+	}
+}
+
+// A truncated SCB1 file must fail EVERY algorithm loudly — a pass that ends
+// early poisons the run, and no baseline may hand back a valid-looking cover
+// computed from a prefix of the family. (This is the regression test for the
+// silent-truncation bug: before pass failure became an engine concept, only
+// cmd/setcover polled the repository's error flag, and library callers got
+// covers from partial scans.)
+func TestTruncatedFileFailsEveryBaseline(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 350, M: 800, K: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scdisk.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()*3/5] // chops sets, footer, and trailer
+
+	algos := []struct {
+		name string
+		run  func(stream.Repository) (setcover.Stats, error)
+	}{
+		{"greedy-1pass", OnePassGreedy},
+		{"greedy-npass", MultiPassGreedy},
+		{"threshold-greedy", ThresholdGreedy},
+		{"emek-rosen", EmekRosen},
+		{"chakrabarti-wirth", func(r stream.Repository) (setcover.Stats, error) {
+			return ChakrabartiWirth(r, 3)
+		}},
+		{"dimv14", func(r stream.Repository) (setcover.Stats, error) {
+			return DIMV14(r, DIMV14Options{Delta: 0.5, Seed: 5})
+		}},
+		{"saha-getoor", maxcover.SahaGetoorSetCover},
+	}
+	for _, algo := range algos {
+		d, err := scdisk.NewRepo(bytes.NewReader(truncated), int64(len(truncated)))
+		if err != nil {
+			t.Fatalf("%s: truncated file should still open (the header is intact): %v", algo.name, err)
+		}
+		st, err := algo.run(d)
+		if err == nil {
+			t.Fatalf("%s: solved a truncated family without error (cover size %d, valid=%v)",
+				algo.name, len(st.Cover), st.Valid)
+		}
+		if st.Valid || len(st.Cover) != 0 {
+			t.Fatalf("%s: failed run still reported a cover (size %d, valid=%v)",
+				algo.name, len(st.Cover), st.Valid)
 		}
 	}
 }

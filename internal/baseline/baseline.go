@@ -46,9 +46,30 @@ import (
 var ErrInfeasible = setcover.ErrInfeasible
 
 // eng is the shared pass executor for all baselines. Each baseline registers
-// one observer per pass, so execution is sequential regardless of the
-// default worker count (the engine never runs more workers than observers).
+// one observer per pass, so observer delivery is sequential regardless of
+// the worker count (the engine never runs more delivery workers than
+// observers) — but the decode side of a pass still parallelizes: with the
+// default GOMAXPROCS workers, a segmentable repository (an indexed SCB1
+// file, or any in-memory backend) is decoded by several goroutines and
+// reassembled in stream order, so results are identical and only wall-clock
+// changes.
 var eng = engine.New(engine.Options{})
+
+// SetEngine replaces the shared pass executor's options (worker count, batch
+// size, segmented-decode switch). It exists so CLIs and benchmarks can
+// thread their -workers flags down to the baselines, whose entry points
+// predate EngineOptions; results are identical at every setting, per the
+// engine's determinism contract. Not safe to call concurrently with running
+// solves.
+func SetEngine(opts engine.Options) { eng = engine.New(opts) }
+
+// failPass closes out a Stats whose physical pass failed mid-stream: the
+// algorithm saw only a prefix of F, so no cover is reported.
+func failPass(st setcover.Stats, repo stream.Repository, tracker *stream.Tracker, err error) (setcover.Stats, error) {
+	st.Passes = repo.Passes()
+	st.SpaceWords = tracker.Peak()
+	return st, fmt.Errorf("baseline: %w", err)
+}
 
 // allowedLeftovers converts ε into an element budget.
 func allowedLeftovers(n int, eps float64) (int, error) {
@@ -67,14 +88,16 @@ func OnePassGreedy(repo stream.Repository) (setcover.Stats, error) {
 	tracker := stream.NewTracker()
 
 	stored := &setcover.Instance{N: repo.UniverseSize()}
-	eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+	if err := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 		for _, s := range batch {
 			cp := make([]setcover.Elem, len(s.Elems))
 			copy(cp, s.Elems)
 			stored.Sets = append(stored.Sets, setcover.Set{ID: s.ID, Elems: cp})
 			tracker.Grow(stream.WordsForElems(len(cp)) + 1)
 		}
-	}))
+	})); err != nil {
+		return failPass(st, repo, tracker, err)
+	}
 	cover, err := (offline.Greedy{}).Solve(stored)
 	if err != nil {
 		st.Passes = repo.Passes()
@@ -123,7 +146,9 @@ func multiPassGreedy(repo stream.Repository, eps float64) (setcover.Stats, error
 		if len(cover) > n {
 			return st, fmt.Errorf("baseline: greedy-npass exceeded %d passes", n)
 		}
-		eng.Run(repo, best)
+		if err := eng.Run(repo, best); err != nil {
+			return failPass(st, repo, tracker, err)
+		}
 		if best.id < 0 {
 			st.Passes = repo.Passes()
 			st.SpaceWords = tracker.Peak()
@@ -210,7 +235,9 @@ func thresholdGreedy(repo stream.Repository, eps float64) (setcover.Stats, error
 		if uncovered.Count() <= allowed {
 			break
 		}
-		eng.Run(repo, accept)
+		if err := eng.Run(repo, accept); err != nil {
+			return failPass(st, repo, tracker, err)
+		}
 		if tau <= 1 {
 			break
 		}
@@ -274,7 +301,7 @@ func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
 	tracker.Grow(stream.WordsForElems(n)) // int32 per element
 
 	var cover []int
-	eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+	if err := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 		for _, s := range batch {
 			for _, e := range s.Elems {
 				if firstCover[e] < 0 {
@@ -287,7 +314,9 @@ func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
 				uncovered.SubtractSlice(s.Elems)
 			}
 		}
-	}))
+	})); err != nil {
+		return failPass(st, repo, tracker, err)
+	}
 	patch, infeasible := patchLeftovers(uncovered, firstCover, allowed)
 	tracker.Grow(int64(len(patch)))
 	st.Passes = repo.Passes()
@@ -350,7 +379,7 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover
 			break
 		}
 		tau := math.Pow(float64(n), (p+1-float64(j))/(p+1))
-		eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+		if err := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 			for _, s := range batch {
 				if j == 1 {
 					for _, e := range s.Elems {
@@ -365,7 +394,9 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover
 					uncovered.SubtractSlice(s.Elems)
 				}
 			}
-		}))
+		})); err != nil {
+			return failPass(st, repo, tracker, err)
+		}
 	}
 	patch, infeasible := patchLeftovers(uncovered, firstCover, allowed)
 	tracker.Grow(int64(len(patch)))
@@ -478,7 +509,7 @@ func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) 
 		var projWords int64
 		var projIDs []int
 		var projElems [][]setcover.Elem
-		eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+		errA := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 			for _, set := range batch {
 				inS := s.IntersectionWithSlice(set.Elems)
 				if inS == 0 {
@@ -497,6 +528,9 @@ func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) 
 				tracker.Grow(w)
 			}
 		}))
+		if errA != nil {
+			return failPass(st, repo, tracker, errA)
+		}
 
 		// Offline greedy on the sampled sub-instance.
 		newIdx := make(map[setcover.Elem]setcover.Elem)
@@ -532,13 +566,15 @@ func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) 
 		}
 
 		// Pass B: remove everything the new picks cover.
-		eng.Run(repo, engine.Func(func(batch []setcover.Set) {
+		if err := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 			for _, set := range batch {
 				if picked[set.ID] {
 					uncovered.SubtractSlice(set.Elems)
 				}
 			}
-		}))
+		})); err != nil {
+			return failPass(st, repo, tracker, err)
+		}
 		tracker.Shrink(projWords + stream.WordsForBitset(n))
 	}
 	st.Passes = repo.Passes()

@@ -85,6 +85,11 @@ func (r *protocolReader) Next() (setcover.Set, bool) {
 	return s, ok
 }
 
+// Err forwards the wrapped reader's mid-pass failure (stream.ErrorReader):
+// a truncated repository must fail loudly through the simulation wrapper
+// too, not read as a short healthy pass.
+func (r *protocolReader) Err() error { return stream.ReaderErr(r.inner) }
+
 // ProtocolCost converts a finished simulation into communication bits:
 // every hand-off ships the algorithm's peak working memory once.
 func ProtocolCost(crossings int, spaceWords int64) int64 {

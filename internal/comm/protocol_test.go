@@ -1,12 +1,14 @@
 package comm
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/scdisk"
 	"repro/internal/stream"
 )
 
@@ -106,6 +108,40 @@ func TestObservation59EndToEnd(t *testing.T) {
 		t.Fatalf("ER crossings = %d, want %d", repo2.Crossings(), players)
 	}
 	_ = st
+}
+
+// The wrapper must forward mid-pass failures of the inner repository
+// (stream.ErrorReader): a truncated stream running through the protocol
+// simulation still fails loudly at the solve entry points instead of
+// reading as a short healthy pass.
+func TestProtocolRepoForwardsReaderError(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 64, M: 128, K: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scdisk.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	d, err := scdisk.NewRepo(bytes.NewReader(truncated), int64(len(truncated)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := NewProtocolRepo(d, 3)
+
+	it := repo.Begin()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if stream.ReaderErr(it) == nil {
+		t.Fatal("protocolReader swallowed the inner reader's decode error")
+	}
+	if _, err := core.IterSetCover(NewProtocolRepo(d, 3), core.Options{Delta: 0.5, Seed: 5}); err == nil {
+		t.Fatal("IterSetCover over a truncated protocol-wrapped repo returned a cover")
+	}
 }
 
 // On the reduced ISC instance, the simulated protocol for an exact streaming

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -75,21 +77,28 @@ func sameStats(t *testing.T, label string, want, got setcover.Stats) {
 }
 
 // IterSetCover must produce byte-identical covers, pass counts, and space
-// charges on SliceRepo, FuncRepo, and DiskRepo, at one worker and at
-// GOMAXPROCS workers.
+// charges on SliceRepo, FuncRepo, and DiskRepo, at Workers ∈ {1, 2,
+// GOMAXPROCS} — which also pits the segmented parallel decode (workers > 1)
+// against the sequential reference (workers = 1) on every backend — and
+// with segmented decode force-disabled, which must change nothing either.
 func TestIterSetCoverBackendConformance(t *testing.T) {
-	workersList := []int{1, runtime.GOMAXPROCS(0)}
+	engines := []engine.Options{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: runtime.GOMAXPROCS(0)},
+		{Workers: 2, DisableSegmented: true},
+	}
 	for instName, in := range conformanceInstances(t) {
 		repos := conformanceRepos(t, in)
-		for _, workers := range workersList {
-			opts := Options{Delta: 0.5, Seed: 7, FinalPatch: true,
-				Engine: engine.Options{Workers: workers}}
-			ref, err := IterSetCover(stream.NewSliceRepo(in), opts)
-			if err != nil {
-				t.Fatal(err)
-			}
+		ref, err := IterSetCover(stream.NewSliceRepo(in),
+			Options{Delta: 0.5, Seed: 7, FinalPatch: true, Engine: engine.Options{Workers: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range engines {
+			opts := Options{Delta: 0.5, Seed: 7, FinalPatch: true, Engine: eng}
 			for backend, mk := range repos {
-				label := fmt.Sprintf("%s/%s/workers=%d", instName, backend, workers)
+				label := fmt.Sprintf("%s/%s/workers=%d/noseg=%v", instName, backend, eng.Workers, eng.DisableSegmented)
 				res, err := IterSetCover(mk(), opts)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
@@ -104,6 +113,38 @@ func TestIterSetCoverBackendConformance(t *testing.T) {
 						label, res.StoredProjectionWordsPeak, ref.StoredProjectionWordsPeak)
 				}
 			}
+		}
+	}
+}
+
+// IterSetCover over a truncated SCB1 file must fail loudly at every worker
+// count: the first pass ends early, poisons the run, and no guess's state
+// may surface as a cover.
+func TestTruncatedFileFailsIterSetCover(t *testing.T) {
+	in := conformanceInstances(t)["planted"]
+	var buf bytes.Buffer
+	if err := scdisk.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		d, err := scdisk.NewRepo(bytes.NewReader(truncated), int64(len(truncated)))
+		if err != nil {
+			t.Fatalf("truncated file should still open (header intact): %v", err)
+		}
+		res, err := IterSetCover(d, Options{Delta: 0.5, Seed: 7, FinalPatch: true,
+			Engine: engine.Options{Workers: workers}})
+		if err == nil {
+			t.Fatalf("workers=%d: truncated solve returned a cover of %d sets", workers, len(res.Cover))
+		}
+		if errors.Is(err, ErrNoCover) {
+			t.Fatalf("workers=%d: failure reads as ErrNoCover — the decode error was swallowed", workers)
+		}
+		if res.Valid || len(res.Cover) != 0 {
+			t.Fatalf("workers=%d: failed run still reported a cover", workers)
+		}
+		if res.Passes != 1 {
+			t.Fatalf("workers=%d: failed run consumed %d passes, want 1 (fail at the first)", workers, res.Passes)
 		}
 	}
 }

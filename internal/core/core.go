@@ -150,6 +150,16 @@ type Result struct {
 	CoveredFraction float64
 }
 
+// failPass closes out a Result whose physical pass failed mid-stream
+// (truncated or corrupt repository): every guess saw only a prefix of F, so
+// no cover can be reported — the run fails loudly with the resources it
+// consumed, never with a plausible-looking partial answer.
+func (res Result) failPass(repo stream.Repository, tracker *stream.Tracker, err error) (Result, error) {
+	res.Passes = repo.Passes()
+	res.SpaceWords = tracker.Peak()
+	return res, fmt.Errorf("core: %w", err)
+}
+
 // guessRun is the state of one parallel guess of k.
 type guessRun struct {
 	k         int
@@ -225,9 +235,11 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 		// physical pass shared by all live guesses (Lemma 2.1); each guess
 		// is its own observer, so the engine runs them on parallel workers
 		// over disjoint state.
-		eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
+		if err := eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
 			return &sizeTestObserver{g: g, opts: &opts, tracker: tracker}
-		})...)
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
+		}
 		var iterProjWords int64
 		for _, g := range runs {
 			if !g.done && !g.failed {
@@ -247,9 +259,11 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 		}
 
 		// Pass 2: recompute uncovered elements, shared by all guesses.
-		eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
+		if err := eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
 			return &recomputeObserver{g: g}
-		})...)
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
+		}
 
 		// Close the iteration: release per-iteration memory (Lemma 2.2:
 		// earlier iterations' space is not kept). Guesses that failed in
@@ -272,9 +286,11 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 	// every unfinished guess; it only runs when no guess finished on its
 	// own (rescue semantics — the pass budget stays 2/δ otherwise).
 	if opts.FinalPatch && !anyDone(runs) {
-		eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
+		if err := eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
 			return &patchObserver{g: g, target: targetUncovered, tracker: tracker}
-		})...)
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
+		}
 	}
 
 	// Return the best valid solution over all parallel executions.

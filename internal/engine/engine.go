@@ -19,6 +19,20 @@
 // count. The paper's "parallel guesses" thereby become actual goroutines
 // without changing pass counts, space accounting, or results.
 //
+// Passes are parallel on a second axis too: when the repository implements
+// stream.SegmentedRepository and the engine runs with Workers > 1, the
+// stream is decoded as contiguous chunks on Workers goroutines and
+// reassembled in stream order before delivery (segmented.go) — the
+// CPU-bound decode of a disk-backed pass scales with cores while every
+// observer still sees the exact sequential stream.
+//
+// Pass failure is first-class: Run returns an error when the pass could not
+// be fully drained (a truncated or corrupt backing file, surfaced through
+// stream.ErrorReader, or a failed decode segment, which poisons the whole
+// pass). Algorithms propagate that error instead of reporting a cover built
+// from a partial scan — in this model a partial pass must never be mistaken
+// for a cheap full one.
+//
 // Invariants the engine guarantees (tested in engine_test.go and relied on
 // by internal/core's pass-sharing tests):
 //
@@ -48,6 +62,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -86,13 +101,21 @@ func (f Func) Observe(batch []setcover.Set) { f(batch) }
 // Options configures an Engine. The zero value is usable: it runs one worker
 // per CPU with DefaultBatchSize.
 type Options struct {
-	// Workers is the number of goroutines batches fan out to. Observers are
-	// sharded across workers, so at most len(observers) workers are ever
-	// active. <= 0 means runtime.GOMAXPROCS(0).
+	// Workers is the parallelism of a pass, on both of its axes. Observers
+	// are sharded across at most Workers goroutines (capped at
+	// len(observers)), and — when the repository implements
+	// stream.SegmentedRepository — the stream itself is decoded by Workers
+	// goroutines over contiguous chunks, reassembled in stream order before
+	// delivery (see segmented.go). <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// BatchSize is the number of sets per Observe call. <= 0 means
-	// DefaultBatchSize.
+	// BatchSize is the number of sets per Observe call, and the chunk size
+	// of the segmented decoder. <= 0 means DefaultBatchSize.
 	BatchSize int
+	// DisableSegmented forces the single-reader decode path even when
+	// Workers > 1 and the repository supports segmented passes. Results are
+	// identical either way (that is the engine's determinism contract); this
+	// is a debugging and benchmarking knob, threaded from the CLIs.
+	DisableSegmented bool
 }
 
 // normalized fills in defaults.
@@ -139,14 +162,21 @@ type batch struct {
 // Run executes one physical pass over repo and feeds it to the observers.
 // It returns when the pass is fully drained and every observer has seen
 // every batch. Observers with disjoint state need no synchronization.
-func (e *Engine) Run(repo stream.Repository, observers ...Observer) {
+//
+// A non-nil error means the pass FAILED mid-stream (the reader reported a
+// decode error, or a segment came up short): observers saw only a prefix of
+// the stream, so whatever they accumulated is unusable and the caller must
+// propagate the failure instead of reporting a result. The model's "a begun
+// pass is a full scan" discipline cuts both ways — a pass that cannot finish
+// must not pass for one that did.
+func (e *Engine) Run(repo stream.Repository, observers ...Observer) error {
 	for _, o := range observers {
 		if l, ok := o.(PassLifecycle); ok {
 			l.BeginPass()
 		}
 	}
 
-	it := repo.Begin()
+	it := e.beginPass(repo)
 	workers := e.opts.Workers
 	if workers > len(observers) {
 		workers = len(observers)
@@ -156,12 +186,33 @@ func (e *Engine) Run(repo stream.Repository, observers ...Observer) {
 	} else {
 		e.runParallel(it, observers, workers)
 	}
+	err := stream.ReaderErr(it)
 
 	for _, o := range observers {
 		if l, ok := o.(PassLifecycle); ok {
 			l.EndPass()
 		}
 	}
+	if err != nil {
+		return fmt.Errorf("engine: pass failed: %w", err)
+	}
+	return nil
+}
+
+// beginPass starts the pass, choosing the decode mode: segmented
+// data-parallel decode whenever more than one worker is configured and the
+// repository supports it (the CPU-bound varint decode of a disk pass is the
+// hot path this exists for), the plain single reader otherwise. Exactly one
+// pass is counted either way.
+func (e *Engine) beginPass(repo stream.Repository) stream.Reader {
+	if e.opts.Workers > 1 && !e.opts.DisableSegmented {
+		if sr, ok := repo.(stream.SegmentedRepository); ok {
+			if src, ok := sr.BeginSegmented(); ok {
+				return newSegmentedReader(src, repo.NumSets(), e.opts.Workers, e.opts.BatchSize)
+			}
+		}
+	}
+	return repo.Begin()
 }
 
 // fill loads the next batch of the pass into buf (up to cap(buf)), using the

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/setcover"
@@ -93,18 +94,22 @@ func TestRunDeliversStreamToEveryObserver(t *testing.T) {
 
 func TestRunWithZeroObserversStillDrains(t *testing.T) {
 	// The streaming model does not allow a partial scan to be cheaper: a
-	// begun pass reads all of F even when no observer is registered.
-	reads := 0
+	// begun pass reads all of F even when no observer is registered. The
+	// counter is atomic because a FuncRepo generator may run on several
+	// decode goroutines (segmented passes).
+	var reads atomic.Int64
 	repo := stream.NewFuncRepo(8, 123, func(id int) setcover.Set {
-		reads++
+		reads.Add(1)
 		return setcover.Set{Elems: []setcover.Elem{int32(id % 8)}}
 	})
-	New(Options{}).Run(repo)
+	if err := New(Options{}).Run(repo); err != nil {
+		t.Fatal(err)
+	}
 	if repo.Passes() != 1 {
 		t.Fatalf("Passes = %d, want 1", repo.Passes())
 	}
-	if reads != 123 {
-		t.Fatalf("drained %d of 123 sets", reads)
+	if reads.Load() != 123 {
+		t.Fatalf("drained %d of 123 sets", reads.Load())
 	}
 }
 

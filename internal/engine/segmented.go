@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// segmented.go is the data-parallel decode path of the engine: when a
+// repository implements stream.SegmentedRepository and the engine runs with
+// more than one worker, one physical pass is split into contiguous chunks of
+// chunkSize sets, decoded by `workers` goroutines, and reassembled in stream
+// order before any observer sees a set.
+//
+// Chunk ownership is strided: decoder w owns chunks w, w+W, w+2W, ... and
+// publishes them, in its own order, on its own bounded channel. The consumer
+// (segmentedReader.NextBatch, driven by the engine's delivery loop) takes
+// chunk c from channel c mod W, so round-robin receive reconstructs global
+// stream order with no sequence numbers and no sorting. The channels ARE the
+// reorder window: each holds at most segWindow finished chunks, so a fast
+// decoder blocks after running segWindow chunks ahead of delivery and the
+// in-flight decoded state stays O(workers · segWindow · chunkSize) sets —
+// the same asymptotic scratch bound as the engine's batch pool.
+//
+// Determinism: chunk boundaries depend only on (m, chunkSize), each chunk is
+// decoded by exactly one goroutine from an independent reader, and delivery
+// is in stream order, so observers receive byte-identical streams at every
+// worker count — the engine's contract, now including the decode layer.
+//
+// Failure: a chunk whose reader errors (or comes up short — a partial chunk
+// is a truncation even if the reader doesn't say so) is published with its
+// error. The consumer stops delivering at the first failed chunk, closes the
+// stop channel so the remaining decoders abandon their work, and reports the
+// error through Err — poisoning the pass rather than passing off a prefix of
+// the stream as the whole thing.
+
+// segWindow is the per-decoder reorder window, in chunks: how far ahead of
+// in-order delivery one decoder may run before blocking.
+const segWindow = 2
+
+// segChunk is one decoded contiguous range of the stream, or the error that
+// interrupted it. A failed chunk may still carry the sets decoded before the
+// failure; they are never delivered.
+type segChunk struct {
+	sets []setcover.Set
+	err  error
+}
+
+// segmentedReader adapts W parallel chunk decoders into a single in-order
+// stream.Reader. It implements stream.BatchReader (the engine's fill path),
+// stream.Recycler (forwarding to the source when it recycles), and
+// stream.ErrorReader (the poisoned-pass surface). It is engine-internal: the
+// Set values it yields reference decode buffers owned by the underlying
+// source, so the usual no-retention discipline applies.
+type segmentedReader struct {
+	chans   []chan *segChunk
+	stop    chan struct{}
+	rec     stream.Recycler
+	free    sync.Pool // [] setcover.Set chunk buffers
+	wg      sync.WaitGroup
+	next    int // channel index the next in-order chunk arrives on
+	cur     *segChunk
+	curPos  int
+	done    bool
+	err     error
+	stopped bool
+}
+
+// newSegmentedReader starts `workers` decode goroutines over the m sets of
+// src, in chunks of chunkSize.
+func newSegmentedReader(src stream.SegmentSource, m, workers, chunkSize int) *segmentedReader {
+	chunks := (m + chunkSize - 1) / chunkSize
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r := &segmentedReader{
+		chans: make([]chan *segChunk, workers),
+		stop:  make(chan struct{}),
+	}
+	r.rec, _ = src.(stream.Recycler)
+	r.free.New = func() any { return make([]setcover.Set, 0, chunkSize) }
+	for w := range r.chans {
+		r.chans[w] = make(chan *segChunk, segWindow)
+	}
+	r.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go r.decode(src, w, workers, m, chunkSize)
+	}
+	return r
+}
+
+// decode runs one decoder goroutine: chunks w, w+workers, ... in order.
+func (r *segmentedReader) decode(src stream.SegmentSource, w, workers, m, chunkSize int) {
+	defer r.wg.Done()
+	defer close(r.chans[w])
+	for start := w * chunkSize; start < m; start += workers * chunkSize {
+		end := start + chunkSize
+		if end > m {
+			end = m
+		}
+		it := src.Segment(start, end)
+		ck := &segChunk{sets: r.fillChunk(it, end-start)}
+		if err := stream.ReaderErr(it); err != nil {
+			ck.err = err
+		} else if len(ck.sets) != end-start {
+			ck.err = fmt.Errorf("engine: segment [%d,%d) ended after %d sets", start, end, len(ck.sets))
+		}
+		select {
+		case r.chans[w] <- ck:
+		case <-r.stop:
+			r.discard(ck)
+			return
+		}
+		if ck.err != nil {
+			return
+		}
+	}
+}
+
+// fillChunk drains a segment reader into a pooled chunk buffer, up to want
+// sets (a healthy segment yields exactly that many).
+func (r *segmentedReader) fillChunk(it stream.Reader, want int) []setcover.Set {
+	buf := r.free.Get().([]setcover.Set)[:0]
+	br, batched := it.(stream.BatchReader)
+	for len(buf) < want {
+		if batched {
+			k := br.NextBatch(buf[len(buf):cap(buf)])
+			if k == 0 {
+				break
+			}
+			buf = buf[:len(buf)+k]
+			continue
+		}
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, s)
+	}
+	return buf
+}
+
+// discard returns an undelivered chunk's buffers to their owners.
+func (r *segmentedReader) discard(ck *segChunk) {
+	if r.rec != nil && len(ck.sets) > 0 {
+		r.rec.Recycle(ck.sets)
+	}
+	r.free.Put(ck.sets[:0])
+}
+
+// NextBatch implements stream.BatchReader: it copies the next in-order run
+// of Set headers into dst. The element slices are shared with the chunk's
+// decode buffers until Recycle hands them back.
+func (r *segmentedReader) NextBatch(dst []setcover.Set) int {
+	dst = dst[:cap(dst)]
+	n := 0
+	for n < len(dst) {
+		if r.cur == nil && !r.advance() {
+			break
+		}
+		c := copy(dst[n:], r.cur.sets[r.curPos:])
+		n += c
+		r.curPos += c
+		if r.curPos == len(r.cur.sets) {
+			r.free.Put(r.cur.sets[:0])
+			r.cur = nil
+		}
+	}
+	return n
+}
+
+// advance receives the next in-order chunk. It returns false when the stream
+// is exhausted or poisoned.
+func (r *segmentedReader) advance() bool {
+	if r.done {
+		return false
+	}
+	ck, ok := <-r.chans[r.next]
+	if !ok {
+		// Decoder next%W has no further chunk, so no decoder has any later
+		// chunk either (ownership is strided): the pass is fully delivered.
+		r.finish()
+		return false
+	}
+	r.next = (r.next + 1) % len(r.chans)
+	if ck.err != nil {
+		r.err = ck.err
+		r.discard(ck)
+		r.finish()
+		return false
+	}
+	r.cur, r.curPos = ck, 0
+	return true
+}
+
+// finish stops the decoders, drains their channels, and waits for them to
+// exit, so a completed (or poisoned) pass leaks no goroutines and returns
+// every undelivered decode buffer.
+func (r *segmentedReader) finish() {
+	r.done = true
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	close(r.stop)
+	for _, ch := range r.chans {
+		for ck := range ch {
+			r.discard(ck)
+		}
+	}
+	r.wg.Wait()
+}
+
+// Next implements stream.Reader. The engine always uses NextBatch; Next
+// exists to satisfy the interface (and hands out shared buffers, so it is
+// not for retaining scanners).
+func (r *segmentedReader) Next() (setcover.Set, bool) {
+	var one [1]setcover.Set
+	if r.NextBatch(one[:0:1]) == 0 {
+		return setcover.Set{}, false
+	}
+	return one[0], true
+}
+
+// Recycle implements stream.Recycler by forwarding consumed element buffers
+// to the segment source's pool.
+func (r *segmentedReader) Recycle(sets []setcover.Set) {
+	if r.rec != nil {
+		r.rec.Recycle(sets)
+	}
+}
+
+// Err implements stream.ErrorReader: the error that poisoned the pass.
+func (r *segmentedReader) Err() error { return r.err }

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/engine"
 )
 
 // Table is one experiment's output: a titled grid plus free-form notes.
@@ -89,30 +92,65 @@ func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// All returns every experiment in DESIGN.md §4 order, built with the given
+// engineOpts is the pass-engine configuration every experiment threads into
+// IterSetCover (the baselines take it through their shared executor, see
+// SetEngine). The zero value means engine defaults: GOMAXPROCS workers,
+// which on multicore hosts also turns on segmented parallel decode for
+// segmentable repositories.
+var engineOpts engine.Options
+
+// SetEngine configures the pass engine for every experiment run:
+// cmd/experiments threads its -workers flag here. Results are identical at
+// every setting (the engine's determinism contract) — it only moves
+// wall-clock, which is the point of sweeping it. Not safe to call
+// concurrently with running experiments.
+func SetEngine(opts engine.Options) {
+	engineOpts = opts
+	baseline.SetEngine(opts)
+}
+
+// Spec names one experiment and builds its table on demand, so callers that
+// want a subset (cmd/experiments -only) can skip the cost of the rest.
+type Spec struct {
+	ID    string
+	Build func(seed int64, quick bool) Table
+}
+
+// Registry returns every experiment in DESIGN.md §4 order WITHOUT running
+// any of them.
+func Registry() []Spec {
+	return []Spec{
+		{"E1", E1Figure11},
+		{"E2", E2DeltaSweep},
+		{"E3", func(_ int64, quick bool) Table { return E3Figure12(quick) }},
+		{"E4", E4Geometric},
+		{"E5", E5CanonicalCounts},
+		{"E6", E6RecoverBits},
+		{"E7", E7ISCReduction},
+		{"E8", E8SparseLB},
+		{"E9", E9AblationSizeTest},
+		{"E10", E10AblationSampling},
+		{"E11", E11AblationOffline},
+		{"E12", E12RelativeApprox},
+		{"E13", E13PartialCover},
+		{"E14", E14CanonicalAblation},
+		{"E15", E15ProtocolSimulation},
+		{"E16", E16MaxKCover},
+		{"E17", E17Tightness},
+		{"E18", E18Scaling},
+	}
+}
+
+// All runs every experiment in DESIGN.md §4 order, built with the given
 // seed. Quick mode shrinks the workloads (used by unit tests; the full sizes
 // run in cmd/experiments and the benchmarks).
 func All(seed int64, quick bool) []Table {
-	return []Table{
-		E1Figure11(seed, quick),
-		E2DeltaSweep(seed, quick),
-		E3Figure12(quick),
-		E4Geometric(seed, quick),
-		E5CanonicalCounts(seed, quick),
-		E6RecoverBits(seed, quick),
-		E7ISCReduction(seed, quick),
-		E8SparseLB(seed, quick),
-		E9AblationSizeTest(seed, quick),
-		E10AblationSampling(seed, quick),
-		E11AblationOffline(seed, quick),
-		E12RelativeApprox(seed, quick),
-		E13PartialCover(seed, quick),
-		E14CanonicalAblation(seed, quick),
-		E15ProtocolSimulation(seed, quick),
-		E16MaxKCover(seed, quick),
-		E17Tightness(seed, quick),
-		E18Scaling(seed, quick),
+	specs := Registry()
+	out := make([]Table, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, s.Build(seed, quick))
 	}
+	return out
 }
 
 // RunAll renders every experiment to w.

@@ -37,7 +37,7 @@ func E13PartialCover(seed int64, quick bool) Table {
 		st, err = baseline.ChakrabartiWirthPartial(stream.NewSliceRepo(in), 2, eps)
 		addPartialRow(&t, in, st, err, eps)
 		res, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{
-			Delta: 0.5, Seed: seed, PartialEps: eps,
+			Delta: 0.5, Seed: seed, PartialEps: eps, Engine: engineOpts,
 		})
 		addPartialRow(&t, in, res.Stats, err, eps)
 	}
@@ -121,7 +121,7 @@ func E15ProtocolSimulation(seed int64, quick bool) Table {
 		run  func(repo stream.Repository) (setcover.Stats, error)
 	}{
 		{"iterSetCover δ=1/2", func(repo stream.Repository) (setcover.Stats, error) {
-			r, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed})
+			r, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
 			return r.Stats, err
 		}},
 		{"emek-rosen (1 pass)", baseline.EmekRosen},
@@ -149,7 +149,7 @@ func E15ProtocolSimulation(seed int64, quick bool) Table {
 		redBits += 32 * int64(len(s.Elems))
 	}
 	repo := comm.NewProtocolRepo(stream.NewSliceRepo(inst), 2*meta.P)
-	res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed})
+	res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
 	if err == nil {
 		bits := comm.ProtocolCost(repo.Crossings(), res.SpaceWords)
 		t.AddRow("ISC-reduced (n=6,p=2)", "iterSetCover δ=1/2", d(2*meta.P), d(res.Passes),

@@ -39,7 +39,7 @@ func E18Scaling(seed int64, quick bool) Table {
 			inputWords += stream.WordsForElems(len(s.Elems))
 		}
 		repo := stream.NewSliceRepo(in)
-		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed})
+		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
 		if err != nil {
 			t.AddRow(d(n), d(m), d64(inputWords), "failed", "-", "-", "-", "-")
 			continue

@@ -37,7 +37,7 @@ func E17Tightness(seed int64, quick bool) Table {
 	t.AddRow("greedy-trap n="+d(trap.N), "greedy-1pass", d(len(g.Cover)), d(opt),
 		f2c(float64(len(g.Cover))/float64(opt)), "Θ(log n) = "+f1(logn))
 	ex, err := core.IterSetCover(stream.NewSliceRepo(trap), core.Options{
-		Delta: 0.5, Offline: offline.Exact{}, Seed: seed,
+		Delta: 0.5, Offline: offline.Exact{}, Seed: seed, Engine: engineOpts,
 	})
 	if err != nil {
 		panic(err)
@@ -57,7 +57,7 @@ func E17Tightness(seed int64, quick bool) Table {
 	}
 	t.AddRow("er-trap n="+d(ertrap.N), "emek-rosen[ER14]", d(len(er.Cover)), d(eropt),
 		f2c(float64(len(er.Cover))/float64(eropt)), "Θ(√n) = "+f1(math.Sqrt(float64(ertrap.N))))
-	it2, err := core.IterSetCover(stream.NewSliceRepo(ertrap), core.Options{Delta: 0.5, Seed: seed})
+	it2, err := core.IterSetCover(stream.NewSliceRepo(ertrap), core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
 	if err != nil {
 		panic(err)
 	}

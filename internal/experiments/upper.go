@@ -70,11 +70,11 @@ func E1Figure11(seed int64, quick bool) Table {
 			return baseline.DIMV14(stream.NewSliceRepo(in), baseline.DIMV14Options{Delta: 0.5, Scale: 0.25, Seed: seed})
 		}},
 		{"O(ρ/δ) / 2/δ / Õ(mn^δ), δ=1/2", func() (setcover.Stats, error) {
-			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.5, Offline: offline.Greedy{}, Seed: seed})
+			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.5, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
 			return r.Stats, err
 		}},
 		{"O(ρ/δ) / 2/δ / Õ(mn^δ), δ=1/4", func() (setcover.Stats, error) {
-			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.25, Offline: offline.Greedy{}, Seed: seed})
+			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.25, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
 			return r.Stats, err
 		}},
 	}
@@ -109,7 +109,7 @@ func E2DeltaSweep(seed int64, quick bool) Table {
 			panic(err)
 		}
 		repo := stream.NewSliceRepo(in)
-		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed})
+		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
 		ratio := "-"
 		if err == nil {
 			ratio = f2c(res.Ratio(opt))
@@ -143,6 +143,7 @@ func E9AblationSizeTest(seed int64, quick bool) Table {
 		res, err := core.IterSetCover(repo, core.Options{
 			Delta: 0.5, Offline: offline.Greedy{}, Seed: seed,
 			KMin: k, KMax: k, DisableSizeTest: disable, AdaptiveIterations: true,
+			Engine: engineOpts,
 		})
 		name := "with size test"
 		if disable {
@@ -191,6 +192,7 @@ func E10AblationSampling(seed int64, quick bool) Table {
 		res, err := core.IterSetCover(repo, core.Options{
 			Delta: 0.5, Offline: offline.Greedy{}, Seed: seed,
 			KMin: k, KMax: k, Sizer: v.sizer, AdaptiveIterations: true,
+			Engine: engineOpts,
 		})
 		if err != nil {
 			t.AddRow(v.name, d(v.sizer(k, n, m, n)), "-", "-", "failed")
@@ -220,7 +222,7 @@ func E11AblationOffline(seed int64, quick bool) Table {
 			panic(err)
 		}
 		repo := stream.NewSliceRepo(in)
-		res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Offline: solver, Seed: seed})
+		res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Offline: solver, Seed: seed, Engine: engineOpts})
 		if err != nil {
 			t.AddRow(solver.Name(), f1(solver.Rho(n)), "failed", "-", "-")
 			continue

@@ -115,6 +115,13 @@ func Streaming(repo stream.Repository, k int) (Result, error) {
 			}
 		}
 	}
+	// A reader that failed mid-stream delivered only a prefix of F: the
+	// selection is meaningless, fail loudly (maxcover scans directly rather
+	// than through the engine, so it checks the reader itself).
+	if err := stream.ReaderErr(it); err != nil {
+		return Result{Passes: repo.Passes(), SpaceWords: tracker.Peak()},
+			fmt.Errorf("maxcover: pass failed: %w", err)
+	}
 
 	best := guesses[0]
 	for _, g := range guesses[1:] {
@@ -220,6 +227,11 @@ func SahaGetoorSetCover(repo stream.Repository) (setcover.Stats, error) {
 					rs.taken++
 				}
 			}
+		}
+		if err := stream.ReaderErr(it); err != nil {
+			st.Passes = repo.Passes()
+			st.SpaceWords = tracker.Peak()
+			return st, fmt.Errorf("maxcover: pass failed: %w", err)
 		}
 		for _, r := range runs {
 			if r.done || r.failed {

@@ -1,0 +1,111 @@
+package scdisk
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// FuzzNewRepo throws arbitrary bytes at the repository opener — the SCB1
+// header parse plus the SCIX footer/trailer detection and validation path.
+// The invariants under fuzz:
+//
+//   - NewRepo never panics and never over-allocates from claimed dimensions
+//     (the codec's capped preallocation);
+//   - when it accepts the bytes WITH an index, the index must be usable: a
+//     segmented read over every chunk must yield exactly the sets a plain
+//     sequential pass yields, or fail — it must never silently diverge
+//     (seeking with a wrong index would decode garbage mid-set);
+//   - a file that opens must also drain without panicking, with any decode
+//     failure surfacing through the reader error, not a short healthy pass.
+//
+// The seed corpus covers a valid indexed file, a valid plain file, and the
+// empty input; the fuzzer mutates from there into the interesting middle
+// ground (trailer magic present, index bytes lying).
+func FuzzNewRepo(f *testing.F) {
+	in := &setcover.Instance{N: 50, Sets: []setcover.Set{
+		{Elems: []setcover.Elem{0, 3, 7}},
+		{Elems: []setcover.Elem{1}},
+		{Elems: []setcover.Elem{2, 4, 8, 16, 32}},
+	}}
+	in.Normalize()
+	var indexed bytes.Buffer
+	if err := Write(&indexed, in); err != nil {
+		f.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := setcover.WriteBinary(&plain, in); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(indexed.Bytes())
+	f.Add(plain.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SCB1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewRepo(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // rejected at open: fine
+		}
+		// Sequential drain: must terminate (the reader is bounded by m and
+		// the section size) and never panic.
+		var seq []setcover.Set
+		it := d.Begin()
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			cp := append([]setcover.Elem(nil), s.Elems...)
+			seq = append(seq, setcover.Set{ID: s.ID, Elems: cp})
+		}
+		seqErr := stream.ReaderErr(it)
+
+		if !d.HasIndex() {
+			return
+		}
+		// The index claims to know where every set starts: segmented chunks
+		// must reproduce the sequential stream (or fail), set for set.
+		src, ok := d.BeginSegmented()
+		if !ok {
+			t.Fatal("HasIndex but BeginSegmented declined")
+		}
+		const chunk = 2
+		var seg []setcover.Set
+		var segErr error
+		for start := 0; start < d.NumSets() && segErr == nil; start += chunk {
+			end := start + chunk
+			if end > d.NumSets() {
+				end = d.NumSets()
+			}
+			r := src.Segment(start, end)
+			for {
+				s, ok := r.Next()
+				if !ok {
+					break
+				}
+				cp := append([]setcover.Elem(nil), s.Elems...)
+				seg = append(seg, setcover.Set{ID: s.ID, Elems: cp})
+			}
+			segErr = stream.ReaderErr(r)
+		}
+		if seqErr != nil || segErr != nil {
+			return // either path failed loudly: acceptable for corrupt data
+		}
+		if len(seg) != len(seq) {
+			t.Fatalf("segmented pass yielded %d sets, sequential %d", len(seg), len(seq))
+		}
+		for i := range seq {
+			if seq[i].ID != seg[i].ID || len(seq[i].Elems) != len(seg[i].Elems) {
+				t.Fatalf("set %d diverges between sequential and segmented decode", i)
+			}
+			for j := range seq[i].Elems {
+				if seq[i].Elems[j] != seg[i].Elems[j] {
+					t.Fatalf("set %d element %d diverges", i, j)
+				}
+			}
+		}
+	})
+}

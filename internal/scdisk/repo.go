@@ -19,9 +19,22 @@ import (
 // concurrent passes stay cheap.
 const readerBufSize = 256 << 10
 
+// segBufSize is the bufio window of one segmented-pass chunk reader: chunks
+// are a few hundred sets (~tens of KB), so a smaller window than a full
+// sequential pass gets, pooled and reused across chunks.
+const segBufSize = 64 << 10
+
 // maxPooledElems caps the recycle pool so a burst of passes cannot pin
 // unbounded decode buffers.
 const maxPooledElems = 4096
+
+// maxPooledElemCap caps the CAPACITY of an individual recycled buffer: one
+// pathologically large set must not pin a huge decode buffer in the pool for
+// the repository's lifetime. Oversized buffers are dropped on put and
+// reclaimed by the GC; 64Ki elements (256 KB) comfortably covers ordinary
+// sets while bounding pool memory at maxPooledElems·maxPooledElemCap·4 bytes
+// in the worst case.
+const maxPooledElemCap = 64 << 10
 
 // Repo is the disk-backed stream.Repository: a pass-counted, read-only view
 // of an SCB1 file. Every Begin starts an independent sequential decode of the
@@ -30,7 +43,11 @@ const maxPooledElems = 4096
 //
 // Repo additionally implements stream.BatchReader (batched decode straight
 // into engine batches) and stream.Recycler on its readers (the engine hands
-// consumed batches back so decode buffers are reused; see DESIGN.md §6).
+// consumed batches back so decode buffers are reused; see DESIGN.md §6),
+// and — when the index footer is present — stream.SegmentedRepository: the
+// pass engine splits one pass into contiguous chunks seeked via the index
+// and decodes them on several goroutines (DESIGN.md §5), which is where an
+// indexed file's passes get their multi-core decode throughput.
 type Repo struct {
 	r       io.ReaderAt
 	closer  io.Closer
@@ -210,8 +227,15 @@ func (d *Repo) SetSpan(i int) (off, length int64, card int, ok bool) {
 	return d.offs[i], d.offs[i+1] - d.offs[i], int(d.cards[i]), true
 }
 
-// Err returns the first decode error any pass hit (a reader that fails stops
-// early, so callers that care about truncation must check this after a run).
+// Err returns the first decode error ANY pass has hit since the repository
+// was opened. It is a diagnostic, deliberately sticky: once a pass has
+// failed, Err keeps reporting that first failure even after later passes
+// succeed (a flaky network filesystem, say, can fail one pass and not the
+// next). Correctness checks must NOT poll it — pass failures are scoped to
+// the pass: each reader carries its own error (stream.ErrorReader), the pass
+// engine turns it into an error from engine.Run, and every algorithm returns
+// it — so a healthy pass on a repository with a failed past never reports
+// failure, and a failed pass never needs this accessor to be noticed.
 func (d *Repo) Err() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -228,7 +252,7 @@ func (d *Repo) setErr(err error) {
 
 // Begin starts a new sequential pass over the whole family.
 func (d *Repo) Begin() stream.Reader {
-	return d.beginAt(0, d.dataOff)
+	return d.beginAt(0, d.m, d.dataOff)
 }
 
 // BeginAt starts a pass at set start, using the index to seek straight to its
@@ -243,33 +267,87 @@ func (d *Repo) BeginAt(start int) (stream.Reader, error) {
 	}
 	// offs has m+1 entries; offs[m] is the end of the set data, so start == m
 	// yields an immediately exhausted (but still counted) pass.
-	return d.beginAt(start, d.offs[start]), nil
+	return d.beginAt(start, d.m, d.offs[start]), nil
 }
 
-func (d *Repo) beginAt(pos int, off int64) *reader {
+func (d *Repo) beginAt(pos, end int, off int64) *reader {
 	d.passes.Add(1)
 	return &reader{
 		d:   d,
 		br:  bufio.NewReaderSize(io.NewSectionReader(d.r, off, d.size-off), readerBufSize),
 		pos: pos,
+		end: end,
 	}
 }
 
-// reader decodes one sequential pass. Each reader owns its buffered file
-// window, so concurrent passes never share decode state.
+// BeginSegmented implements stream.SegmentedRepository: one counted pass
+// whose contiguous chunks are decoded by independent readers, each seeked to
+// its byte offset through the index. Without the index footer a plain SCB1
+// file cannot be split (set boundaries are only discovered by decoding), so
+// ok is false, no pass is counted, and callers fall back to Begin.
+func (d *Repo) BeginSegmented() (stream.SegmentSource, bool) {
+	if d.offs == nil {
+		return nil, false
+	}
+	d.passes.Add(1)
+	return &segSource{d: d}, true
+}
+
+// segSource opens chunk readers for one segmented pass. The bufio windows
+// are pooled across chunks: a chunk is a few tens of KB, so each decode
+// goroutine effectively reuses one window for its whole stride.
+type segSource struct {
+	d    *Repo
+	bufs sync.Pool // *bufio.Reader, segBufSize each
+}
+
+// Segment returns a reader for sets [start, end), positioned by one seek.
+// The reader verifies it consumes its byte span exactly (verifySpan): the
+// index's per-set byte lengths are validated in aggregate at open, but a
+// crafted index could still lie about interior boundaries while keeping the
+// total right, and seeking with a wrong boundary decodes garbage mid-set.
+// A span mismatch fails the chunk; since the engine delivers chunks in
+// stream order and stops at the first failure, observers can never see sets
+// past an unvalidated boundary — segmented decode either matches the
+// sequential stream byte for byte or fails loudly.
+func (s *segSource) Segment(start, end int) stream.Reader {
+	br, _ := s.bufs.Get().(*bufio.Reader)
+	if br == nil {
+		br = bufio.NewReaderSize(nil, segBufSize)
+	}
+	off := s.d.offs[start]
+	br.Reset(io.NewSectionReader(s.d.r, off, s.d.offs[end]-off))
+	return &reader{d: s.d, br: br, pos: start, end: end,
+		verifySpan: true, release: func() { s.bufs.Put(br) }}
+}
+
+// Recycle implements stream.Recycler at the source level: the pass engine's
+// reorder layer hands consumed batches back here, and the element buffers
+// rejoin the repository pool the chunk decoders draw from.
+func (s *segSource) Recycle(sets []setcover.Set) { s.d.free.put(sets) }
+
+// reader decodes one sequential span of the file: a whole pass (Begin,
+// BeginAt) or one chunk of a segmented pass (segSource.Segment). Each reader
+// owns its buffered file window, so concurrent spans never share decode
+// state, and each carries its own error — pass failures are scoped to the
+// pass (Repo.Err is only the sticky first-failure diagnostic).
 type reader struct {
-	d      *Repo
-	br     *bufio.Reader
-	pos    int
-	failed bool
-	err    error
+	d          *Repo
+	br         *bufio.Reader
+	pos        int
+	end        int
+	failed     bool
+	err        error
+	verifySpan bool   // segment readers: span must be consumed exactly
+	release    func() // returns the bufio window to its pool, once, at end of span
 }
 
 // Next decodes the next set into a freshly allocated element slice. The
 // batched path (NextBatch) is the one that reuses recycled buffers; Next is
 // kept allocation-fresh so direct scanners may retain what they are handed.
 func (it *reader) Next() (setcover.Set, bool) {
-	if it.failed || it.pos >= it.d.m {
+	if it.failed || it.pos >= it.end {
+		it.finish()
 		return setcover.Set{}, false
 	}
 	elems, err := setcover.ReadSetBinary(it.br, it.d.n, nil)
@@ -289,7 +367,7 @@ func (it *reader) Next() (setcover.Set, bool) {
 func (it *reader) NextBatch(dst []setcover.Set) int {
 	dst = dst[:cap(dst)]
 	k := 0
-	for k < len(dst) && !it.failed && it.pos < it.d.m {
+	for k < len(dst) && !it.failed && it.pos < it.end {
 		elems, err := setcover.ReadSetBinary(it.br, it.d.n, it.d.free.get())
 		if err != nil {
 			it.fail(err)
@@ -299,7 +377,29 @@ func (it *reader) NextBatch(dst []setcover.Set) int {
 		it.pos++
 		k++
 	}
+	if it.failed || it.pos >= it.end {
+		it.finish()
+	}
 	return k
+}
+
+// finish closes out the span: segment readers verify the byte span was
+// consumed exactly (see segSource.Segment), then the buffered window goes
+// back to its pool.
+func (it *reader) finish() {
+	if it.verifySpan {
+		it.verifySpan = false
+		if !it.failed {
+			if _, err := it.br.ReadByte(); err != io.EOF {
+				it.fail(fmt.Errorf("segment ending at set %d: bytes left after the last set — index span mismatch", it.end))
+				return // fail re-enters finish with verifySpan already cleared
+			}
+		}
+	}
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
 }
 
 // Recycle implements stream.Recycler: consumed batches return their element
@@ -314,6 +414,7 @@ func (it *reader) fail(err error) {
 	it.failed = true
 	it.err = err
 	it.d.setErr(err)
+	it.finish()
 }
 
 // elemPool is the shared free list of decode buffers. sync.Mutex rather than
@@ -340,7 +441,9 @@ func (p *elemPool) put(sets []setcover.Set) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, s := range sets {
-		if cap(s.Elems) > 0 && len(p.free) < maxPooledElems {
+		// Oversized buffers (grown by one pathologically large set) are
+		// dropped rather than pinned for the repository's lifetime.
+		if c := cap(s.Elems); c > 0 && c <= maxPooledElemCap && len(p.free) < maxPooledElems {
 			p.free = append(p.free, s.Elems[:0])
 		}
 	}

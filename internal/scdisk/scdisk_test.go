@@ -3,10 +3,13 @@ package scdisk
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/setcover"
 	"repro/internal/stream"
@@ -440,7 +443,217 @@ func (e errMismatch) Error() string { return "mismatch at set " + string(rune('0
 
 // The Repo must satisfy the model interfaces the engine probes for.
 var (
-	_ stream.Repository  = (*Repo)(nil)
-	_ stream.BatchReader = (*reader)(nil)
-	_ stream.Recycler    = (*reader)(nil)
+	_ stream.Repository          = (*Repo)(nil)
+	_ stream.BatchReader         = (*reader)(nil)
+	_ stream.Recycler            = (*reader)(nil)
+	_ stream.ErrorReader         = (*reader)(nil)
+	_ stream.SegmentedRepository = (*Repo)(nil)
+	_ stream.Recycler            = (*segSource)(nil)
 )
+
+// A segmented pass must reproduce the instance exactly: chunk readers seeked
+// via the index, read back in order, must concatenate to the sequential
+// stream, while counting exactly one pass.
+func TestSegmentedPassRoundTrip(t *testing.T) {
+	in := testInstance(t)
+	d, err := Open(writeTemp(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	src, ok := d.BeginSegmented()
+	if !ok {
+		t.Fatal("indexed file should segment")
+	}
+	if d.Passes() != 1 {
+		t.Fatalf("BeginSegmented counted %d passes, want 1", d.Passes())
+	}
+	const chunk = 37 // deliberately not a divisor of m
+	got := &setcover.Instance{N: d.UniverseSize()}
+	for start := 0; start < in.M(); start += chunk {
+		end := start + chunk
+		if end > in.M() {
+			end = in.M()
+		}
+		it := src.Segment(start, end)
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			got.Sets = append(got.Sets, s)
+		}
+		if err := stream.ReaderErr(it); err != nil {
+			t.Fatalf("segment [%d,%d): %v", start, end, err)
+		}
+	}
+	sameInstance(t, in, got)
+	if d.Passes() != 1 {
+		t.Fatalf("segment reads moved the pass counter to %d", d.Passes())
+	}
+}
+
+// A plain SCB1 file cannot segment: BeginSegmented must decline without
+// counting a pass, so the engine's fallback to Begin stays pass-exact.
+func TestSegmentedUnavailableWithoutIndex(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := setcover.WriteBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewRepo(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.BeginSegmented(); ok {
+		t.Fatal("plain SCB1 should not segment")
+	}
+	if d.Passes() != 0 {
+		t.Fatalf("declined BeginSegmented counted %d passes", d.Passes())
+	}
+}
+
+// The recycle pool must drop oversized buffers on put: one huge set must not
+// pin its decode buffer for the repository's lifetime.
+func TestElemPoolDropsOversizedBuffers(t *testing.T) {
+	var p elemPool
+	small := make([]setcover.Elem, 0, 16)
+	huge := make([]setcover.Elem, 0, maxPooledElemCap+1)
+	p.put([]setcover.Set{{Elems: huge}, {Elems: small}})
+	if got := p.get(); got == nil || cap(got) != 16 {
+		t.Fatalf("pool kept cap %d, want the small buffer (16)", cap(got))
+	}
+	if got := p.get(); got != nil {
+		t.Fatalf("pool kept an oversized buffer of cap %d", cap(got))
+	}
+	// Boundary: exactly maxPooledElemCap is still pooled.
+	edge := make([]setcover.Elem, 0, maxPooledElemCap)
+	p.put([]setcover.Set{{Elems: edge}})
+	if got := p.get(); got == nil || cap(got) != maxPooledElemCap {
+		t.Fatalf("pool dropped a buffer at the cap boundary (got cap %d)", cap(got))
+	}
+}
+
+// Corrupt set data under a perfectly valid index must poison a segmented
+// engine pass: the chunk that decodes it fails, the engine stops delivery in
+// stream order, and Run reports the error — never a silently short stream.
+func TestCorruptSetPoisonsSegmentedPass(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 60, M: 200, K: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+
+	clean, err := NewRepo(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite set 97's cardinality varint with 120 > n: same byte length
+	// (both single-byte varints), so the index still validates, but decode
+	// must reject the set.
+	off, _, _, ok := clean.SetSpan(97)
+	if !ok {
+		t.Fatal("SetSpan missing")
+	}
+	if data[off]&0x80 != 0 {
+		t.Fatal("test construction broken: count varint not a single byte")
+	}
+	data[off] = 120
+
+	d, err := NewRepo(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasIndex() {
+		t.Fatal("index should still validate — only set data is corrupt")
+	}
+	for _, workers := range []int{1, 4} {
+		seen := 0
+		err := engine.New(engine.Options{Workers: workers, BatchSize: 16}).Run(d,
+			engine.Func(func(batch []setcover.Set) {
+				for _, s := range batch {
+					if s.ID != seen {
+						t.Fatalf("workers=%d: set %d delivered at position %d", workers, s.ID, seen)
+					}
+					seen++
+				}
+			}))
+		if err == nil {
+			t.Fatalf("workers=%d: corrupt set did not fail the pass (saw %d sets)", workers, seen)
+		}
+		if seen > 97 {
+			t.Fatalf("workers=%d: observer saw %d sets, beyond the corrupt one at 97", workers, seen)
+		}
+	}
+}
+
+// flakyReaderAt fails every ReadAt overlapping [failFrom, ∞) while tripped,
+// and serves normally once healed — the shape of a transient I/O fault.
+type flakyReaderAt struct {
+	r        io.ReaderAt
+	failFrom int64
+	tripped  bool
+}
+
+func (f *flakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if f.tripped && off+int64(len(p)) > f.failFrom {
+		return 0, fmt.Errorf("flaky: injected I/O fault at offset %d", off)
+	}
+	return f.r.ReadAt(p, off)
+}
+
+// Pass failures are scoped to the pass: a failed pass must not make later,
+// healthy passes on the same repository report failure. Repo.Err stays
+// sticky (first failure since open) as a diagnostic only.
+func TestPassErrorScopedPerPass(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyReaderAt{r: bytes.NewReader(buf.Bytes()), failFrom: int64(buf.Len()) / 2}
+	d, err := NewRepo(flaky, int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 1 hits the fault mid-stream and fails.
+	flaky.tripped = true
+	it := d.Begin()
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if stream.ReaderErr(it) == nil {
+		t.Fatal("pass over the tripped reader should fail")
+	}
+
+	// Pass 2, after the fault heals, must be clean: its reader carries no
+	// error and decodes the whole family.
+	flaky.tripped = false
+	it2 := d.Begin()
+	count := 0
+	for {
+		if _, ok := it2.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if err := stream.ReaderErr(it2); err != nil {
+		t.Fatalf("healthy pass after a failed one reported %v", err)
+	}
+	if count != in.M() {
+		t.Fatalf("healthy pass decoded %d of %d sets", count, in.M())
+	}
+
+	// The repository-level diagnostic stays sticky, documented as such.
+	if d.Err() == nil {
+		t.Fatal("Repo.Err should keep reporting the first failure since open")
+	}
+}

@@ -5,6 +5,14 @@
 //
 //   - Repository: a pass-counted, read-only view of the set family. Every
 //     call to Begin starts (and counts) a new sequential scan.
+//   - SegmentedRepository: the optional capability for repositories whose
+//     passes can be decoded as contiguous chunks on several goroutines
+//     (BeginSegmented still counts exactly one pass); the pass engine uses
+//     it to make the CPU-bound decode data-parallel without changing what
+//     any observer sees.
+//   - ErrorReader: the optional mid-pass failure surface. A reader whose
+//     pass ends early (truncated or corrupt backing file) reports why, and
+//     the engine turns it into a failed pass instead of a silently short one.
 //   - Tracker: an explicit space meter. Streaming algorithms charge the words
 //     of read-write memory they hold; Peak() is the space column of the
 //     paper's Figure 1.1.
@@ -35,6 +43,46 @@ type Reader interface {
 // falls back to Next otherwise; the two must yield identical streams.
 type BatchReader interface {
 	NextBatch(dst []setcover.Set) int
+}
+
+// ErrorReader is an optional interface a Reader may implement when its pass
+// can fail mid-stream (a disk-backed decode hitting truncation or
+// corruption): Err returns the error that ended the pass early, or nil for a
+// healthy pass. The pass engine probes it after draining a reader and turns a
+// non-nil result into a failed pass — a partial scan must never pass for a
+// full one. Readers that cannot fail simply do not implement it.
+type ErrorReader interface {
+	Err() error
+}
+
+// ReaderErr returns the mid-pass error of a reader that reports one, or nil.
+func ReaderErr(r Reader) error {
+	if er, ok := r.(ErrorReader); ok {
+		return er.Err()
+	}
+	return nil
+}
+
+// SegmentSource hands out readers over contiguous chunks of one counted
+// pass. Segment may be called from several goroutines at once; each returned
+// reader is driven by a single goroutine and yields exactly the sets
+// [start, end) of the stream, in stream order. Chunk readers exist so the
+// CPU-bound part of a pass (decoding) can run data-parallel; the pass engine
+// reassembles their outputs in stream order, so observers cannot tell a
+// segmented pass from a sequential one.
+type SegmentSource interface {
+	Segment(start, end int) Reader
+}
+
+// SegmentedRepository is an optional capability a Repository may implement
+// when its passes can be split into independently decodable set ranges:
+// BeginSegmented starts ONE counted pass (exactly like Begin) whose stream
+// will be read through SegmentSource.Segment readers instead of a single
+// sequential reader. ok reports whether segmentation is available for this
+// pass — a disk repository without its seek index returns false and callers
+// fall back to Begin. A false return must not count a pass.
+type SegmentedRepository interface {
+	BeginSegmented() (src SegmentSource, ok bool)
 }
 
 // Recycler is an optional interface a Reader may implement when its sets are
@@ -99,6 +147,19 @@ func (r *SliceRepo) Begin() Reader {
 	return &sliceReader{sets: r.inst.Sets}
 }
 
+// BeginSegmented implements SegmentedRepository: an in-memory family can
+// always be read from any set index, so every pass is segmentable.
+func (r *SliceRepo) BeginSegmented() (SegmentSource, bool) {
+	r.passes.Add(1)
+	return sliceSegSource{sets: r.inst.Sets}, true
+}
+
+type sliceSegSource struct{ sets []setcover.Set }
+
+func (s sliceSegSource) Segment(start, end int) Reader {
+	return &sliceReader{sets: s.sets[:end], pos: start}
+}
+
 type sliceReader struct {
 	sets []setcover.Set
 	pos  int
@@ -133,11 +194,13 @@ type FuncRepo struct {
 
 // NewFuncRepo builds a repository of m sets over n elements; gen(id) must
 // return set id with sorted-unique elements in [0, n) and is called once per
-// set per pass. The returned Elems must be freshly allocated (or at least
-// never mutated afterwards): the pass engine batches generated sets and
-// observers on other goroutines read them while gen is already producing the
-// next batch, so a generator that reuses a scratch buffer would corrupt
-// in-flight sets.
+// set per pass. gen must be safe for concurrent calls — a pure function of
+// id (gen.PlantedFunc is the model citizen): FuncRepo implements
+// SegmentedRepository, so the pass engine may generate disjoint set ranges
+// on several goroutines at once. The returned Elems must be freshly
+// allocated (or at least never mutated afterwards): observers on other
+// goroutines read them while gen is already producing later sets, so a
+// generator that reuses a scratch buffer would corrupt in-flight sets.
 func NewFuncRepo(n, m int, gen func(id int) setcover.Set) *FuncRepo {
 	return &FuncRepo{n: n, m: m, gen: gen}
 }
@@ -157,16 +220,31 @@ func (r *FuncRepo) ResetPasses() { r.passes.Store(0) }
 // Begin starts a new pass.
 func (r *FuncRepo) Begin() Reader {
 	r.passes.Add(1)
-	return &funcReader{repo: r}
+	return &funcReader{repo: r, end: r.m}
+}
+
+// BeginSegmented implements SegmentedRepository: generation is random-access
+// by construction (gen is a function of the set id), so every pass is
+// segmentable. See NewFuncRepo for the concurrency contract this puts on gen.
+func (r *FuncRepo) BeginSegmented() (SegmentSource, bool) {
+	r.passes.Add(1)
+	return funcSegSource{repo: r}, true
+}
+
+type funcSegSource struct{ repo *FuncRepo }
+
+func (s funcSegSource) Segment(start, end int) Reader {
+	return &funcReader{repo: s.repo, pos: start, end: end}
 }
 
 type funcReader struct {
 	repo *FuncRepo
 	pos  int
+	end  int
 }
 
 func (it *funcReader) Next() (setcover.Set, bool) {
-	if it.pos >= it.repo.m {
+	if it.pos >= it.end {
 		return setcover.Set{}, false
 	}
 	s := it.repo.gen(it.pos)
@@ -179,7 +257,7 @@ func (it *funcReader) Next() (setcover.Set, bool) {
 func (it *funcReader) NextBatch(dst []setcover.Set) int {
 	dst = dst[:cap(dst)]
 	n := 0
-	for n < len(dst) && it.pos < it.repo.m {
+	for n < len(dst) && it.pos < it.end {
 		s := it.repo.gen(it.pos)
 		s.ID = it.pos
 		dst[n] = s
