@@ -52,6 +52,7 @@ import (
 	"repro/internal/maxcover"
 	"repro/internal/offline"
 	"repro/internal/scdisk"
+	"repro/internal/serve"
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
@@ -107,6 +108,16 @@ func NewRepository(in *Instance) *SliceRepo { return stream.NewSliceRepo(in) }
 // elements (see stream.NewFuncRepo for the full contract).
 func NewFuncRepository(n, m int, gen func(id int) Set) *FuncRepo {
 	return stream.NewFuncRepo(n, m, gen)
+}
+
+// NewSequentialFuncRepository is NewFuncRepository for generators that are
+// NOT safe for concurrent calls (stateful closures): the repository opts out
+// of segmented decode, so the pass engine drives gen from a single goroutine
+// at every worker count, and a runtime guard panics loudly if gen is entered
+// concurrently anyway. Use it when the generator reads from an external
+// iterator or mutates shared scratch state.
+func NewSequentialFuncRepository(n, m int, gen func(id int) Set) *FuncRepo {
+	return stream.NewSequentialFuncRepo(n, m, gen)
 }
 
 // OpenFile opens an SCB1 instance file (plain or with the scdisk index
@@ -201,7 +212,11 @@ var Reduce = offline.Reduce
 // for ratio reporting; exponential worst case).
 var OptSize = offline.OptSize
 
-// Baselines (the upper-bound rows of Figure 1.1).
+// Baselines (the upper-bound rows of Figure 1.1). Every baseline accepts an
+// optional trailing EngineOptions value configuring the pass executor for
+// that call alone — the form concurrent solves with different configurations
+// must use (internal/serve does). With no options the process-wide default
+// applies (see SetBaselineEngine).
 var (
 	// OnePassGreedy stores the input in one pass and runs greedy: O(mn) space.
 	OnePassGreedy = baseline.OnePassGreedy
@@ -220,11 +235,13 @@ var (
 	// repeated one-pass Max k-Cover.
 	SahaGetoorSetCover = maxcover.SahaGetoorSetCover
 
-	// SetBaselineEngine reconfigures the pass executor shared by all the
-	// baseline algorithms above (worker count, batch size, segmented-decode
-	// switch), whose signatures predate EngineOptions. Results are identical
-	// at every setting; only wall-clock changes. Not safe to call
-	// concurrently with running solves — it is CLI/benchmark plumbing.
+	// SetBaselineEngine reconfigures the DEFAULT pass executor used by
+	// baselines called without per-call options.
+	//
+	// Deprecated: pass EngineOptions directly to the baseline instead
+	// (OnePassGreedy(repo, opts) etc.) — a process-wide default cannot serve
+	// concurrent solves with different configurations. Kept as a thin shim
+	// for legacy CLI plumbing; results are identical at every setting.
 	SetBaselineEngine = baseline.SetEngine
 
 	// Partial (ε-Partial Set Cover) variants: cover at least a (1-ε)
@@ -309,3 +326,45 @@ var (
 	ReadInstanceBinary  = setcover.ReadBinary
 	WriteInstanceBinary = setcover.WriteBinary
 )
+
+// Serving layer (internal/serve, DESIGN.md §7): the concurrent solver
+// service behind cmd/setcoverd. A Catalog registers instances — SCB1 files
+// and named generators — under content digests computed once at
+// registration; a Server exposes them over an HTTP JSON API (POST /v1/solve,
+// GET /v1/instances, GET /v1/jobs/{id}, /healthz, /metrics) with a bounded
+// solve queue (429 backpressure), an LRU result cache keyed by (instance
+// digest, algorithm, δ, p, ε, seed), per-solve engine configuration so
+// concurrent solves share the machine, and graceful shutdown that drains
+// in-flight passes. Served covers are byte-identical to library (and
+// cmd/setcover) solves of the same parameters.
+type (
+	// Server is the HTTP solver service over a Catalog.
+	Server = serve.Server
+	// ServerConfig tunes concurrency, queue depth, cache size, and the
+	// default per-solve engine options.
+	ServerConfig = serve.Config
+	// Catalog is the registry of solvable instances.
+	Catalog = serve.Catalog
+	// CatalogInstance is one registered instance (name, digest, dims).
+	CatalogInstance = serve.Instance
+	// SolveRequest is the body of POST /v1/solve.
+	SolveRequest = serve.SolveRequest
+	// SolveEngineRequest is the per-request (or server-default) engine
+	// override block: the wire form of EngineOptions.
+	SolveEngineRequest = serve.EngineRequest
+	// SolveResult is the per-solve stats snapshot (cover, passes, space
+	// high-water, wall time) returned in responses.
+	SolveResult = serve.SolveResult
+)
+
+var (
+	// NewCatalog returns an empty instance catalog.
+	NewCatalog = serve.NewCatalog
+	// NewServer builds a solver service over a catalog.
+	NewServer = serve.NewServer
+)
+
+// DefaultSolveQueue is a reasonable solve-queue depth for daemon deployments
+// (cmd/setcoverd's -queue default). ServerConfig.MaxQueue itself is literal:
+// 0 means no waiting room.
+const DefaultSolveQueue = serve.DefaultMaxQueue

@@ -76,10 +76,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	// -workers/-batch tune the pass engine for every algorithm: iter takes
-	// them through Options.Engine below, the baselines through the shared
-	// executor. Results are identical at every setting.
+	// them through Options.Engine below, the baselines as per-call engine
+	// options. Results are identical at every setting.
 	engOpts := ssc.EngineOptions{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg}
-	ssc.SetBaselineEngine(engOpts)
 
 	// Open the repository: disk mode streams the file out-of-core, the other
 	// formats materialize an Instance (which verification then reuses).
@@ -137,19 +136,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "best guess k: %d\n", res.BestK)
 		}
 	case "greedy1":
-		st, err = ssc.OnePassGreedy(repo)
+		st, err = ssc.OnePassGreedy(repo, engOpts)
 	case "greedyn":
-		st, err = ssc.MultiPassGreedyPartial(repo, *eps)
+		st, err = ssc.MultiPassGreedyPartial(repo, *eps, engOpts)
 	case "threshold":
-		st, err = ssc.ThresholdGreedyPartial(repo, *eps)
+		st, err = ssc.ThresholdGreedyPartial(repo, *eps, engOpts)
 	case "sg09":
 		st, err = ssc.SahaGetoorSetCover(repo)
 	case "er14":
-		st, err = ssc.EmekRosenPartial(repo, *eps)
+		st, err = ssc.EmekRosenPartial(repo, *eps, engOpts)
 	case "cw16":
-		st, err = ssc.ChakrabartiWirthPartial(repo, *passes, *eps)
+		st, err = ssc.ChakrabartiWirthPartial(repo, *passes, *eps, engOpts)
 	case "dimv14":
-		st, err = ssc.DIMV14(repo, ssc.DIMV14Options{Delta: *delta, Seed: *seed})
+		st, err = ssc.DIMV14(repo, ssc.DIMV14Options{Delta: *delta, Seed: *seed}, engOpts)
 	default:
 		err = fmt.Errorf("unknown algorithm %q", *algo)
 	}

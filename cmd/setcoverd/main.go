@@ -1,0 +1,223 @@
+// Command setcoverd serves streaming set-cover solves over HTTP: the daemon
+// face of the library, built on the serving layer of DESIGN.md §7. Where
+// cmd/setcover is one process per solve, setcoverd registers instances once
+// (content-digested at registration), then serves concurrent POST /v1/solve
+// requests through a bounded queue with an LRU result cache — the paper's
+// space/pass trade-off (δ, p, algorithm) selected per request.
+//
+// Usage:
+//
+//	scgen -kind planted -n 100000 -m 1000000 -format binary -out big.scb
+//	setcoverd -addr :8080 -instance big=big.scb
+//	curl -s localhost:8080/v1/instances
+//	curl -s -X POST localhost:8080/v1/solve \
+//	     -d '{"instance":"big","algo":"iter","delta":0.5}'
+//	curl -s localhost:8080/metrics
+//
+// Endpoints: POST /v1/solve, GET /v1/instances, GET /v1/jobs/{id},
+// GET /healthz, GET /metrics. Errors are structured JSON
+// ({"error":{"code","message"}}): 429 when the solve queue is full, 502 when
+// an instance's storage fails mid-pass (truncated or corrupt SCB1 — the
+// solve fails loudly instead of returning a cover computed from a partial
+// scan), 422 for infeasible instances.
+//
+// Instances: -instance name=path registers an SCB1 file (repeatable);
+// -gen name:n=N,m=M,k=K,seed=S registers an in-process planted generator
+// (repeatable) solved straight from the generator without materializing.
+//
+// SIGINT/SIGTERM drain gracefully: new requests get 503 while in-flight
+// solves finish their passes (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	ssc "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run starts the daemon against explicit streams so tests drive the full
+// path in-process. When ready is non-nil it receives the server's base URL
+// once listening; closing stop triggers the same graceful drain a SIGTERM
+// would. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("setcoverd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		maxConcurrent = fs.Int("max-concurrent", 0, "solves running at once (0 = GOMAXPROCS)")
+		maxQueue      = fs.Int("queue", ssc.DefaultSolveQueue, "admitted solves waiting beyond the running ones; beyond that POST /v1/solve gets 429 (0 = no waiting room, reject once all solve slots are busy)")
+		cacheSize     = fs.Int("cache", 128, "LRU result-cache entries (negative disables)")
+		jobHistory    = fs.Int("job-history", 1024, "finished jobs retained for GET /v1/jobs/{id}")
+		workers       = fs.Int("workers", 0, "default pass-engine workers PER SOLVE (0 = GOMAXPROCS/max-concurrent, so concurrent solves share the machine)")
+		batch         = fs.Int("batch", 0, "default pass-engine batch size (0 = engine default)")
+		noSeg         = fs.Bool("no-segmented", false, "default solves to the single-reader decode path")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight solves")
+	)
+	var instances, gens []string
+	fs.Func("instance", "register an SCB1 file as name=path (repeatable; bare path uses the filename as name)", func(v string) error {
+		instances = append(instances, v)
+		return nil
+	})
+	fs.Func("gen", "register a planted generator as name:n=N,m=M,k=K,seed=S (repeatable)", func(v string) error {
+		gens = append(gens, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "setcoverd:", err)
+		return 2
+	}
+
+	cat := ssc.NewCatalog()
+	for _, spec := range instances {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(strings.TrimSuffix(pathBase(spec), ".scb"), ".bin")
+		}
+		inst, err := cat.AddFile(name, path)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stdout, "registered %s: n=%d m=%d digest=%s\n", inst.Name, inst.N, inst.M, shortDigest(inst.Digest))
+	}
+	for _, spec := range gens {
+		inst, err := registerPlanted(cat, spec)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stdout, "registered %s (generator): n=%d m=%d digest=%s\n", inst.Name, inst.N, inst.M, shortDigest(inst.Digest))
+	}
+	if cat.Len() == 0 {
+		fmt.Fprintln(stderr, "setcoverd: warning: empty catalog (register with -instance or -gen); every solve will 404")
+	}
+
+	srv := ssc.NewServer(cat, ssc.ServerConfig{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		CacheSize:     *cacheSize,
+		JobHistory:    *jobHistory,
+		Engine:        ssc.SolveEngineRequest{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "setcoverd: listening on %s\n", url)
+	if ready != nil {
+		ready <- url
+	}
+
+	httpServer := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "setcoverd: signal received, draining")
+	case <-stopChan(stop):
+		fmt.Fprintln(stdout, "setcoverd: stop requested, draining")
+	case err := <-serveErr:
+		return fatal(err)
+	}
+
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "setcoverd: drain incomplete: %v\n", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "setcoverd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(stdout, "setcoverd: drained, bye")
+	return 0
+}
+
+// shortDigest abbreviates a digest for log lines.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}
+
+// stopChan normalizes a possibly-nil stop channel (nil blocks forever).
+func stopChan(stop <-chan struct{}) <-chan struct{} {
+	if stop == nil {
+		return make(chan struct{})
+	}
+	return stop
+}
+
+// pathBase is filepath.Base without the import (no OS-specific separators in
+// the specs this daemon sees; keeps the flag parsing trivially testable).
+func pathBase(p string) string {
+	if i := strings.LastIndexAny(p, "/\\"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// registerPlanted parses "name:n=N,m=M,k=K,seed=S" and registers the
+// streaming planted generator under it. The parameter string is the digest
+// tag: any change to the family's parameters changes the digest, keeping the
+// result cache honest.
+func registerPlanted(cat *ssc.Catalog, spec string) (*ssc.CatalogInstance, error) {
+	name, params, ok := strings.Cut(spec, ":")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("bad -gen %q: want name:n=N,m=M,k=K,seed=S", spec)
+	}
+	cfg := ssc.PlantedConfig{Seed: 1}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -gen %q: parameter %q is not key=value", spec, kv)
+		}
+		x, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -gen %q: %s=%q is not an integer", spec, key, val)
+		}
+		switch key {
+		case "n":
+			cfg.N = int(x)
+		case "m":
+			cfg.M = int(x)
+		case "k":
+			cfg.K = int(x)
+		case "seed":
+			cfg.Seed = x
+		default:
+			return nil, fmt.Errorf("bad -gen %q: unknown parameter %q", spec, key)
+		}
+	}
+	genSet, _, _, err := ssc.PlantedFunc(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bad -gen %q: %w", spec, err)
+	}
+	return cat.AddGenerator(name, cfg.N, cfg.M, "planted:"+params, genSet)
+}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	ssc "repro"
+)
+
+// startDaemon runs the daemon in-process on a free port and returns its base
+// URL plus a shutdown func that drains it and asserts a clean exit.
+func startDaemon(t *testing.T, args ...string) (url string, out *bytes.Buffer) {
+	t.Helper()
+	out = &bytes.Buffer{}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out, out, ready, stop)
+	}()
+	select {
+	case url = <-ready:
+	case c := <-code:
+		t.Fatalf("daemon exited with %d before listening:\n%s", c, out)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	t.Cleanup(func() {
+		close(stop)
+		select {
+		case c := <-code:
+			if c != 0 {
+				t.Errorf("daemon exit code %d:\n%s", c, out)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not drain within 30s")
+		}
+	})
+	return url, out
+}
+
+func solve(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("non-JSON response %q: %v", raw, err)
+	}
+	return resp.StatusCode, m
+}
+
+// The full acceptance path, through the daemon binary's own run(): register a
+// disk instance, serve solves whose covers are byte-identical to the library
+// (cmd/setcover's own e2e tests pin CLI == library, closing the chain),
+// observe the cache hit on repeat, and smoke /healthz + /metrics +
+// /v1/instances.
+func TestDaemonEndToEnd(t *testing.T) {
+	in, _, opt, err := ssc.Planted(ssc.PlantedConfig{N: 400, M: 900, K: 15, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "planted.scb")
+	if err := ssc.WriteInstanceFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	url, _ := startDaemon(t, "-instance", "planted="+path, "-max-concurrent", "2")
+
+	// healthz
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Library reference (cmd/setcover's e2e tests pin the CLI to this).
+	want, err := ssc.IterSetCover(ssc.NewRepository(in), ssc.Options{Delta: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := solve(t, url, `{"instance":"planted","algo":"iter","delta":0.5}`)
+	if status != 200 {
+		t.Fatalf("solve: %d: %v", status, body)
+	}
+	res, _ := body["result"].(map[string]any)
+	if res == nil {
+		t.Fatalf("no result in %v", body)
+	}
+	gotCover := res["cover"].([]any)
+	if len(gotCover) != len(want.Cover) {
+		t.Fatalf("cover size %d, library %d", len(gotCover), len(want.Cover))
+	}
+	for i, v := range gotCover {
+		if int(v.(float64)) != want.Cover[i] {
+			t.Fatalf("cover[%d] = %v, library %d", i, v, want.Cover[i])
+		}
+	}
+	if int(res["passes"].(float64)) != want.Passes {
+		t.Fatalf("passes %v, library %d", res["passes"], want.Passes)
+	}
+	if len(gotCover) < opt {
+		t.Fatalf("cover smaller than the planted optimum: %d < %d", len(gotCover), opt)
+	}
+
+	// Repeat request: served from cache.
+	status, body = solve(t, url, `{"instance":"planted","algo":"iter","delta":0.5}`)
+	if status != 200 || body["cached"] != true {
+		t.Fatalf("repeat solve not cached: %d %v", status, body["cached"])
+	}
+
+	// Metrics reflect one solve, one hit.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"setcoverd_solves_total 1", "setcoverd_cache_hits_total 1", "setcoverd_instances 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Instance listing carries the digest.
+	resp, err = http.Get(url + "/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(listing), `"digest"`) || !strings.Contains(string(listing), `"planted"`) {
+		t.Fatalf("instances listing: %s", listing)
+	}
+}
+
+// A generator-backed instance solves without any file, straight from the
+// streaming PlantedFunc.
+func TestDaemonGeneratorInstance(t *testing.T) {
+	url, out := startDaemon(t, "-gen", "big:n=500,m=1200,k=10,seed=7")
+	if !strings.Contains(out.String(), "registered big (generator)") {
+		t.Fatalf("missing registration line:\n%s", out)
+	}
+	status, body := solve(t, url, `{"instance":"big","algo":"greedy1"}`)
+	if status != 200 {
+		t.Fatalf("solve: %d: %v", status, body)
+	}
+	res := body["result"].(map[string]any)
+	if res["valid"] != true {
+		t.Fatalf("generator solve invalid: %v", res)
+	}
+
+	// Library reference for the same generator family.
+	genSet, _, _, err := ssc.PlantedFunc(ssc.PlantedConfig{N: 500, M: 1200, K: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ssc.OnePassGreedy(ssc.NewFuncRepository(500, 1200, genSet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCover := res["cover"].([]any)
+	if len(gotCover) != len(want.Cover) {
+		t.Fatalf("cover size %d, library %d", len(gotCover), len(want.Cover))
+	}
+	for i, v := range gotCover {
+		if int(v.(float64)) != want.Cover[i] {
+			t.Fatalf("cover[%d] = %v, library %d", i, v, want.Cover[i])
+		}
+	}
+}
+
+// A truncated SCB1 file registers fine (the header is intact) but solving it
+// must return the structured 502, end to end through the daemon.
+func TestDaemonTruncatedInstanceFailsLoudly(t *testing.T) {
+	in, _, _, err := ssc.Planted(ssc.PlantedConfig{N: 200, M: 500, K: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(t.TempDir(), "full.scb")
+	if err := ssc.WriteInstanceFile(full, in); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.scb")
+	if err := os.WriteFile(trunc, raw[:len(raw)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, _ := startDaemon(t, "-instance", "trunc="+trunc)
+
+	status, body := solve(t, url, `{"instance":"trunc","algo":"iter"}`)
+	if status != 502 {
+		t.Fatalf("want 502 for truncated instance, got %d: %v", status, body)
+	}
+	errObj, _ := body["error"].(map[string]any)
+	if errObj == nil || errObj["code"] != "pass_failed" {
+		t.Fatalf("want structured pass_failed error, got %v", body)
+	}
+	if _, hasResult := body["result"]; hasResult {
+		t.Fatalf("failed solve carries a result: %v", body)
+	}
+}
+
+// Flag and registration errors exit 2 before serving.
+func TestDaemonBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-instance", "nope=/does/not/exist.scb"}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2\n%s", code, &out)
+	}
+	out.Reset()
+	if code := run([]string{"-gen", "bad-spec-no-colon"}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("bad gen spec: exit %d, want 2\n%s", code, &out)
+	}
+	out.Reset()
+	if code := run([]string{"-gen", "g:n=10,m=5,k=3,zzz=1"}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("unknown gen param: exit %d, want 2\n%s", code, &out)
+	}
+	if !strings.Contains(out.String(), "unknown parameter") {
+		t.Fatalf("unhelpful error:\n%s", &out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/engine"
@@ -54,34 +55,34 @@ func TestBaselineBackendConformance(t *testing.T) {
 
 	algos := []struct {
 		name string
-		run  func(stream.Repository) (setcover.Stats, error)
+		run  func(stream.Repository, ...engine.Options) (setcover.Stats, error)
 	}{
 		{"greedy-1pass", OnePassGreedy},
 		{"greedy-npass", MultiPassGreedy},
 		{"threshold-greedy", ThresholdGreedy},
 		{"emek-rosen", EmekRosen},
-		{"chakrabarti-wirth", func(r stream.Repository) (setcover.Stats, error) {
-			return ChakrabartiWirth(r, 3)
+		{"chakrabarti-wirth", func(r stream.Repository, eo ...engine.Options) (setcover.Stats, error) {
+			return ChakrabartiWirth(r, 3, eo...)
 		}},
-		{"dimv14", func(r stream.Repository) (setcover.Stats, error) {
-			return DIMV14(r, DIMV14Options{Delta: 0.5, Seed: 5})
+		{"dimv14", func(r stream.Repository, eo ...engine.Options) (setcover.Stats, error) {
+			return DIMV14(r, DIMV14Options{Delta: 0.5, Seed: 5}, eo...)
 		}},
-		{"saha-getoor", maxcover.SahaGetoorSetCover},
+		{"saha-getoor", func(r stream.Repository, _ ...engine.Options) (setcover.Stats, error) {
+			return maxcover.SahaGetoorSetCover(r)
+		}},
 	}
 
-	// Sweep the shared executor across worker counts: workers = 1 is the
-	// sequential reference, workers > 1 decodes segmentable backends (all
-	// three — an indexed SCB1 file included) through the segmented parallel
-	// path. The baselines must be unable to tell any of it apart.
+	// Sweep the per-call executor options across worker counts: workers = 1
+	// is the sequential reference, workers > 1 decodes segmentable backends
+	// (all three — an indexed SCB1 file included) through the segmented
+	// parallel path. The baselines must be unable to tell any of it apart.
 	engines := []engine.Options{
 		{Workers: 1},
 		{Workers: 2},
 		{Workers: runtime.GOMAXPROCS(0)},
 	}
-	defer SetEngine(engine.Options{})
 	for _, algo := range algos {
-		SetEngine(engine.Options{Workers: 1})
-		ref, err := algo.run(stream.NewSliceRepo(in))
+		ref, err := algo.run(stream.NewSliceRepo(in), engine.Options{Workers: 1})
 		if err != nil {
 			t.Fatalf("%s: reference run: %v", algo.name, err)
 		}
@@ -89,10 +90,9 @@ func TestBaselineBackendConformance(t *testing.T) {
 			t.Fatalf("%s: reference cover invalid", algo.name)
 		}
 		for _, engOpts := range engines {
-			SetEngine(engOpts)
 			for _, b := range backends {
 				label := fmt.Sprintf("%s/%s/workers=%d", algo.name, b.name, engOpts.Workers)
-				st, err := algo.run(b.mk())
+				st, err := algo.run(b.mk(), engOpts)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -136,10 +136,10 @@ func TestTruncatedFileFailsEveryBaseline(t *testing.T) {
 		name string
 		run  func(stream.Repository) (setcover.Stats, error)
 	}{
-		{"greedy-1pass", OnePassGreedy},
-		{"greedy-npass", MultiPassGreedy},
-		{"threshold-greedy", ThresholdGreedy},
-		{"emek-rosen", EmekRosen},
+		{"greedy-1pass", func(r stream.Repository) (setcover.Stats, error) { return OnePassGreedy(r) }},
+		{"greedy-npass", func(r stream.Repository) (setcover.Stats, error) { return MultiPassGreedy(r) }},
+		{"threshold-greedy", func(r stream.Repository) (setcover.Stats, error) { return ThresholdGreedy(r) }},
+		{"emek-rosen", func(r stream.Repository) (setcover.Stats, error) { return EmekRosen(r) }},
 		{"chakrabarti-wirth", func(r stream.Repository) (setcover.Stats, error) {
 			return ChakrabartiWirth(r, 3)
 		}},
@@ -218,6 +218,87 @@ func TestPartialBaselineBackendConformance(t *testing.T) {
 		for i := range ref.Cover {
 			if st.Cover[i] != ref.Cover[i] {
 				t.Fatalf("%s/disk: cover[%d] differs", algo.name, i)
+			}
+		}
+	}
+}
+
+// Concurrent solves with DIFFERENT per-call engine configurations must be
+// independent: this is the property the per-call EngineOptions refactor
+// exists for (a process-wide SetEngine could not provide it), and the one
+// internal/serve relies on to multiplex solves. Run under -race in CI.
+func TestConcurrentSolvesWithDistinctEngineOptions(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 300, M: 600, K: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ThresholdGreedy(stream.NewSliceRepo(in), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	configs := []engine.Options{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: 2, BatchSize: 16},
+		{Workers: runtime.GOMAXPROCS(0), DisableSegmented: true},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(configs)*4)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := ThresholdGreedy(stream.NewSliceRepo(in), configs[i%len(configs)])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(st.Cover) != len(ref.Cover) || st.Passes != ref.Passes || st.SpaceWords != ref.SpaceWords {
+				errs[i] = fmt.Errorf("solve %d diverged: cover %d/%d passes %d/%d space %d/%d",
+					i, len(st.Cover), len(ref.Cover), st.Passes, ref.Passes, st.SpaceWords, ref.SpaceWords)
+				return
+			}
+			for j := range ref.Cover {
+				if st.Cover[j] != ref.Cover[j] {
+					errs[i] = fmt.Errorf("solve %d: cover[%d] differs", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The deprecated SetEngine shim must keep steering baselines that pass no
+// per-call options (legacy CLI plumbing), without affecting results.
+func TestSetEngineShimStillApplies(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 200, M: 400, K: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetEngine(engine.Options{})
+	ref, err := EmekRosen(stream.NewSliceRepo(in), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2} {
+		SetEngine(engine.Options{Workers: w, BatchSize: 32})
+		st, err := EmekRosen(stream.NewSliceRepo(in))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(st.Cover) != len(ref.Cover) || st.Passes != ref.Passes {
+			t.Fatalf("workers=%d: shim run diverged from reference", w)
+		}
+		for i := range ref.Cover {
+			if st.Cover[i] != ref.Cover[i] {
+				t.Fatalf("workers=%d: cover[%d] differs", w, i)
 			}
 		}
 	}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/engine"
@@ -45,23 +46,44 @@ import (
 // ErrInfeasible mirrors setcover.ErrInfeasible for streaming baselines.
 var ErrInfeasible = setcover.ErrInfeasible
 
-// eng is the shared pass executor for all baselines. Each baseline registers
-// one observer per pass, so observer delivery is sequential regardless of
-// the worker count (the engine never runs more delivery workers than
-// observers) — but the decode side of a pass still parallelizes: with the
-// default GOMAXPROCS workers, a segmentable repository (an indexed SCB1
-// file, or any in-memory backend) is decoded by several goroutines and
-// reassembled in stream order, so results are identical and only wall-clock
-// changes.
-var eng = engine.New(engine.Options{})
+// defaultEng is the pass executor a baseline uses when the caller passes no
+// per-call engine options. Each baseline registers one observer per pass, so
+// observer delivery is sequential regardless of the worker count (the engine
+// never runs more delivery workers than observers) — but the decode side of a
+// pass still parallelizes: with the default GOMAXPROCS workers, a segmentable
+// repository (an indexed SCB1 file, or any in-memory backend) is decoded by
+// several goroutines and reassembled in stream order, so results are
+// identical and only wall-clock changes. An atomic pointer so the deprecated
+// SetEngine shim stays readable from concurrent solves.
+var defaultEng atomic.Pointer[engine.Engine]
 
-// SetEngine replaces the shared pass executor's options (worker count, batch
-// size, segmented-decode switch). It exists so CLIs and benchmarks can
-// thread their -workers flags down to the baselines, whose entry points
-// predate EngineOptions; results are identical at every setting, per the
-// engine's determinism contract. Not safe to call concurrently with running
-// solves.
-func SetEngine(opts engine.Options) { eng = engine.New(opts) }
+func init() { defaultEng.Store(engine.New(engine.Options{})) }
+
+// SetEngine replaces the DEFAULT pass executor used by baselines called
+// without per-call options.
+//
+// Deprecated: pass engine.Options directly to the baseline instead
+// (OnePassGreedy(repo, opts) etc.) — a process-wide default cannot serve
+// concurrent solves with different configurations. The shim remains for
+// legacy CLI plumbing; results are identical at every setting, per the
+// engine's determinism contract.
+func SetEngine(opts engine.Options) { defaultEng.Store(engine.New(opts)) }
+
+// engineFor resolves the executor for one solve: the caller's per-call
+// options when given (at most one — the variadic exists purely for backward
+// compatibility of the signatures), the process default otherwise. Per-call
+// engines are constructed fresh, so concurrent solves with different
+// configurations never share mutable executor state.
+func engineFor(engOpts []engine.Options) *engine.Engine {
+	switch len(engOpts) {
+	case 0:
+		return defaultEng.Load()
+	case 1:
+		return engine.New(engOpts[0])
+	default:
+		panic(fmt.Sprintf("baseline: %d engine option sets passed; want at most 1", len(engOpts)))
+	}
+}
 
 // failPass closes out a Stats whose physical pass failed mid-stream: the
 // algorithm saw only a prefix of F, so no cover is reported.
@@ -83,7 +105,11 @@ func allowedLeftovers(n int, eps float64) (int, error) {
 // offline greedy: the "Greedy algorithm, ln n approx, 1 pass, O(mn) space"
 // row of Figure 1.1. It is the space-hungry strawman every sublinear
 // algorithm is measured against.
-func OnePassGreedy(repo stream.Repository) (setcover.Stats, error) {
+//
+// engOpts (at most one, like every baseline here) configures the pass
+// executor for THIS call; omitted, the process default applies (SetEngine).
+func OnePassGreedy(repo stream.Repository, engOpts ...engine.Options) (setcover.Stats, error) {
+	eng := engineFor(engOpts)
 	st := setcover.Stats{Algorithm: "greedy-1pass"}
 	tracker := stream.NewTracker()
 
@@ -116,17 +142,17 @@ func OnePassGreedy(repo stream.Repository) (setcover.Stats, error) {
 // the set with maximum gain against the in-memory uncovered bitset, then
 // commits it. This is the "Greedy algorithm, ln n approx, n passes, O(n)
 // space" row of Figure 1.1. Passes equal the cover size.
-func MultiPassGreedy(repo stream.Repository) (setcover.Stats, error) {
-	return multiPassGreedy(repo, 0)
+func MultiPassGreedy(repo stream.Repository, engOpts ...engine.Options) (setcover.Stats, error) {
+	return multiPassGreedy(repo, 0, engineFor(engOpts))
 }
 
 // MultiPassGreedyPartial is MultiPassGreedy for ε-Partial Set Cover: it
 // stops once at most eps·n elements remain uncovered.
-func MultiPassGreedyPartial(repo stream.Repository, eps float64) (setcover.Stats, error) {
-	return multiPassGreedy(repo, eps)
+func MultiPassGreedyPartial(repo stream.Repository, eps float64, engOpts ...engine.Options) (setcover.Stats, error) {
+	return multiPassGreedy(repo, eps, engineFor(engOpts))
 }
 
-func multiPassGreedy(repo stream.Repository, eps float64) (setcover.Stats, error) {
+func multiPassGreedy(repo stream.Repository, eps float64, eng *engine.Engine) (setcover.Stats, error) {
 	st := setcover.Stats{Algorithm: "greedy-npass", Extra: eps}
 	n := repo.UniverseSize()
 	allowed, err := allowedLeftovers(n, eps)
@@ -191,16 +217,16 @@ func (o *bestSetObserver) Observe(batch []setcover.Set) {
 // pass j accepts on the spot any set covering at least τ_j = n/2^j new
 // elements, halving τ until 1. O(log n) passes, O(log n)-approximation,
 // Õ(n) space.
-func ThresholdGreedy(repo stream.Repository) (setcover.Stats, error) {
-	return thresholdGreedy(repo, 0)
+func ThresholdGreedy(repo stream.Repository, engOpts ...engine.Options) (setcover.Stats, error) {
+	return thresholdGreedy(repo, 0, engineFor(engOpts))
 }
 
 // ThresholdGreedyPartial is ThresholdGreedy for ε-Partial Set Cover.
-func ThresholdGreedyPartial(repo stream.Repository, eps float64) (setcover.Stats, error) {
-	return thresholdGreedy(repo, eps)
+func ThresholdGreedyPartial(repo stream.Repository, eps float64, engOpts ...engine.Options) (setcover.Stats, error) {
+	return thresholdGreedy(repo, eps, engineFor(engOpts))
 }
 
-func thresholdGreedy(repo stream.Repository, eps float64) (setcover.Stats, error) {
+func thresholdGreedy(repo stream.Repository, eps float64, eng *engine.Engine) (setcover.Stats, error) {
 	st := setcover.Stats{Algorithm: "threshold-greedy[SG09]", Extra: eps}
 	n := repo.UniverseSize()
 	allowed, err := allowedLeftovers(n, eps)
@@ -266,18 +292,18 @@ func thresholdGreedy(repo stream.Repository, eps float64) (setcover.Stats, error
 // Approximation: every set covers < √n of the final uncovered elements (a
 // set's uncovered-gain only shrinks over the pass), so OPT ≥ u/√n where u is
 // the number of leftovers; the algorithm pays ≤ √n picks + u ≤ √n + √n·OPT.
-func EmekRosen(repo stream.Repository) (setcover.Stats, error) {
-	return emekRosen(repo, 0)
+func EmekRosen(repo stream.Repository, engOpts ...engine.Options) (setcover.Stats, error) {
+	return emekRosen(repo, 0, engineFor(engOpts))
 }
 
 // EmekRosenPartial is EmekRosen for ε-Partial Set Cover ([ER14] prove their
 // upper and lower bounds for this generalization): up to eps·n elements may
 // stay uncovered, so the patch phase stops early.
-func EmekRosenPartial(repo stream.Repository, eps float64) (setcover.Stats, error) {
-	return emekRosen(repo, eps)
+func EmekRosenPartial(repo stream.Repository, eps float64, engOpts ...engine.Options) (setcover.Stats, error) {
+	return emekRosen(repo, eps, engineFor(engOpts))
 }
 
-func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
+func emekRosen(repo stream.Repository, eps float64, eng *engine.Engine) (setcover.Stats, error) {
 	st := setcover.Stats{Algorithm: "emek-rosen[ER14]", Extra: eps}
 	n := repo.UniverseSize()
 	allowed, err := allowedLeftovers(n, eps)
@@ -337,17 +363,17 @@ func emekRosen(repo stream.Repository, eps float64) (setcover.Stats, error) {
 // τ_j = n^{(p+1-j)/(p+1)} new elements; after p passes the leftovers are
 // patched with remembered first covers, giving a (p+1)·n^{1/(p+1)}-style
 // approximation in Θ̃(n) space.
-func ChakrabartiWirth(repo stream.Repository, passes int) (setcover.Stats, error) {
-	return chakrabartiWirth(repo, passes, 0)
+func ChakrabartiWirth(repo stream.Repository, passes int, engOpts ...engine.Options) (setcover.Stats, error) {
+	return chakrabartiWirth(repo, passes, 0, engineFor(engOpts))
 }
 
 // ChakrabartiWirthPartial is ChakrabartiWirth for ε-Partial Set Cover
 // ([CW16] prove their trade-off for this generalization too).
-func ChakrabartiWirthPartial(repo stream.Repository, passes int, eps float64) (setcover.Stats, error) {
-	return chakrabartiWirth(repo, passes, eps)
+func ChakrabartiWirthPartial(repo stream.Repository, passes int, eps float64, engOpts ...engine.Options) (setcover.Stats, error) {
+	return chakrabartiWirth(repo, passes, eps, engineFor(engOpts))
 }
 
-func chakrabartiWirth(repo stream.Repository, passes int, eps float64) (setcover.Stats, error) {
+func chakrabartiWirth(repo stream.Repository, passes int, eps float64, eng *engine.Engine) (setcover.Stats, error) {
 	if passes < 1 {
 		return setcover.Stats{}, fmt.Errorf("baseline: ChakrabartiWirth needs passes >= 1, got %d", passes)
 	}
@@ -470,7 +496,8 @@ type DIMV14Options struct {
 // covering everything takes Θ(log n) rounds = Θ(log n) passes at the same
 // Õ(m·n^δ) space — the exponential pass blow-up relative to iterSetCover
 // that Theorem 2.8 eliminates.
-func DIMV14(repo stream.Repository, opts DIMV14Options) (setcover.Stats, error) {
+func DIMV14(repo stream.Repository, opts DIMV14Options, engOpts ...engine.Options) (setcover.Stats, error) {
+	eng := engineFor(engOpts)
 	st := setcover.Stats{Algorithm: "dimv14-sampling", Extra: opts.Delta}
 	n, m := repo.UniverseSize(), repo.NumSets()
 	if opts.Delta <= 0 || opts.Delta > 1 {

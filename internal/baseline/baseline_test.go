@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/setcover"
 	"repro/internal/stream"
@@ -274,7 +275,7 @@ func TestPropAllBaselinesCover(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		run := func(f func(r stream.Repository) (setcover.Stats, error)) bool {
+		run := func(f func(r stream.Repository, eo ...engine.Options) (setcover.Stats, error)) bool {
 			st, err := f(stream.NewSliceRepo(in))
 			return err == nil && in.IsCover(st.Cover)
 		}
@@ -282,9 +283,11 @@ func TestPropAllBaselinesCover(t *testing.T) {
 			run(MultiPassGreedy) &&
 			run(ThresholdGreedy) &&
 			run(EmekRosen) &&
-			run(func(r stream.Repository) (setcover.Stats, error) { return ChakrabartiWirth(r, 2) }) &&
-			run(func(r stream.Repository) (setcover.Stats, error) {
-				return DIMV14(r, DIMV14Options{Delta: 0.5, Scale: 1, Seed: seed})
+			run(func(r stream.Repository, eo ...engine.Options) (setcover.Stats, error) {
+				return ChakrabartiWirth(r, 2, eo...)
+			}) &&
+			run(func(r stream.Repository, eo ...engine.Options) (setcover.Stats, error) {
+				return DIMV14(r, DIMV14Options{Delta: 0.5, Scale: 1, Seed: seed}, eo...)
 			})
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {

@@ -3,6 +3,7 @@ package baseline
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/setcover"
 	"repro/internal/stream"
@@ -17,16 +18,18 @@ func TestPartialVariantsContract(t *testing.T) {
 	}
 	type pair struct {
 		name    string
-		full    func(stream.Repository) (setcover.Stats, error)
-		partial func(stream.Repository, float64) (setcover.Stats, error)
+		full    func(stream.Repository, ...engine.Options) (setcover.Stats, error)
+		partial func(stream.Repository, float64, ...engine.Options) (setcover.Stats, error)
 	}
 	pairs := []pair{
 		{"emek-rosen", EmekRosen, EmekRosenPartial},
 		{"threshold", ThresholdGreedy, ThresholdGreedyPartial},
 		{"greedy-npass", MultiPassGreedy, MultiPassGreedyPartial},
-		{"cw16", func(r stream.Repository) (setcover.Stats, error) { return ChakrabartiWirth(r, 3) },
-			func(r stream.Repository, eps float64) (setcover.Stats, error) {
-				return ChakrabartiWirthPartial(r, 3, eps)
+		{"cw16", func(r stream.Repository, eo ...engine.Options) (setcover.Stats, error) {
+			return ChakrabartiWirth(r, 3, eo...)
+		},
+			func(r stream.Repository, eps float64, eo ...engine.Options) (setcover.Stats, error) {
+				return ChakrabartiWirthPartial(r, 3, eps, eo...)
 			}},
 	}
 	for _, p := range pairs {

@@ -62,6 +62,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -70,6 +71,13 @@ import (
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
+
+// ErrPassFailed is in the chain of every error Run returns for a pass that
+// could not be fully drained (truncated or corrupt storage). Service layers
+// match it with errors.Is to map storage failures to distinct status codes
+// without string inspection; the concrete decode error stays wrapped
+// alongside it.
+var ErrPassFailed = errors.New("pass failed")
 
 // DefaultBatchSize is the number of sets delivered per Observe call when
 // Options.BatchSize is unset. Large enough to amortize channel and interface
@@ -194,7 +202,7 @@ func (e *Engine) Run(repo stream.Repository, observers ...Observer) error {
 		}
 	}
 	if err != nil {
-		return fmt.Errorf("engine: pass failed: %w", err)
+		return fmt.Errorf("engine: %w: %w", ErrPassFailed, err)
 	}
 	return nil
 }

@@ -178,3 +178,42 @@ func TestDefaults(t *testing.T) {
 		t.Fatalf("default batch size = %d", e.BatchSize())
 	}
 }
+
+// A sequential-only FuncRepo must run correctly at ANY worker count: it
+// declines segmentation, so the engine's single-reader path drives the
+// stateful generator from one goroutine, in stream order, even when Workers
+// would otherwise decode segments in parallel. This is the loud-failure
+// alternative to racing a stateful closure (stream.NewSequentialFuncRepo).
+func TestSequentialFuncRepoFallsBackAtAnyWorkerCount(t *testing.T) {
+	const n, m = 16, 400
+	for _, workers := range []int{1, 2, 8} {
+		lastID := -1 // stateful on purpose
+		repo := stream.NewSequentialFuncRepo(n, m, func(id int) setcover.Set {
+			if id != lastID+1 {
+				t.Errorf("workers=%d: gen(%d) after gen(%d)", workers, id, lastID)
+			}
+			lastID = id
+			return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id % n)}}
+		})
+		var seen atomic.Int64
+		pos := 0
+		err := New(Options{Workers: workers, BatchSize: 32}).Run(repo, Func(func(batch []setcover.Set) {
+			for _, s := range batch {
+				if s.ID != pos {
+					t.Errorf("workers=%d: set %d delivered at position %d", workers, s.ID, pos)
+				}
+				pos++
+				seen.Add(1)
+			}
+		}))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if seen.Load() != m {
+			t.Fatalf("workers=%d: saw %d of %d sets", workers, seen.Load(), m)
+		}
+		if repo.Passes() != 1 {
+			t.Fatalf("workers=%d: counted %d passes, want 1", workers, repo.Passes())
+		}
+	}
+}

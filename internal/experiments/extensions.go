@@ -124,8 +124,12 @@ func E15ProtocolSimulation(seed int64, quick bool) Table {
 			r, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
 			return r.Stats, err
 		}},
-		{"emek-rosen (1 pass)", baseline.EmekRosen},
-		{"threshold-greedy", baseline.ThresholdGreedy},
+		{"emek-rosen (1 pass)", func(repo stream.Repository) (setcover.Stats, error) {
+			return baseline.EmekRosen(repo, engineOpts)
+		}},
+		{"threshold-greedy", func(repo stream.Repository) (setcover.Stats, error) {
+			return baseline.ThresholdGreedy(repo, engineOpts)
+		}},
 	}
 	for _, r := range runs {
 		repo := comm.NewProtocolRepo(stream.NewSliceRepo(in), players)

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
@@ -120,7 +121,7 @@ func Streaming(repo stream.Repository, k int) (Result, error) {
 	// than through the engine, so it checks the reader itself).
 	if err := stream.ReaderErr(it); err != nil {
 		return Result{Passes: repo.Passes(), SpaceWords: tracker.Peak()},
-			fmt.Errorf("maxcover: pass failed: %w", err)
+			fmt.Errorf("maxcover: %w: %w", engine.ErrPassFailed, err)
 	}
 
 	best := guesses[0]
@@ -231,7 +232,7 @@ func SahaGetoorSetCover(repo stream.Repository) (setcover.Stats, error) {
 		if err := stream.ReaderErr(it); err != nil {
 			st.Passes = repo.Passes()
 			st.SpaceWords = tracker.Peak()
-			return st, fmt.Errorf("maxcover: pass failed: %w", err)
+			return st, fmt.Errorf("maxcover: %w: %w", engine.ErrPassFailed, err)
 		}
 		for _, r := range runs {
 			if r.done || r.failed {

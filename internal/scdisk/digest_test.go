@@ -1,0 +1,245 @@
+package scdisk
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/setcover"
+)
+
+func digestTestInstance(t *testing.T, seed int64) *setcover.Instance {
+	t.Helper()
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 120, M: 260, K: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// The digest must be a pure function of file content: two opens of the same
+// file agree, and re-encoding the identical family to a second file agrees
+// too (registration digests are cache keys — instability would split the
+// cache, collision across different content would poison it).
+func TestDigestStableAcrossOpens(t *testing.T) {
+	in := digestTestInstance(t, 7)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.scb")
+	pathB := filepath.Join(dir, "b.scb")
+	if err := WriteFile(pathA, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(pathB, in); err != nil {
+		t.Fatal(err)
+	}
+	var digests []string
+	for _, p := range []string{pathA, pathA, pathB} {
+		d, err := Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dig, err := d.Digest()
+		d.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dig == "" {
+			t.Fatal("empty digest")
+		}
+		digests = append(digests, dig)
+	}
+	if digests[0] != digests[1] || digests[0] != digests[2] {
+		t.Fatalf("digests diverge for identical content: %v", digests)
+	}
+}
+
+// Different families must get different digests (the indexed digest binds n,
+// m, and the per-set byte length + cardinality sequence, which these two
+// instances differ in).
+func TestDigestDistinguishesInstances(t *testing.T) {
+	dir := t.TempDir()
+	var digs [2]string
+	for i, seed := range []int64{1, 2} {
+		p := filepath.Join(dir, "x.scb")
+		if err := WriteFile(p, digestTestInstance(t, seed)); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digs[i], err = d.Digest()
+		d.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if digs[0] == digs[1] {
+		t.Fatalf("different instances share digest %s", digs[0])
+	}
+}
+
+// A plain SCB1 stream (no SCIX footer) digests through the full-file
+// fallback; the two schemes are domain-separated so the digest still changes
+// with content and never collides with the indexed form by construction.
+func TestDigestPlainFileFallback(t *testing.T) {
+	in := digestTestInstance(t, 3)
+	var plain bytes.Buffer
+	if err := setcover.WriteBinary(&plain, in); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewRepo(bytes.NewReader(plain.Bytes()), int64(plain.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HasIndex() {
+		t.Fatal("plain SCB1 unexpectedly has an index")
+	}
+	dig1, err := d.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same family, indexed encoding: must not collide with the plain digest
+	// (domain separation), and must itself be stable.
+	var indexed bytes.Buffer
+	if err := Write(&indexed, in); err != nil {
+		t.Fatal(err)
+	}
+	di, err := NewRepo(bytes.NewReader(indexed.Bytes()), int64(indexed.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig2, err := di.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig1 == dig2 {
+		t.Fatal("plain and indexed digests collide")
+	}
+	// Content change flips the plain digest too.
+	mutated := append([]byte(nil), plain.Bytes()...)
+	mutated[len(mutated)-1] ^= 1
+	dm, err := NewRepo(bytes.NewReader(mutated), int64(len(mutated)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dig3, err := dm.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig3 == dig1 {
+		t.Fatal("mutated file shares the plain digest")
+	}
+}
+
+// The batched stash path must decode the identical stream the per-set pool
+// path did, under recycling pressure: run several batched+recycled passes and
+// compare against a fresh sequential decode.
+func TestBatchedStashDecodeMatchesSequential(t *testing.T) {
+	in := digestTestInstance(t, 11)
+	p := filepath.Join(t.TempDir(), "s.scb")
+	if err := WriteFile(p, in); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for pass := 0; pass < 3; pass++ {
+		it := d.Begin().(*reader)
+		batch := make([]setcover.Set, 0, 7) // deliberately odd batch size
+		pos := 0
+		for {
+			k := it.NextBatch(batch[:0])
+			if k == 0 {
+				break
+			}
+			for _, s := range batch[:k] {
+				if s.ID != pos {
+					t.Fatalf("pass %d: set ID %d at stream position %d", pass, s.ID, pos)
+				}
+				want := in.Sets[pos].Elems
+				if len(s.Elems) != len(want) {
+					t.Fatalf("pass %d set %d: %d elems, want %d", pass, pos, len(s.Elems), len(want))
+				}
+				for i := range want {
+					if s.Elems[i] != want[i] {
+						t.Fatalf("pass %d set %d: elem[%d] = %d, want %d", pass, pos, i, s.Elems[i], want[i])
+					}
+				}
+				pos++
+			}
+			it.Recycle(batch[:k])
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if pos != in.M() {
+			t.Fatalf("pass %d: saw %d of %d sets", pass, pos, in.M())
+		}
+	}
+}
+
+// fill must hand out at most `want` buffers, clear the pool's references to
+// them, and putBufs must respect the cap limits — the invariants that keep
+// the batched path's memory profile identical to the per-set one.
+func TestElemPoolFillBatched(t *testing.T) {
+	var p elemPool
+	sets := make([]setcover.Set, 10)
+	for i := range sets {
+		sets[i] = setcover.Set{Elems: make([]setcover.Elem, 0, 8)}
+	}
+	p.put(sets)
+	if len(p.free) != 10 {
+		t.Fatalf("pool holds %d buffers, want 10", len(p.free))
+	}
+	got := p.fill(nil, 4)
+	if len(got) != 4 || len(p.free) != 6 {
+		t.Fatalf("fill(4): got %d, pool %d; want 4, 6", len(got), len(p.free))
+	}
+	got = p.fill(got[:0], 100)
+	if len(got) != 6 || len(p.free) != 0 {
+		t.Fatalf("fill(100): got %d, pool %d; want 6, 0", len(got), len(p.free))
+	}
+	// Oversized buffers are dropped by putBufs, ordinary ones return.
+	got = append(got[:2], make([]setcover.Elem, 0, maxPooledElemCap+1))
+	p.putBufs(got)
+	if len(p.free) != 2 {
+		t.Fatalf("putBufs kept %d buffers, want 2 (oversized dropped)", len(p.free))
+	}
+}
+
+// Two indexed files that agree on dimensions and on every per-set (byteLen,
+// cardinality) but differ in element VALUES must not collide: the indexed
+// digest samples the data section, so an index-profile twin cannot alias a
+// different family in a digest-keyed result cache.
+func TestDigestBindsElementValues(t *testing.T) {
+	mk := func(second setcover.Elem) *setcover.Instance {
+		return &setcover.Instance{N: 4, Sets: []setcover.Set{
+			{ID: 0, Elems: []setcover.Elem{0, second}}, // {0,1} and {0,2} encode to the same byteLen
+			{ID: 1, Elems: []setcover.Elem{0, 1, 2, 3}},
+		}}
+	}
+	var digs [2]string
+	for i, e := range []setcover.Elem{1, 2} {
+		var buf bytes.Buffer
+		if err := Write(&buf, mk(e)); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewRepo(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.HasIndex() {
+			t.Fatal("expected indexed file")
+		}
+		if digs[i], err = d.Digest(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if digs[0] == digs[1] {
+		t.Fatalf("index-profile twins share digest %s", digs[0])
+	}
+}

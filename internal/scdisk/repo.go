@@ -3,7 +3,9 @@ package scdisk
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -59,6 +61,8 @@ type Repo struct {
 	// set data. cards[i] is |set i|. Both nil when the file has no index.
 	offs  []int64
 	cards []int32
+	// indexOff is the absolute offset of the SCIX footer when offs != nil.
+	indexOff int64
 
 	passes atomic.Int64
 	free   elemPool
@@ -192,7 +196,58 @@ func (d *Repo) parseIndex(indexOff int64) error {
 	}
 	d.offs = append(offs, off)
 	d.cards = cards
+	d.indexOff = indexOff
 	return nil
+}
+
+// digestSampleLen is how much of each end of the set-data section the
+// indexed digest additionally hashes (see Digest).
+const digestSampleLen = 64 << 10
+
+// Digest returns a stable hex content digest for the instance, computed from
+// the cheapest faithful summary available. With the SCIX index present it
+// hashes the header dimensions, the whole index section — per-set encoded
+// byte length and cardinality for all m sets — plus up to digestSampleLen
+// bytes from EACH END of the set-data section: O(index + 128 KB) I/O instead
+// of a full-file read (the index is typically <1% of the data), while
+// binding actual element bytes, so files up to 128 KB are digested in full
+// and larger files can only collide if they agree on dimensions, every
+// per-set (byteLen, cardinality), AND both sampled data spans — in practice
+// only under deliberate construction, a tradeoff accepted for
+// registration-time cheapness (serve.Catalog computes this once per
+// registration and uses it as the result-cache key; see ROADMAP for an
+// audit-grade full-content mode). Without the index the entire file is
+// hashed. The two schemes are domain-separated, so an indexed and a plain
+// encoding of the same family get different digests — a digest identifies
+// the FILE's content, not the abstract family.
+func (d *Repo) Digest() (string, error) {
+	h := sha256.New()
+	if d.offs == nil {
+		fmt.Fprintf(h, "scb1-digest-v1\n")
+		if _, err := io.Copy(h, io.NewSectionReader(d.r, 0, d.size)); err != nil {
+			return "", fmt.Errorf("scdisk: digest: %w", err)
+		}
+		return hex.EncodeToString(h.Sum(nil)), nil
+	}
+	fmt.Fprintf(h, "scix-digest-v2 n=%d m=%d\n", d.n, d.m)
+	if _, err := io.Copy(h, io.NewSectionReader(d.r, d.indexOff, d.size-d.indexOff)); err != nil {
+		return "", fmt.Errorf("scdisk: digest: %w", err)
+	}
+	head := d.indexOff - d.dataOff // data-section length
+	if head > digestSampleLen {
+		head = digestSampleLen
+	}
+	if _, err := io.Copy(h, io.NewSectionReader(d.r, d.dataOff, head)); err != nil {
+		return "", fmt.Errorf("scdisk: digest: %w", err)
+	}
+	tailStart := d.indexOff - digestSampleLen
+	if tailStart < d.dataOff+head {
+		tailStart = d.dataOff + head // avoid re-hashing overlap on small files
+	}
+	if _, err := io.Copy(h, io.NewSectionReader(d.r, tailStart, d.indexOff-tailStart)); err != nil {
+		return "", fmt.Errorf("scdisk: digest: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Close releases the underlying file when the repository owns one.
@@ -293,12 +348,20 @@ func (d *Repo) BeginSegmented() (stream.SegmentSource, bool) {
 	return &segSource{d: d}, true
 }
 
-// segSource opens chunk readers for one segmented pass. The bufio windows
-// are pooled across chunks: a chunk is a few tens of KB, so each decode
-// goroutine effectively reuses one window for its whole stride.
+// segSource opens chunk readers for one segmented pass. The per-chunk decode
+// state — the bufio window and the buffer stash backing the batched pool
+// draw — is pooled across chunks: a chunk is a few tens of KB, so each decode
+// goroutine effectively reuses one window (and one stash array) for its whole
+// stride instead of allocating them ~m/BatchSize times per pass.
 type segSource struct {
-	d    *Repo
-	bufs sync.Pool // *bufio.Reader, segBufSize each
+	d      *Repo
+	states sync.Pool // *segState
+}
+
+// segState is the reusable decode state of one chunk reader.
+type segState struct {
+	br    *bufio.Reader     // segBufSize window over the chunk's byte span
+	stash [][]setcover.Elem // emptied between chunks; capacity is what's reused
 }
 
 // Segment returns a reader for sets [start, end), positioned by one seek.
@@ -311,14 +374,19 @@ type segSource struct {
 // past an unvalidated boundary — segmented decode either matches the
 // sequential stream byte for byte or fails loudly.
 func (s *segSource) Segment(start, end int) stream.Reader {
-	br, _ := s.bufs.Get().(*bufio.Reader)
-	if br == nil {
-		br = bufio.NewReaderSize(nil, segBufSize)
+	st, _ := s.states.Get().(*segState)
+	if st == nil {
+		st = &segState{br: bufio.NewReaderSize(nil, segBufSize)}
 	}
 	off := s.d.offs[start]
-	br.Reset(io.NewSectionReader(s.d.r, off, s.d.offs[end]-off))
-	return &reader{d: s.d, br: br, pos: start, end: end,
-		verifySpan: true, release: func() { s.bufs.Put(br) }}
+	st.br.Reset(io.NewSectionReader(s.d.r, off, s.d.offs[end]-off))
+	r := &reader{d: s.d, br: st.br, pos: start, end: end,
+		verifySpan: true, stash: st.stash}
+	r.release = func() {
+		st.stash = r.stash // emptied by finish; keeps its capacity for the next chunk
+		s.states.Put(st)
+	}
+	return r
 }
 
 // Recycle implements stream.Recycler at the source level: the pass engine's
@@ -340,6 +408,10 @@ type reader struct {
 	err        error
 	verifySpan bool   // segment readers: span must be consumed exactly
 	release    func() // returns the bufio window to its pool, once, at end of span
+	// stash holds recycled decode buffers drawn from the repository pool a
+	// batch at a time (one lock per NextBatch instead of one per set);
+	// leftovers flow back on finish.
+	stash [][]setcover.Elem
 }
 
 // Next decodes the next set into a freshly allocated element slice. The
@@ -366,9 +438,22 @@ func (it *reader) Next() (setcover.Set, bool) {
 // not recycle simply forfeits reuse.
 func (it *reader) NextBatch(dst []setcover.Set) int {
 	dst = dst[:cap(dst)]
+	// Top the stash up to a batch's worth of recycled buffers in ONE pool
+	// lock, instead of hitting the mutex once per decoded set. In steady
+	// state (engine recycles every batch) the stash drains exactly as the
+	// batch fills, so the pool sees two lock acquisitions per batch.
+	if need := len(dst) - len(it.stash); need > 0 && !it.failed && it.pos < it.end {
+		it.stash = it.d.free.fill(it.stash, need)
+	}
 	k := 0
 	for k < len(dst) && !it.failed && it.pos < it.end {
-		elems, err := setcover.ReadSetBinary(it.br, it.d.n, it.d.free.get())
+		var buf []setcover.Elem
+		if n := len(it.stash); n > 0 {
+			buf = it.stash[n-1]
+			it.stash[n-1] = nil
+			it.stash = it.stash[:n-1]
+		}
+		elems, err := setcover.ReadSetBinary(it.br, it.d.n, buf)
 		if err != nil {
 			it.fail(err)
 			break
@@ -387,6 +472,12 @@ func (it *reader) NextBatch(dst []setcover.Set) int {
 // consumed exactly (see segSource.Segment), then the buffered window goes
 // back to its pool.
 func (it *reader) finish() {
+	if len(it.stash) > 0 {
+		// Unused recycled buffers (short final batch, failed span) rejoin the
+		// pool rather than leaking with the reader.
+		it.d.free.putBufs(it.stash)
+		it.stash = it.stash[:0]
+	}
 	if it.verifySpan {
 		it.verifySpan = false
 		if !it.failed {
@@ -419,22 +510,33 @@ func (it *reader) fail(err error) {
 
 // elemPool is the shared free list of decode buffers. sync.Mutex rather than
 // sync.Pool: buffers must survive GC cycles between passes for the
-// steady-state allocation profile tests rely on, and contention is one
-// lock per batch decode/recycle.
+// steady-state allocation profile tests rely on. Both directions are batched
+// — fill hands a whole batch's worth of buffers to a decoder in one lock
+// acquisition and put returns a consumed batch in one — so with many decode
+// workers on multicore hosts the mutex is hit twice per ~BatchSize sets, not
+// once per set (the contention point ROADMAP called out).
 type elemPool struct {
 	mu   sync.Mutex
 	free [][]setcover.Elem
 }
 
-func (p *elemPool) get() []setcover.Elem {
+// fill appends up to want recycled buffers to dst under a single lock and
+// returns the extended slice; fewer (or none) come back when the pool is low,
+// and the decoder allocates fresh for the difference.
+func (p *elemPool) fill(dst [][]setcover.Elem, want int) [][]setcover.Elem {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.free) == 0 {
-		return nil
+	k := min(want, len(p.free))
+	if k <= 0 {
+		return dst
 	}
-	b := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	return b
+	tail := p.free[len(p.free)-k:]
+	dst = append(dst, tail...)
+	for i := range tail {
+		tail[i] = nil // do not pin recycled buffers through the free-list's spare capacity
+	}
+	p.free = p.free[:len(p.free)-k]
+	return dst
 }
 
 func (p *elemPool) put(sets []setcover.Set) {
@@ -445,6 +547,18 @@ func (p *elemPool) put(sets []setcover.Set) {
 		// dropped rather than pinned for the repository's lifetime.
 		if c := cap(s.Elems); c > 0 && c <= maxPooledElemCap && len(p.free) < maxPooledElems {
 			p.free = append(p.free, s.Elems[:0])
+		}
+	}
+}
+
+// putBufs returns raw, unused buffers (a reader's stash at end of span) under
+// one lock, with the same caps as put.
+func (p *elemPool) putBufs(bufs [][]setcover.Elem) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, b := range bufs {
+		if c := cap(b); c > 0 && c <= maxPooledElemCap && len(p.free) < maxPooledElems {
+			p.free = append(p.free, b[:0])
 		}
 	}
 }

@@ -521,17 +521,16 @@ func TestElemPoolDropsOversizedBuffers(t *testing.T) {
 	small := make([]setcover.Elem, 0, 16)
 	huge := make([]setcover.Elem, 0, maxPooledElemCap+1)
 	p.put([]setcover.Set{{Elems: huge}, {Elems: small}})
-	if got := p.get(); got == nil || cap(got) != 16 {
-		t.Fatalf("pool kept cap %d, want the small buffer (16)", cap(got))
-	}
-	if got := p.get(); got != nil {
-		t.Fatalf("pool kept an oversized buffer of cap %d", cap(got))
+	got := p.fill(nil, 2)
+	if len(got) != 1 || cap(got[0]) != 16 {
+		t.Fatalf("pool kept %d buffers (first cap %v), want just the small one (16)",
+			len(got), got)
 	}
 	// Boundary: exactly maxPooledElemCap is still pooled.
 	edge := make([]setcover.Elem, 0, maxPooledElemCap)
 	p.put([]setcover.Set{{Elems: edge}})
-	if got := p.get(); got == nil || cap(got) != maxPooledElemCap {
-		t.Fatalf("pool dropped a buffer at the cap boundary (got cap %d)", cap(got))
+	if got := p.fill(nil, 1); len(got) != 1 || cap(got[0]) != maxPooledElemCap {
+		t.Fatalf("pool dropped a buffer at the cap boundary")
 	}
 }
 

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a plain LRU over finished solve results, keyed by the
+// (instance digest, algorithm, δ, p, ε, seed) string the solver builds
+// (cacheKey). Engine options are deliberately NOT part of the key: by the
+// pass engine's determinism contract they change wall-clock only, so a result
+// computed at any worker count answers a request at every other one.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val *SolveResult
+}
+
+// newResultCache returns a cache holding at most capacity entries; capacity
+// <= 0 disables caching (every get misses, every put is dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key and refreshes its recency.
+func (c *resultCache) get(key string) (*SolveResult, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *resultCache) put(key string, val *SolveResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

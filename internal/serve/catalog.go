@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/scdisk"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// Instance is one registered entry of a Catalog: enough metadata to list and
+// address it (name, content digest, dimensions) plus the recipe for opening a
+// FRESH repository view per solve — its own file handles and pass counter, so
+// concurrent solves never share decode state and per-solve pass counts are
+// exact.
+type Instance struct {
+	// Name is the registration name, unique within a catalog.
+	Name string `json:"name"`
+	// Digest is the content digest computed once at registration. For disk
+	// instances it is scdisk's cheap digest (SCIX footer when present,
+	// full-file fallback); for generators it binds the name, dimensions, and
+	// the registrant's tag. It is the instance component of the result-cache
+	// key, and requests may address instances by it instead of by name.
+	Digest string `json:"digest"`
+	// N and M are the universe size and family size.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Kind is "disk" for SCB1 files, "generator" for named generators.
+	Kind string `json:"kind"`
+	// Path is the backing file for disk instances ("" for generators).
+	Path string `json:"path,omitempty"`
+
+	open func() (stream.Repository, func() error, error)
+}
+
+// Open returns a fresh repository over the instance plus a release function
+// to call when the solve is done (closes per-solve file handles; a no-op for
+// generators).
+func (inst *Instance) Open() (stream.Repository, func() error, error) {
+	return inst.open()
+}
+
+// Catalog is the registry of solvable instances. Registration digests and
+// validates each instance exactly once; solves then address it by name or
+// digest without re-opening metadata. Safe for concurrent use.
+type Catalog struct {
+	mu       sync.RWMutex
+	byName   map[string]*Instance
+	byDigest map[string]*Instance // first registration wins per digest
+	order    []string             // registration order, for stable listings
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Instance), byDigest: make(map[string]*Instance)}
+}
+
+// AddFile registers the SCB1 file at path (plain or indexed) under name. The
+// file is opened once to validate the header and compute the content digest;
+// every subsequent solve opens its own repository over it. Registering a
+// truncated-but-openable file succeeds — SCB1 headers cannot promise the data
+// that follows — and the corruption surfaces as a structured pass failure at
+// solve time instead.
+func (c *Catalog) AddFile(name, path string) (*Instance, error) {
+	d, err := scdisk.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: register %q: %w", name, err)
+	}
+	digest, err := d.Digest()
+	n, m := d.UniverseSize(), d.NumSets()
+	d.Close()
+	if err != nil {
+		return nil, fmt.Errorf("serve: register %q: %w", name, err)
+	}
+	inst := &Instance{
+		Name: name, Digest: digest, N: n, M: m, Kind: "disk", Path: path,
+		open: func() (stream.Repository, func() error, error) {
+			r, err := scdisk.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, r.Close, nil
+		},
+	}
+	return inst, c.add(inst)
+}
+
+// AddGenerator registers a named in-process generator of m sets over n
+// elements. gen must follow the stream.NewFuncRepo contract (freshly
+// allocated sorted-unique elements, safe for concurrent calls — segmented
+// decode may run it on several goroutines). tag should change whenever the
+// generated family changes (a seed, a version): the digest binds only
+// (name, n, m, tag), so a stale tag would alias distinct families in the
+// result cache.
+func (c *Catalog) AddGenerator(name string, n, m int, tag string, gen func(id int) setcover.Set) (*Instance, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("serve: register %q: negative dimensions n=%d m=%d", name, n, m)
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("serve: register %q: nil generator", name)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "generator-digest-v1\x00%s\x00%d\x00%d\x00%s", name, n, m, tag)
+	inst := &Instance{
+		Name: name, Digest: hex.EncodeToString(h.Sum(nil)), N: n, M: m, Kind: "generator",
+		open: func() (stream.Repository, func() error, error) {
+			return stream.NewFuncRepo(n, m, gen), func() error { return nil }, nil
+		},
+	}
+	return inst, c.add(inst)
+}
+
+func (c *Catalog) add(inst *Instance) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[inst.Name]; dup {
+		return fmt.Errorf("serve: instance %q already registered", inst.Name)
+	}
+	c.byName[inst.Name] = inst
+	if _, dup := c.byDigest[inst.Digest]; !dup {
+		c.byDigest[inst.Digest] = inst // first registration wins for digest addressing
+	}
+	c.order = append(c.order, inst.Name)
+	return nil
+}
+
+// Get resolves an instance by name or by digest, both O(1) — digest
+// addressing sits on the solve hot path.
+func (c *Catalog) Get(nameOrDigest string) (*Instance, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if inst, ok := c.byName[nameOrDigest]; ok {
+		return inst, true
+	}
+	inst, ok := c.byDigest[nameOrDigest]
+	return inst, ok
+}
+
+// List returns the registered instances in registration order.
+func (c *Catalog) List() []*Instance {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Instance, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.byName[name])
+	}
+	return out
+}
+
+// Len reports the number of registered instances.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.order)
+}

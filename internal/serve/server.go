@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// MaxConcurrent is the number of solves running at once (default
+	// GOMAXPROCS, min 1). Admitted solves past it wait in the queue.
+	MaxConcurrent int
+	// MaxQueue is how many admitted solves may WAIT beyond the running ones.
+	// A request arriving with MaxConcurrent running and MaxQueue waiting is
+	// rejected with 429. The value is taken literally: 0 (and the zero
+	// value) means NO waiting room — strict backpressure once MaxConcurrent
+	// solves run; negative values are clamped to 0. DefaultMaxQueue is what
+	// cmd/setcoverd defaults its -queue flag to.
+	MaxQueue int
+	// CacheSize is the LRU result-cache capacity in entries (default 128;
+	// negative disables caching).
+	CacheSize int
+	// Engine is the default per-solve engine configuration. A zero Workers
+	// means "share the machine": each solve runs max(1,
+	// GOMAXPROCS/MaxConcurrent) workers, so MaxConcurrent concurrent solves
+	// collectively use about GOMAXPROCS goroutines instead of each grabbing
+	// a full-machine pool. Requests may override via their engine block.
+	Engine EngineRequest
+	// JobHistory caps retained finished jobs (default 1024): beyond it the
+	// oldest finished jobs are forgotten and their ids return 404.
+	JobHistory int
+}
+
+// DefaultMaxQueue is a reasonable queue depth for daemon deployments
+// (cmd/setcoverd's -queue default). Config takes MaxQueue literally — the
+// library zero value is strict backpressure, not this.
+const DefaultMaxQueue = 16
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	return c
+}
+
+// jobStatus is the lifecycle of one admitted solve.
+type jobStatus string
+
+const (
+	jobQueued  jobStatus = "queued"
+	jobRunning jobStatus = "running"
+	jobDone    jobStatus = "done"
+	jobFailed  jobStatus = "failed"
+)
+
+// job is one admitted solve. Mutable fields are guarded by Server.mu; done is
+// closed exactly once when the job reaches a terminal status.
+type job struct {
+	id      string
+	req     *SolveRequest
+	inst    *Instance
+	status  jobStatus
+	result  *SolveResult
+	err     *APIError
+	errCode int // HTTP status for err
+	done    chan struct{}
+}
+
+// jobView is the wire form of a job (GET /v1/jobs/{id} and sync solve
+// responses share it).
+type jobView struct {
+	// ID is empty (omitted) when the response was served from the result
+	// cache: no job was admitted, so there is nothing to poll — clients
+	// branch on status ("done" carries the result inline; only "queued"
+	// needs the id).
+	ID       string        `json:"job_id,omitempty"`
+	Status   jobStatus     `json:"status"`
+	Instance *Instance     `json:"instance"`
+	Request  *SolveRequest `json:"request,omitempty"`
+	Cached   bool          `json:"cached"`
+	Result   *SolveResult  `json:"result,omitempty"`
+	Error    *APIError     `json:"error,omitempty"`
+}
+
+// Server is the HTTP solver service over a Catalog. Create with NewServer,
+// expose via Handler, stop with Shutdown.
+type Server struct {
+	cat   *Catalog
+	cfg   Config
+	cache *resultCache
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string // retention order for JobHistory eviction
+	admitted int      // queued + running, bounded by MaxConcurrent+MaxQueue
+	nextID   int
+	closed   bool
+
+	sem chan struct{} // MaxConcurrent tokens
+	wg  sync.WaitGroup
+
+	// Monotonic counters surfaced on /metrics.
+	solvesTotal   atomic.Int64
+	solveFailures atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	rejected      atomic.Int64
+	running       atomic.Int64
+}
+
+// NewServer builds a server over the catalog.
+func NewServer(cat *Catalog, cfg Config) *Server {
+	s := &Server{
+		cat:  cat,
+		cfg:  cfg.withDefaults(),
+		jobs: make(map[string]*job),
+		mux:  http.NewServeMux(),
+	}
+	s.cache = newResultCache(s.cfg.CacheSize)
+	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the http.Handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new solves are rejected with 503 immediately,
+// then Shutdown blocks until every in-flight and queued solve finishes (a
+// begun pass is a full scan — the model's discipline, applied operationally)
+// or ctx expires, whichever comes first. It returns ctx.Err() on timeout;
+// abandoned solves keep running until their pass completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// engineOptions resolves the effective per-solve engine configuration by
+// MERGING the request's engine block over the server default: a request that
+// sets only batch_size keeps the operator's -workers/-no-segmented. Unset
+// (zero/false) request fields inherit; DisableSegmented is sticky — either
+// side may force the single-reader path, neither can re-enable what the
+// other disabled (it is a debugging knob, and results are identical anyway).
+// Zero workers after merging means an equal share of GOMAXPROCS across
+// MaxConcurrent solves.
+func (s *Server) engineOptions(req *SolveRequest) EngineRequest {
+	eng := s.cfg.Engine
+	if req.Engine != nil {
+		if req.Engine.Workers > 0 {
+			eng.Workers = req.Engine.Workers
+		}
+		if req.Engine.BatchSize > 0 {
+			eng.BatchSize = req.Engine.BatchSize
+		}
+		eng.DisableSegmented = eng.DisableSegmented || req.Engine.DisableSegmented
+	}
+	if eng.Workers <= 0 {
+		eng.Workers = runtime.GOMAXPROCS(0) / s.cfg.MaxConcurrent
+		if eng.Workers < 1 {
+			eng.Workers = 1
+		}
+	}
+	return eng
+}
+
+// handleSolve admits, caches, or rejects one solve request.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	req := &SolveRequest{}
+	if err := json.Unmarshal(body, req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "parsing body: %v", err)
+		return
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	inst, ok := s.cat.Get(req.Instance)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownInstance, "instance %q not registered", req.Instance)
+		return
+	}
+
+	// A draining server answers NO new solve — cached or not — so clients
+	// and load balancers get the structured 503 retry signal instead of a
+	// 200 from a process whose listener is about to disappear.
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is draining")
+		return
+	}
+
+	// Cache next: a hit spends no queue slot, so hot repeat requests are
+	// served even while the queue is saturated.
+	key := req.cacheKey(inst.Digest)
+	if res, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, jobView{
+			Status: jobDone, Instance: inst, Request: req, Cached: true, Result: res,
+		})
+		return
+	}
+
+	// Bounded admission: running + waiting ≤ MaxConcurrent + MaxQueue. The
+	// miss counter is bumped only for ADMITTED requests, so hits + misses
+	// reconciles with solves attempted rather than inflating during an
+	// overload (rejections have their own counter).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is draining")
+		return
+	}
+	if s.admitted >= s.cfg.MaxConcurrent+s.cfg.MaxQueue {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"solve queue full (%d running/queued); retry later", s.cfg.MaxConcurrent+s.cfg.MaxQueue)
+		return
+	}
+	s.cacheMisses.Add(1)
+	s.admitted++
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("job-%d", s.nextID),
+		req:    req,
+		inst:   inst,
+		status: jobQueued,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.evictJobsLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runJob(j, key)
+
+	if !req.wait() {
+		writeJSON(w, http.StatusAccepted, jobView{ID: j.id, Status: jobQueued, Instance: inst, Request: req})
+		return
+	}
+	<-j.done
+	s.mu.Lock()
+	view := jobView{ID: j.id, Status: j.status, Instance: inst, Request: req,
+		Result: j.result, Error: j.err}
+	code := j.errCode
+	s.mu.Unlock()
+	if view.Error != nil {
+		// Keep the job id on the error envelope too: the failed job is
+		// retained (GET /v1/jobs/{id}) and the client needs its handle.
+		writeJSON(w, code, errorBody{Error: view.Error, JobID: j.id})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// runJob executes one admitted job: wait for a concurrency token, solve,
+// publish the result (and cache it), release.
+func (s *Server) runJob(j *job, cacheKey string) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	j.status = jobRunning
+	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	engReq := s.engineOptions(j.req)
+	res, err := runSolve(j.inst, j.req, engine.Options{
+		Workers:          engReq.Workers,
+		BatchSize:        engReq.BatchSize,
+		DisableSegmented: engReq.DisableSegmented,
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		status, code := classify(err)
+		j.status = jobFailed
+		j.err = &APIError{Code: code, Message: err.Error()}
+		j.errCode = status
+		s.solveFailures.Add(1)
+	} else {
+		j.status = jobDone
+		j.result = res
+		s.cache.put(cacheKey, res)
+		s.solvesTotal.Add(1)
+	}
+	close(j.done)
+	// Decrement admitted only once the job is terminal: a queued-or-running
+	// job holds its admission slot for its whole life.
+	s.admitted--
+}
+
+// evictJobsLocked forgets the oldest TERMINAL jobs beyond JobHistory.
+// Requires s.mu held.
+func (s *Server) evictJobsLocked() {
+	excess := len(s.jobOrder) - s.cfg.JobHistory
+	if excess <= 0 {
+		return
+	}
+	kept := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && (j.status == jobDone || j.status == jobFailed) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"instances": s.cat.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var view jobView
+	if ok {
+		// A failed job reports its error in the body; the GET itself
+		// succeeded, so the status code stays 200.
+		view = jobView{ID: j.id, Status: j.status, Instance: j.inst, Request: j.req,
+			Result: j.result, Error: j.err}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeUnknownJob, "job %q not found (or evicted)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves a Prometheus-style plain-text counter dump.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	admitted := s.admitted
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "setcoverd_solves_total %d\n", s.solvesTotal.Load())
+	fmt.Fprintf(w, "setcoverd_solve_failures_total %d\n", s.solveFailures.Load())
+	fmt.Fprintf(w, "setcoverd_cache_hits_total %d\n", s.cacheHits.Load())
+	fmt.Fprintf(w, "setcoverd_cache_misses_total %d\n", s.cacheMisses.Load())
+	fmt.Fprintf(w, "setcoverd_cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "setcoverd_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "setcoverd_jobs_admitted %d\n", admitted)
+	fmt.Fprintf(w, "setcoverd_jobs_running %d\n", s.running.Load())
+	fmt.Fprintf(w, "setcoverd_instances %d\n", s.cat.Len())
+}

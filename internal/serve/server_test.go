@@ -1,0 +1,551 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/maxcover"
+	"repro/internal/scdisk"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// testCatalog registers one disk-backed planted instance and returns the
+// catalog, the materialized instance (ground truth), and the instance name.
+func testCatalog(t *testing.T) (*Catalog, *setcover.Instance) {
+	t.Helper()
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 300, M: 700, K: 12, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "planted.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if _, err := cat.AddFile("planted", path); err != nil {
+		t.Fatal(err)
+	}
+	return cat, in
+}
+
+// postSolve posts a solve request and decodes the response envelope.
+func postSolve(t *testing.T, url string, req map[string]any) (int, jobView, *APIError) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == nil {
+			t.Fatalf("status %d with unstructured body %q", resp.StatusCode, raw)
+		}
+		return resp.StatusCode, jobView{}, eb.Error
+	}
+	var view jobView
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	return resp.StatusCode, view, nil
+}
+
+func getMetrics(t *testing.T, url string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	out := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var name string
+		var val int64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &val); err == nil {
+			out[name] = val
+		}
+	}
+	return out
+}
+
+// The heart of the acceptance criterion: a service solve must return the
+// byte-identical cover the library (and therefore cmd/setcover) computes for
+// the same (instance, algo, δ, p, ε, seed), the repeat request must be served
+// from the result cache (observable via the response envelope AND /metrics),
+// and the reported stats snapshot must match the library's.
+func TestSolveMatchesLibraryAndCaches(t *testing.T) {
+	cat, in := testCatalog(t)
+	srv := NewServer(cat, Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	want, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{
+		Delta: 0.5, Seed: 1, Engine: engine.Options{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := map[string]any{"instance": "planted", "algo": "iter", "delta": 0.5}
+	code, view, apiErr := postSolve(t, ts.URL, req)
+	if apiErr != nil || code != 200 {
+		t.Fatalf("solve: status %d, err %v", code, apiErr)
+	}
+	if view.Status != jobDone || view.Cached || view.Result == nil {
+		t.Fatalf("unexpected envelope: %+v", view)
+	}
+	res := view.Result
+	if len(res.Cover) != len(want.Cover) {
+		t.Fatalf("cover size %d, library %d", len(res.Cover), len(want.Cover))
+	}
+	for i := range want.Cover {
+		if res.Cover[i] != want.Cover[i] {
+			t.Fatalf("cover[%d] = %d, library %d", i, res.Cover[i], want.Cover[i])
+		}
+	}
+	if res.Passes != want.Passes || res.SpaceWords != want.SpaceWords || res.BestK != want.BestK {
+		t.Fatalf("stats snapshot diverges: passes %d/%d space %d/%d bestK %d/%d",
+			res.Passes, want.Passes, res.SpaceWords, want.SpaceWords, res.BestK, want.BestK)
+	}
+	if !res.Valid || !in.IsCover(res.Cover) {
+		t.Fatal("served cover does not cover U")
+	}
+
+	// Repeat: cache hit, identical result.
+	code, view2, apiErr := postSolve(t, ts.URL, req)
+	if apiErr != nil || code != 200 {
+		t.Fatalf("repeat solve: status %d, err %v", code, apiErr)
+	}
+	if !view2.Cached {
+		t.Fatal("repeat request was not served from cache")
+	}
+	if len(view2.Result.Cover) != len(res.Cover) {
+		t.Fatal("cached cover differs")
+	}
+	m := getMetrics(t, ts.URL)
+	if m["setcoverd_cache_hits_total"] != 1 || m["setcoverd_cache_misses_total"] != 1 {
+		t.Fatalf("metrics: hits=%d misses=%d, want 1/1",
+			m["setcoverd_cache_hits_total"], m["setcoverd_cache_misses_total"])
+	}
+	if m["setcoverd_solves_total"] != 1 {
+		t.Fatalf("metrics: solves_total=%d, want 1", m["setcoverd_solves_total"])
+	}
+
+	// Different engine options must HIT the same cache row (determinism
+	// contract: engine options are excluded from the key).
+	req["engine"] = map[string]any{"workers": 2, "batch_size": 64}
+	_, view3, apiErr := postSolve(t, ts.URL, req)
+	if apiErr != nil || !view3.Cached {
+		t.Fatalf("engine-option variant missed the cache: %+v err %v", view3, apiErr)
+	}
+
+	// Different δ must MISS.
+	code, view4, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": "iter", "delta": 0.25})
+	if apiErr != nil || code != 200 || view4.Cached {
+		t.Fatalf("delta variant should re-solve: cached=%v err=%v", view4.Cached, apiErr)
+	}
+}
+
+// Every dispatchable algorithm must agree with its direct library call —
+// the service adds queueing and caching, never different answers. Runs the
+// requests concurrently to exercise the multiplexing under -race.
+func TestAllAlgorithmsConcurrently(t *testing.T) {
+	cat, in := testCatalog(t)
+	// MaxQueue is literal (0 = strict backpressure), so give the 8
+	// concurrent requests explicit waiting room.
+	srv := NewServer(cat, Config{MaxConcurrent: 4, MaxQueue: DefaultMaxQueue, CacheSize: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type algoCase struct {
+		name string
+		ref  func() (setcover.Stats, error)
+	}
+	one := engine.Options{Workers: 1}
+	cases := []algoCase{
+		{"iter", func() (setcover.Stats, error) {
+			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.5, Seed: 1, Engine: one})
+			return r.Stats, err
+		}},
+		{"greedy1", func() (setcover.Stats, error) { return baseline.OnePassGreedy(stream.NewSliceRepo(in), one) }},
+		{"threshold", func() (setcover.Stats, error) {
+			return baseline.ThresholdGreedyPartial(stream.NewSliceRepo(in), 0, one)
+		}},
+		{"er14", func() (setcover.Stats, error) { return baseline.EmekRosenPartial(stream.NewSliceRepo(in), 0, one) }},
+		{"cw16", func() (setcover.Stats, error) {
+			return baseline.ChakrabartiWirthPartial(stream.NewSliceRepo(in), 2, 0, one)
+		}},
+		{"dimv14", func() (setcover.Stats, error) {
+			return baseline.DIMV14(stream.NewSliceRepo(in), baseline.DIMV14Options{Delta: 0.5, Seed: 1}, one)
+		}},
+		{"greedyn", func() (setcover.Stats, error) {
+			return baseline.MultiPassGreedyPartial(stream.NewSliceRepo(in), 0, one)
+		}},
+		{"sg09", func() (setcover.Stats, error) { return maxcover.SahaGetoorSetCover(stream.NewSliceRepo(in)) }},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(cases))
+	for i, c := range cases {
+		wg.Add(1)
+		go func(i int, c algoCase) {
+			defer wg.Done()
+			want, err := c.ref()
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: reference: %w", c.name, err)
+				return
+			}
+			code, view, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": c.name})
+			if apiErr != nil || code != 200 {
+				errs[i] = fmt.Errorf("%s: status %d err %v", c.name, code, apiErr)
+				return
+			}
+			got := view.Result
+			if len(got.Cover) != len(want.Cover) {
+				errs[i] = fmt.Errorf("%s: cover size %d, library %d", c.name, len(got.Cover), len(want.Cover))
+				return
+			}
+			for j := range want.Cover {
+				if got.Cover[j] != want.Cover[j] {
+					errs[i] = fmt.Errorf("%s: cover[%d] differs", c.name, j)
+					return
+				}
+			}
+			if got.Passes != want.Passes || got.SpaceWords != want.SpaceWords {
+				errs[i] = fmt.Errorf("%s: stats diverge: passes %d/%d space %d/%d",
+					c.name, got.Passes, want.Passes, got.SpaceWords, want.SpaceWords)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// A full queue must reject with a structured 429, and the queued/running jobs
+// must finish normally once unblocked (observable through /v1/jobs/{id}).
+func TestQueueFullRejectsWith429(t *testing.T) {
+	cat, _ := testCatalog(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	if _, err := cat.AddGenerator("blocking", 4, 4, "v1", func(id int) setcover.Set {
+		once.Do(func() { close(started) })
+		<-release
+		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cat, Config{MaxConcurrent: 1, MaxQueue: 0})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, view, apiErr := postSolve(t, ts.URL, map[string]any{
+		"instance": "blocking", "algo": "greedy1", "wait": false,
+	})
+	if apiErr != nil || code != 202 || view.ID == "" {
+		t.Fatalf("async solve: status %d err %v view %+v", code, apiErr, view)
+	}
+	<-started // the solve is provably in-flight, holding the only slot
+
+	code, _, apiErr = postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+	if code != 429 || apiErr == nil || apiErr.Code != CodeQueueFull {
+		t.Fatalf("want structured 429 queue_full, got status %d err %+v", code, apiErr)
+	}
+	m := getMetrics(t, ts.URL)
+	if m["setcoverd_rejected_total"] != 1 {
+		t.Fatalf("rejected_total=%d, want 1", m["setcoverd_rejected_total"])
+	}
+
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv jobView
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jv.Status == jobDone {
+			if jv.Result == nil || len(jv.Result.Cover) == 0 {
+				t.Fatalf("finished job has no result: %+v", jv)
+			}
+			break
+		}
+		if jv.Status == jobFailed {
+			t.Fatalf("blocked job failed: %+v", jv.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after release", jv.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Capacity is free again: the same request now solves synchronously.
+	code, _, apiErr = postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+	if code != 200 || apiErr != nil {
+		t.Fatalf("queue did not drain: status %d err %v", code, apiErr)
+	}
+}
+
+// A truncated SCB1 instance must produce a structured 502 pass_failed error —
+// never a cover from a partial scan (the serving-layer face of PR 3's
+// first-class pass failure).
+func TestTruncatedInstanceReturnsStructured5xx(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 200, M: 500, K: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scdisk.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trunc.scb")
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog()
+	if _, err := cat.AddFile("trunc", path); err != nil {
+		t.Fatalf("registration reads only the header and must succeed: %v", err)
+	}
+	srv := NewServer(cat, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, algo := range []string{"iter", "greedy1", "er14"} {
+		code, _, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "trunc", "algo": algo})
+		if code != 502 || apiErr == nil || apiErr.Code != CodePassFailed {
+			t.Fatalf("%s: want 502 pass_failed, got status %d err %+v", algo, code, apiErr)
+		}
+	}
+
+	// The error envelope of a failed synchronous solve still carries the job
+	// id, and the retained job is inspectable.
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"instance":"trunc","algo":"cw16"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb struct {
+		Error *APIError `json:"error"`
+		JobID string    `json:"job_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if eb.JobID == "" {
+		t.Fatal("failed sync solve has no job_id on the error envelope")
+	}
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + eb.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv jobView
+	if err := json.NewDecoder(jr.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if jv.Status != jobFailed || jv.Error == nil || jv.Error.Code != CodePassFailed {
+		t.Fatalf("retained failed job: %+v", jv)
+	}
+	m := getMetrics(t, ts.URL)
+	if m["setcoverd_solve_failures_total"] != 4 {
+		t.Fatalf("solve_failures_total=%d, want 4", m["setcoverd_solve_failures_total"])
+	}
+}
+
+// Infeasible instances are the caller's fault, not the server's: 422.
+func TestInfeasibleInstanceReturns422(t *testing.T) {
+	cat := NewCatalog()
+	// Element 2 is in no set.
+	if _, err := cat.AddGenerator("gap", 3, 2, "v1", func(id int) setcover.Set {
+		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cat, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, _, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "gap", "algo": "greedyn"})
+	if code != 422 || apiErr == nil || apiErr.Code != CodeInfeasible {
+		t.Fatalf("want 422 infeasible, got status %d err %+v", code, apiErr)
+	}
+}
+
+// Parameter and addressing errors must be structured 4xx, spent before any
+// queue slot.
+func TestRequestValidation(t *testing.T) {
+	cat, _ := testCatalog(t)
+	srv := NewServer(cat, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		req     map[string]any
+		code    int
+		errCode string
+	}{
+		{map[string]any{"instance": "nope"}, 404, CodeUnknownInstance},
+		{map[string]any{"instance": "planted", "algo": "quantum"}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "delta": 1.5}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "eps": 1.0}, 400, CodeBadRequest},
+		{map[string]any{}, 400, CodeBadRequest},
+	}
+	for _, c := range cases {
+		code, _, apiErr := postSolve(t, ts.URL, c.req)
+		if code != c.code || apiErr == nil || apiErr.Code != c.errCode {
+			t.Fatalf("req %v: want %d %s, got %d %+v", c.req, c.code, c.errCode, code, apiErr)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// The instance listing exposes name, digest, dims; instances are addressable
+// by digest as well as name.
+func TestInstancesListingAndDigestAddressing(t *testing.T) {
+	cat, _ := testCatalog(t)
+	srv := NewServer(cat, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Instances []*Instance `json:"instances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Instances) != 1 {
+		t.Fatalf("listed %d instances, want 1", len(listing.Instances))
+	}
+	inst := listing.Instances[0]
+	if inst.Name != "planted" || inst.Digest == "" || inst.N != 300 || inst.M != 700 || inst.Kind != "disk" {
+		t.Fatalf("bad listing entry: %+v", inst)
+	}
+
+	code, view, apiErr := postSolve(t, ts.URL, map[string]any{"instance": inst.Digest, "algo": "greedy1"})
+	if code != 200 || apiErr != nil || view.Result == nil {
+		t.Fatalf("digest addressing failed: status %d err %v", code, apiErr)
+	}
+}
+
+// Shutdown must reject new work with 503 (healthz flips too) while draining
+// the in-flight solve to completion.
+func TestGracefulShutdownDrains(t *testing.T) {
+	cat, _ := testCatalog(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	if _, err := cat.AddGenerator("blocking", 4, 4, "v1", func(id int) setcover.Set {
+		once.Do(func() { close(started) })
+		<-release
+		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cat, Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm the cache for planted/greedy1: the drain-time probe below is then
+	// a cache HIT, proving a draining server refuses even cached solves.
+	if code, _, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": "greedy1"}); code != 200 || apiErr != nil {
+		t.Fatalf("warmup solve: status %d err %v", code, apiErr)
+	}
+
+	_, view, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "blocking", "algo": "greedy1", "wait": false})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(t.Context()) }()
+
+	// New solves and health checks must flip to 503 promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _, solveErr := postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+		if code == 503 && solveErr != nil && solveErr.Code == CodeShuttingDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("solve during drain: status %d err %+v, want 503", code, solveErr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned before the in-flight solve finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The drained job finished with a result.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv jobView
+	if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if jv.Status != jobDone {
+		t.Fatalf("drained job status %s, want done", jv.Status)
+	}
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/maxcover"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// Algorithms the service dispatches, by wire name — the same names
+// cmd/setcover's -algo flag accepts, with the same parameter defaults, so a
+// service solve is byte-identical to a CLI solve of the same request.
+var algoNames = []string{"iter", "greedy1", "greedyn", "threshold", "sg09", "er14", "cw16", "dimv14"}
+
+// EngineRequest is the optional per-request engine override: the solve-local
+// counterpart of cmd/setcover's -workers/-batch/-no-segmented flags. All
+// fields move wall-clock only; results are identical at every setting, which
+// is why the result-cache key ignores this block.
+type EngineRequest struct {
+	Workers          int  `json:"workers,omitempty"`
+	BatchSize        int  `json:"batch_size,omitempty"`
+	DisableSegmented bool `json:"disable_segmented,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Instance names a catalog entry, by registration name or content digest.
+	Instance string `json:"instance"`
+	// Algo is one of iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14
+	// (default iter).
+	Algo string `json:"algo,omitempty"`
+	// Delta is the paper's δ for iter/dimv14 (default 0.5): 2/δ passes,
+	// Õ(m·n^δ) space.
+	Delta float64 `json:"delta,omitempty"`
+	// Passes is the pass budget for cw16 (default 2).
+	Passes int `json:"passes,omitempty"`
+	// Eps switches the supporting algorithms to ε-Partial Set Cover.
+	Eps float64 `json:"eps,omitempty"`
+	// Seed drives all randomness (default 1); solves are deterministic
+	// given the seed, which is what makes result caching sound.
+	Seed *int64 `json:"seed,omitempty"`
+	// Engine optionally overrides the server's per-solve engine options.
+	Engine *EngineRequest `json:"engine,omitempty"`
+	// Wait: true (default) blocks until the solve finishes and returns the
+	// result; false returns 202 with the job id immediately (poll
+	// /v1/jobs/{id}). A cache hit is answered 200 "done" with the result
+	// inline even at wait:false — no job exists, so job_id is omitted;
+	// async clients must branch on status before polling.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+// normalize applies the CLI-matching defaults in place.
+func (r *SolveRequest) normalize() {
+	if r.Algo == "" {
+		r.Algo = "iter"
+	}
+	if r.Delta == 0 {
+		r.Delta = 0.5
+	}
+	if r.Passes == 0 {
+		r.Passes = 2
+	}
+	if r.Seed == nil {
+		s := int64(1)
+		r.Seed = &s
+	}
+}
+
+// validate rejects malformed parameters before any queue slot is spent.
+func (r *SolveRequest) validate() error {
+	if r.Instance == "" {
+		return errors.New("missing instance")
+	}
+	known := false
+	for _, a := range algoNames {
+		if r.Algo == a {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown algo %q (want one of %v)", r.Algo, algoNames)
+	}
+	if r.Delta <= 0 || r.Delta > 1 {
+		return fmt.Errorf("delta %v out of (0,1]", r.Delta)
+	}
+	if r.Passes < 1 {
+		return fmt.Errorf("passes %d < 1", r.Passes)
+	}
+	if r.Eps < 0 || r.Eps >= 1 {
+		return fmt.Errorf("eps %v out of [0,1)", r.Eps)
+	}
+	return nil
+}
+
+// wait reports whether the request is synchronous (the default).
+func (r *SolveRequest) wait() bool { return r.Wait == nil || *r.Wait }
+
+// cacheKey is the result-cache key: everything that determines the solve's
+// RESULT — instance content, algorithm, δ, p, ε, seed — and nothing that only
+// moves wall-clock (engine options). Unused parameters are included anyway
+// (δ for greedy1, say): keys stay cheap to build and a few redundant cache
+// rows are harmless.
+func (r *SolveRequest) cacheKey(digest string) string {
+	return fmt.Sprintf("%s|%s|d=%g|p=%d|e=%g|s=%d", digest, r.Algo, r.Delta, r.Passes, r.Eps, *r.Seed)
+}
+
+// SolveResult is the per-solve stats snapshot returned in responses: the
+// cover plus the coordinates the paper's Figure 1.1 measures algorithms by
+// (passes, space high-water) and the serving-layer wall time.
+type SolveResult struct {
+	Algorithm string `json:"algorithm"`
+	Cover     []int  `json:"cover"`
+	CoverSize int    `json:"cover_size"`
+	// Valid certifies the coverage goal (full, or 1-ε for partial solves),
+	// as verified by the algorithm itself.
+	Valid bool `json:"valid"`
+	// Passes is the number of sequential scans the solve spent.
+	Passes int `json:"passes"`
+	// SpaceWords is the peak working memory charged, in 64-bit words.
+	SpaceWords int64 `json:"space_words"`
+	// BestK is iter's winning guess of the optimum (0 for other algorithms).
+	BestK int `json:"best_k,omitempty"`
+	// WallMillis is the wall time of the ORIGINAL solve; cache hits return
+	// the original's value (the response envelope marks them cached).
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// runSolve executes one admitted solve: fresh repository, dispatch, snapshot.
+func runSolve(inst *Instance, req *SolveRequest, engOpts engine.Options) (*SolveResult, error) {
+	repo, release, err := inst.Open()
+	if err != nil {
+		return nil, fmt.Errorf("open instance %q: %w", inst.Name, err)
+	}
+	defer release()
+
+	start := time.Now()
+	st, bestK, err := dispatch(repo, req, engOpts)
+	if err != nil {
+		return nil, err
+	}
+	cover := st.Cover
+	if cover == nil {
+		cover = []int{} // JSON: [] rather than null
+	}
+	return &SolveResult{
+		Algorithm:  st.Algorithm,
+		Cover:      cover,
+		CoverSize:  len(st.Cover),
+		Valid:      st.Valid,
+		Passes:     st.Passes,
+		SpaceWords: st.SpaceWords,
+		BestK:      bestK,
+		WallMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// dispatch maps the wire algorithm name to the library call, mirroring
+// cmd/setcover's switch so service and CLI solves agree byte for byte.
+func dispatch(repo stream.Repository, req *SolveRequest, engOpts engine.Options) (setcover.Stats, int, error) {
+	seed := *req.Seed
+	switch req.Algo {
+	case "iter":
+		res, err := core.IterSetCover(repo, core.Options{
+			Delta: req.Delta, Seed: seed, PartialEps: req.Eps, Engine: engOpts,
+		})
+		return res.Stats, res.BestK, err
+	case "greedy1":
+		st, err := baseline.OnePassGreedy(repo, engOpts)
+		return st, 0, err
+	case "greedyn":
+		st, err := baseline.MultiPassGreedyPartial(repo, req.Eps, engOpts)
+		return st, 0, err
+	case "threshold":
+		st, err := baseline.ThresholdGreedyPartial(repo, req.Eps, engOpts)
+		return st, 0, err
+	case "sg09":
+		st, err := maxcover.SahaGetoorSetCover(repo)
+		return st, 0, err
+	case "er14":
+		st, err := baseline.EmekRosenPartial(repo, req.Eps, engOpts)
+		return st, 0, err
+	case "cw16":
+		st, err := baseline.ChakrabartiWirthPartial(repo, req.Passes, req.Eps, engOpts)
+		return st, 0, err
+	case "dimv14":
+		st, err := baseline.DIMV14(repo, baseline.DIMV14Options{Delta: req.Delta, Seed: seed}, engOpts)
+		return st, 0, err
+	}
+	return setcover.Stats{}, 0, fmt.Errorf("unknown algo %q", req.Algo) // unreachable after validate
+}
+
+// classify maps a solve error to (HTTP status, error code): infeasibility is
+// a property of the input (422), a failed pass is bad storage behind the
+// service (502), anything else is a server-side solver fault (500).
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, setcover.ErrInfeasible):
+		return 422, CodeInfeasible
+	case errors.Is(err, engine.ErrPassFailed):
+		return 502, CodePassFailed
+	default:
+		return 500, CodeSolveFailed
+	}
+}

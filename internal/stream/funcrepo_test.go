@@ -61,3 +61,79 @@ func TestFuncRepoRegeneratesPerPass(t *testing.T) {
 		t.Fatalf("generator called %d times, want 6 (3 sets × 2 passes)", calls)
 	}
 }
+
+// A sequential-only FuncRepo must decline segmentation without counting a
+// pass (the engine then falls back to Begin), and a STATEFUL generator —
+// exactly what NewSequentialFuncRepo exists for — must see ids strictly in
+// stream order on every pass.
+func TestSequentialFuncRepoDeclinesSegmentation(t *testing.T) {
+	const n, m = 8, 20
+	lastID := -1 // stateful: would be racy under segmented decode
+	repo := NewSequentialFuncRepo(n, m, func(id int) setcover.Set {
+		if id != lastID+1 {
+			t.Errorf("generator called with id %d after %d (out of order)", id, lastID)
+		}
+		lastID = id
+		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id % n)}}
+	})
+	if _, ok := repo.BeginSegmented(); ok {
+		t.Fatal("sequential FuncRepo agreed to segment")
+	}
+	if repo.Passes() != 0 {
+		t.Fatalf("declined BeginSegmented counted %d passes", repo.Passes())
+	}
+	for pass := 0; pass < 2; pass++ {
+		lastID = -1
+		it := repo.Begin()
+		seen := 0
+		for {
+			s, ok := it.Next()
+			if !ok {
+				break
+			}
+			if s.ID != seen {
+				t.Fatalf("pass %d: set ID %d at position %d", pass, s.ID, seen)
+			}
+			seen++
+		}
+		if seen != m {
+			t.Fatalf("pass %d: saw %d of %d sets", pass, seen, m)
+		}
+	}
+	if repo.Passes() != 2 {
+		t.Fatalf("counted %d passes, want 2", repo.Passes())
+	}
+}
+
+// The runtime guard: entering a sequential repository's generator from two
+// goroutines at once must panic loudly, not race silently. The first call
+// blocks inside gen on a channel; the overlapping second call must trip the
+// guard deterministically.
+func TestSequentialFuncRepoGuardPanicsOnConcurrentGen(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	repo := NewSequentialFuncRepo(4, 4, func(id int) setcover.Set {
+		if id == 0 {
+			close(entered)
+			<-release
+		}
+		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
+	})
+	go func() {
+		it := repo.Begin()
+		it.Next() // enters gen(0) and blocks until released
+	}()
+	<-entered
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		it := repo.Begin()
+		it.Next()
+	}()
+	p := <-panicked
+	close(release)
+	if p == nil {
+		t.Fatal("concurrent generator entry did not panic")
+	}
+}

@@ -190,6 +190,14 @@ type FuncRepo struct {
 	n, m   int
 	gen    func(id int) setcover.Set
 	passes atomic.Int64
+	// sequential opts this repository out of segmented decode (see
+	// NewSequentialFuncRepo): BeginSegmented reports false, so the pass
+	// engine always drives gen from a single goroutine per pass.
+	sequential bool
+	// inGen guards sequential repositories at runtime: a generator that is
+	// entered concurrently anyway (two overlapping passes driven from
+	// different goroutines) panics loudly instead of racing silently.
+	inGen atomic.Bool
 }
 
 // NewFuncRepo builds a repository of m sets over n elements; gen(id) must
@@ -203,6 +211,31 @@ type FuncRepo struct {
 // generator that reuses a scratch buffer would corrupt in-flight sets.
 func NewFuncRepo(n, m int, gen func(id int) setcover.Set) *FuncRepo {
 	return &FuncRepo{n: n, m: m, gen: gen}
+}
+
+// NewSequentialFuncRepo is NewFuncRepo for generators that are NOT safe for
+// concurrent calls — stateful closures (an iterator over an external source,
+// a shared scratch RNG) that the segmented-decode contract of NewFuncRepo
+// would race. The returned repository opts out of segmented decode entirely
+// (BeginSegmented reports false, so the pass engine uses its single-reader
+// path at every worker count) and additionally guards gen at runtime: if two
+// goroutines still end up inside gen at once — overlapping passes driven
+// concurrently, which no engine does but direct scanners could — the second
+// call panics with a diagnostic instead of corrupting state silently. The
+// guard is a best-effort tripwire (a true data race may escape it on rare
+// interleavings), but it turns the common misuse into a loud failure; run
+// under -race to catch the rest.
+func NewSequentialFuncRepo(n, m int, gen func(id int) setcover.Set) *FuncRepo {
+	r := &FuncRepo{n: n, m: m, sequential: true}
+	r.gen = func(id int) setcover.Set {
+		if !r.inGen.CompareAndSwap(false, true) {
+			panic("stream: sequential FuncRepo generator entered concurrently; " +
+				"use NewFuncRepo (with a concurrency-safe generator) for parallel passes")
+		}
+		defer r.inGen.Store(false)
+		return gen(id)
+	}
+	return r
 }
 
 // UniverseSize returns n.
@@ -225,8 +258,14 @@ func (r *FuncRepo) Begin() Reader {
 
 // BeginSegmented implements SegmentedRepository: generation is random-access
 // by construction (gen is a function of the set id), so every pass is
-// segmentable. See NewFuncRepo for the concurrency contract this puts on gen.
+// segmentable — except for sequential-only repositories
+// (NewSequentialFuncRepo), which decline without counting a pass and fall
+// back to Begin. See NewFuncRepo for the concurrency contract this puts on
+// gen.
 func (r *FuncRepo) BeginSegmented() (SegmentSource, bool) {
+	if r.sequential {
+		return nil, false
+	}
 	r.passes.Add(1)
 	return funcSegSource{repo: r}, true
 }
