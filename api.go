@@ -15,14 +15,18 @@
 //   - instance generators, a pass-counting stream model, and explicit space
 //     accounting so the paper's pass/space/approximation trade-offs are
 //     measurable;
-//   - a shared pass engine (internal/engine) under every set-system
-//     algorithm (IterSetCover and the Figure 1.1 baselines): one physical
-//     pass per scan, batched delivery, the paper's "parallel guesses"
-//     (Lemma 2.1) running as actual goroutines, and segmented parallel
-//     decode of the stream itself on capable repositories — tune it with
-//     Options.Engine (EngineOptions). Passes that fail mid-stream
-//     (truncated or corrupt storage) surface as errors from every solve
-//     entry point, never as covers built from a partial scan.
+//   - a shared pass engine (internal/engine) under EVERY streaming
+//     algorithm — IterSetCover, the Figure 1.1 baselines, the max-k-cover
+//     primitives, the geometric AlgGeomSC (through the engine's generic
+//     element-type support), and the communication-protocol simulation:
+//     one physical pass per scan, batched delivery, the paper's "parallel
+//     guesses" (Lemma 2.1) running as actual goroutines, and segmented
+//     parallel decode of the stream itself on capable repositories — tune
+//     it with Options.Engine / GeomOptions.Engine (EngineOptions) or the
+//     per-call trailing argument of the baselines and max-cover entry
+//     points. Passes that fail mid-stream (truncated or corrupt storage,
+//     or a stream that silently ends short) surface as errors from every
+//     solve entry point, never as covers built from a partial scan.
 //
 // Quick start:
 //
@@ -232,7 +236,8 @@ var (
 	// the same space as IterSetCover).
 	DIMV14 = baseline.DIMV14
 	// SahaGetoorSetCover is the faithful [SG09] algorithm: SetCover via
-	// repeated one-pass Max k-Cover.
+	// repeated one-pass Max k-Cover. Like the baselines it accepts an
+	// optional trailing EngineOptions value for this call alone.
 	SahaGetoorSetCover = maxcover.SahaGetoorSetCover
 
 	// SetBaselineEngine reconfigures the DEFAULT pass executor used by
@@ -251,7 +256,8 @@ var (
 	ThresholdGreedyPartial  = baseline.ThresholdGreedyPartial
 	MultiPassGreedyPartial  = baseline.MultiPassGreedyPartial
 
-	// Max k-Cover primitives ([SG09]'s building block).
+	// Max k-Cover primitives ([SG09]'s building block). The streaming
+	// variant accepts an optional trailing EngineOptions value per call.
 	MaxKCoverGreedy    = maxcover.Greedy
 	MaxKCoverStreaming = maxcover.Streaming
 )
@@ -282,13 +288,23 @@ type (
 	GeomResult = geom.GeomResult
 	// ShapeRepo streams shapes with pass counting.
 	ShapeRepo = geom.ShapeRepo
+	// ShapeStream is the pass-counted shape-stream capability AlgGeomSC
+	// solves over; ShapeRepo is the standard implementation. It exists as
+	// an interface so storage layers (and failure injectors) can provide
+	// their own shape streams.
+	ShapeStream = geom.ShapeStream
 )
 
 // NewShapeRepo wraps a geometric instance as a shape stream.
 func NewShapeRepo(in *GeomInstance) *ShapeRepo { return geom.NewShapeRepo(in) }
 
-// AlgGeomSC runs the geometric streaming algorithm (Figure 4.1).
-func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
+// AlgGeomSC runs the geometric streaming algorithm (Figure 4.1) over a
+// shape stream. Its passes run on the shared pass engine
+// (GeomOptions.Engine): results are identical at every engine setting, and
+// a shape pass that cannot be fully drained fails the solve with an error
+// wrapping the engine's pass-failure sentinel instead of returning a cover
+// of a partial stream.
+func AlgGeomSC(repo ShapeStream, opts GeomOptions) (GeomResult, error) {
 	return geom.AlgGeomSC(repo, opts)
 }
 

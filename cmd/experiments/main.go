@@ -46,7 +46,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	experiments.SetEngine(engine.Options{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg})
+	// The pass-engine flags thread into every experiment build PER CALL —
+	// the deprecated experiments.SetEngine process-wide default is not used
+	// here anymore. Tables are identical at every setting.
+	engOpts := engine.Options{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -75,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "# streaming set cover reproduction — seed=%d quick=%v\n\n", *seed, *quick)
 	for _, s := range specs {
-		t := s.Build(*seed, *quick)
+		t := s.Build(*seed, *quick, engOpts)
 		if *markdown {
 			t.Markdown(stdout)
 		} else {

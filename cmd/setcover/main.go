@@ -142,7 +142,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case "threshold":
 		st, err = ssc.ThresholdGreedyPartial(repo, *eps, engOpts)
 	case "sg09":
-		st, err = ssc.SahaGetoorSetCover(repo)
+		st, err = ssc.SahaGetoorSetCover(repo, engOpts)
 	case "er14":
 		st, err = ssc.EmekRosenPartial(repo, *eps, engOpts)
 	case "cw16":

@@ -146,7 +146,9 @@ func TestTruncatedFileFailsEveryBaseline(t *testing.T) {
 		{"dimv14", func(r stream.Repository) (setcover.Stats, error) {
 			return DIMV14(r, DIMV14Options{Delta: 0.5, Seed: 5})
 		}},
-		{"saha-getoor", maxcover.SahaGetoorSetCover},
+		{"saha-getoor", func(r stream.Repository) (setcover.Stats, error) {
+			return maxcover.SahaGetoorSetCover(r)
+		}},
 	}
 	for _, algo := range algos {
 		d, err := scdisk.NewRepo(bytes.NewReader(truncated), int64(len(truncated)))

@@ -70,19 +70,16 @@ func init() { defaultEng.Store(engine.New(engine.Options{})) }
 func SetEngine(opts engine.Options) { defaultEng.Store(engine.New(opts)) }
 
 // engineFor resolves the executor for one solve: the caller's per-call
-// options when given (at most one — the variadic exists purely for backward
-// compatibility of the signatures), the process default otherwise. Per-call
-// engines are constructed fresh, so concurrent solves with different
-// configurations never share mutable executor state.
+// options when given (at most one, validated by engine.PerCall), the
+// process default otherwise. Per-call engines are constructed fresh, so
+// concurrent solves with different configurations never share mutable
+// executor state.
 func engineFor(engOpts []engine.Options) *engine.Engine {
-	switch len(engOpts) {
-	case 0:
+	opts, ok := engine.PerCall("baseline", engOpts)
+	if !ok {
 		return defaultEng.Load()
-	case 1:
-		return engine.New(engOpts[0])
-	default:
-		panic(fmt.Sprintf("baseline: %d engine option sets passed; want at most 1", len(engOpts)))
 	}
+	return engine.New(opts)
 }
 
 // failPass closes out a Stats whose physical pass failed mid-stream: the

@@ -55,7 +55,18 @@ func (p *ProtocolRepo) Passes() int { return p.inner.Passes() }
 // end-of-pass to return the state to the answering player.
 func (p *ProtocolRepo) Crossings() int { return p.crossings }
 
-// Begin implements stream.Repository.
+// Begin implements stream.Repository. The returned reader carries the full
+// engine contract through the simulation: the stream.BatchReader fast path
+// (crossings are accounted per batch span, identically to the per-set path),
+// stream.Recycler forwarding (a disk-backed inner pass keeps its pooled
+// decode buffers), and the stream.ErrorReader failure surface — so a
+// protocol-wrapped pass driven by engine.Run behaves exactly like the
+// unwrapped one, plus the hand-off accounting.
+//
+// ProtocolRepo deliberately does NOT implement stream.SegmentedRepository:
+// hand-offs are defined by the sequential stream order crossing player
+// boundaries, so the engine's single-reader path is the faithful simulation
+// at every worker count.
 func (p *ProtocolRepo) Begin() stream.Reader {
 	return &protocolReader{repo: p, inner: p.inner.Begin()}
 }
@@ -68,21 +79,68 @@ type protocolReader struct {
 	done     bool
 }
 
-func (r *protocolReader) Next() (setcover.Set, bool) {
-	s, ok := r.inner.Next()
-	if !ok {
+// crossTo counts every player boundary passed when the scan position
+// advances to newPos, or the end-of-pass hand-off back to the lead player
+// when the stream is exhausted (newPos < 0).
+func (r *protocolReader) crossTo(newPos int) {
+	if newPos < 0 {
 		if !r.done {
 			r.done = true
-			r.repo.crossings++ // end-of-pass hand-off back to the lead player
+			r.repo.crossings++
 		}
-		return s, ok
+		return
 	}
-	if r.boundary < len(r.repo.boundaries) && r.pos == r.repo.boundaries[r.boundary] {
+	for r.boundary < len(r.repo.boundaries) && r.repo.boundaries[r.boundary] < newPos {
 		r.repo.crossings++
 		r.boundary++
 	}
-	r.pos++
+	r.pos = newPos
+}
+
+func (r *protocolReader) Next() (setcover.Set, bool) {
+	s, ok := r.inner.Next()
+	if !ok {
+		r.crossTo(-1)
+		return s, ok
+	}
+	r.crossTo(r.pos + 1)
 	return s, ok
+}
+
+// NextBatch implements stream.BatchReader, the engine's amortized fill path:
+// the inner reader's batch (or a Next loop when it has none) advances the
+// scan by len(batch) positions, and every boundary inside that span costs
+// one hand-off — the same count, in the same order, as per-set reads.
+func (r *protocolReader) NextBatch(dst []setcover.Set) int {
+	var n int
+	if br, ok := r.inner.(stream.BatchReader); ok {
+		n = br.NextBatch(dst)
+	} else {
+		dst = dst[:cap(dst)]
+		for n < len(dst) {
+			s, ok := r.inner.Next()
+			if !ok {
+				break
+			}
+			dst[n] = s
+			n++
+		}
+	}
+	if n == 0 {
+		r.crossTo(-1)
+		return 0
+	}
+	r.crossTo(r.pos + n)
+	return n
+}
+
+// Recycle implements stream.Recycler by forwarding to the inner reader when
+// it recycles: the simulation must not break the pooled decode path of a
+// disk-backed repository.
+func (r *protocolReader) Recycle(sets []setcover.Set) {
+	if rec, ok := r.inner.(stream.Recycler); ok {
+		rec.Recycle(sets)
+	}
 }
 
 // Err forwards the wrapped reader's mid-pass failure (stream.ErrorReader):

@@ -2,15 +2,34 @@ package comm
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/maxcover"
 	"repro/internal/scdisk"
+	"repro/internal/setcover"
 	"repro/internal/stream"
 )
+
+// drainCount runs one engine pass over repo and returns how many sets the
+// observer saw — the tests' replacement for a hand-rolled Begin/Next loop
+// (every pass in this repository goes through the engine, including test
+// drains of the protocol simulation).
+func drainCount(t *testing.T, repo stream.Repository, opts engine.Options) int {
+	t.Helper()
+	count := 0
+	if err := engine.New(opts).Run(repo, engine.Func(func(batch []setcover.Set) {
+		count += len(batch)
+	})); err != nil {
+		t.Fatal(err)
+	}
+	return count
+}
 
 func TestProtocolRepoCrossings(t *testing.T) {
 	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 40, M: 12, K: 2, Seed: 1})
@@ -21,17 +40,8 @@ func TestProtocolRepoCrossings(t *testing.T) {
 	if repo.NumSets() != 12 || repo.UniverseSize() != 40 {
 		t.Fatal("wrapper dims wrong")
 	}
-	// One full pass: 3 internal boundaries + 1 end-of-pass hand-off.
-	it := repo.Begin()
-	count := 0
-	for {
-		_, ok := it.Next()
-		if !ok {
-			break
-		}
-		count++
-	}
-	if count != 12 {
+	// One full engine pass: 3 internal boundaries + 1 end-of-pass hand-off.
+	if count := drainCount(t, repo, engine.Options{Workers: 1}); count != 12 {
 		t.Fatalf("read %d sets", count)
 	}
 	if repo.Crossings() != 4 {
@@ -41,26 +51,37 @@ func TestProtocolRepoCrossings(t *testing.T) {
 		t.Fatalf("passes = %d", repo.Passes())
 	}
 	// A second pass doubles the crossings.
-	it = repo.Begin()
-	for {
-		if _, ok := it.Next(); !ok {
-			break
-		}
-	}
+	drainCount(t, repo, engine.Options{Workers: 1})
 	if repo.Crossings() != 8 {
 		t.Fatalf("crossings after 2 passes = %d, want 8", repo.Crossings())
+	}
+}
+
+// Hand-off accounting must be independent of the engine's batch size: the
+// BatchReader fast path counts boundaries per batch span, the per-set path
+// one at a time, and every batch size must land on the same total — batches
+// never align with player boundaries by accident.
+func TestProtocolRepoCrossingsBatchInvariant(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 60, M: 97, K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const players = 5
+	for _, batch := range []int{1, 2, 7, 32, 256} {
+		repo := NewProtocolRepo(stream.NewSliceRepo(in), players)
+		if count := drainCount(t, repo, engine.Options{Workers: 1, BatchSize: batch}); count != 97 {
+			t.Fatalf("batch=%d: read %d sets", batch, count)
+		}
+		if repo.Crossings() != players {
+			t.Fatalf("batch=%d: crossings = %d, want %d", batch, repo.Crossings(), players)
+		}
 	}
 }
 
 func TestProtocolRepoSinglePlayer(t *testing.T) {
 	in, _, _, _ := gen.Planted(gen.PlantedConfig{N: 20, M: 6, K: 2, Seed: 2})
 	repo := NewProtocolRepo(stream.NewSliceRepo(in), 1)
-	it := repo.Begin()
-	for {
-		if _, ok := it.Next(); !ok {
-			break
-		}
-	}
+	drainCount(t, repo, engine.Options{})
 	if repo.Crossings() != 1 {
 		t.Fatalf("single player crossings = %d, want 1 (end-of-pass)", repo.Crossings())
 	}
@@ -108,6 +129,18 @@ func TestObservation59EndToEnd(t *testing.T) {
 		t.Fatalf("ER crossings = %d, want %d", repo2.Crossings(), players)
 	}
 	_ = st
+
+	// The engine-migrated SG09 loop costs rounds×players hand-offs: the
+	// faithful repeated-max-cover algorithm simulates as an O(log n)-round
+	// protocol (the Figure 1.1 row Observation 5.9 prices).
+	repo3 := NewProtocolRepo(stream.NewSliceRepo(in), players)
+	sg, err := maxcover.SahaGetoorSetCover(repo3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo3.Crossings() != sg.Passes*players {
+		t.Fatalf("SG09 crossings = %d, want passes×players = %d", repo3.Crossings(), sg.Passes*players)
+	}
 }
 
 // The wrapper must forward mid-pass failures of the inner repository
@@ -128,19 +161,82 @@ func TestProtocolRepoForwardsReaderError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repo := NewProtocolRepo(d, 3)
 
-	it := repo.Begin()
-	for {
-		if _, ok := it.Next(); !ok {
-			break
-		}
-	}
-	if stream.ReaderErr(it) == nil {
-		t.Fatal("protocolReader swallowed the inner reader's decode error")
+	// A bare engine pass over the wrapped truncated stream is a failed pass.
+	if err := engine.New(engine.Options{Workers: 1}).Run(NewProtocolRepo(d, 3)); !errors.Is(err, engine.ErrPassFailed) {
+		t.Fatalf("engine pass over truncated protocol repo returned %v, want ErrPassFailed", err)
 	}
 	if _, err := core.IterSetCover(NewProtocolRepo(d, 3), core.Options{Delta: 0.5, Seed: 5}); err == nil {
 		t.Fatal("IterSetCover over a truncated protocol-wrapped repo returned a cover")
+	}
+}
+
+// flakyRepo wraps a repository with readers that fail after a fixed number
+// of sets, with a reported error — the protocol-level failure injector.
+type flakyRepo struct {
+	stream.Repository
+	failAfter int
+}
+
+var errFlaky = errors.New("injected protocol stream failure")
+
+func (r *flakyRepo) Begin() stream.Reader {
+	return &flakyReader{inner: r.Repository.Begin(), left: r.failAfter}
+}
+
+type flakyReader struct {
+	inner stream.Reader
+	left  int
+	err   error
+}
+
+func (r *flakyReader) Next() (setcover.Set, bool) {
+	if r.err != nil {
+		return setcover.Set{}, false
+	}
+	if r.left == 0 {
+		r.err = errFlaky
+		return setcover.Set{}, false
+	}
+	r.left--
+	return r.inner.Next()
+}
+
+func (r *flakyReader) Err() error { return r.err }
+
+// Failure injection through the simulation: every engine-migrated algorithm
+// solving over a flaky ProtocolRepo must return an error wrapping
+// engine.ErrPassFailed and never a valid-looking cover — the protocol
+// wrapper must not launder a failed pass into a short healthy one.
+func TestFlakyProtocolRepoFailsEveryAlgorithm(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 96, M: 200, K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() stream.Repository {
+		return NewProtocolRepo(&flakyRepo{Repository: stream.NewSliceRepo(in), failAfter: 60}, 4)
+	}
+
+	if st, err := maxcover.SahaGetoorSetCover(mk()); !errors.Is(err, engine.ErrPassFailed) {
+		t.Fatalf("SG09 over flaky protocol repo: err=%v, want ErrPassFailed", err)
+	} else if st.Valid || len(st.Cover) != 0 {
+		t.Fatalf("SG09 failed run still reported a cover (size %d, valid=%v)", len(st.Cover), st.Valid)
+	}
+
+	if res, err := maxcover.Streaming(mk(), 4); !errors.Is(err, engine.ErrPassFailed) {
+		t.Fatalf("Streaming over flaky protocol repo: err=%v, want ErrPassFailed", err)
+	} else if len(res.Sets) != 0 {
+		t.Fatalf("Streaming failed run still reported %d sets", len(res.Sets))
+	}
+
+	if _, err := core.IterSetCover(mk(), core.Options{Delta: 0.5, Seed: 7}); !errors.Is(err, engine.ErrPassFailed) {
+		t.Fatalf("IterSetCover over flaky protocol repo: err=%v, want ErrPassFailed", err)
+	}
+
+	if st, err := baseline.OnePassGreedy(mk()); !errors.Is(err, engine.ErrPassFailed) {
+		t.Fatalf("OnePassGreedy over flaky protocol repo: err=%v, want ErrPassFailed", err)
+	} else if st.Valid || len(st.Cover) != 0 {
+		t.Fatalf("OnePassGreedy failed run still reported a cover")
 	}
 }
 
@@ -166,3 +262,40 @@ func TestProtocolOnReducedInstance(t *testing.T) {
 		t.Fatal("protocol cost should be positive")
 	}
 }
+
+// Recycle must reach the inner reader: a disk-backed pass through the
+// simulation keeps its pooled decode buffers (the engine hands batches back
+// through the wrapper).
+func TestProtocolRepoForwardsRecycle(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 64, M: 300, K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recycleCountRepo{Repository: stream.NewSliceRepo(in)}
+	repo := NewProtocolRepo(rec, 3)
+	if count := drainCount(t, repo, engine.Options{Workers: 1, BatchSize: 32}); count != 300 {
+		t.Fatalf("read %d sets", count)
+	}
+	if rec.recycled != 300 {
+		t.Fatalf("inner reader got %d sets back through Recycle, want 300", rec.recycled)
+	}
+}
+
+// recycleCountRepo wraps a repository with readers that count recycled sets.
+type recycleCountRepo struct {
+	stream.Repository
+	recycled int
+}
+
+func (r *recycleCountRepo) Begin() stream.Reader {
+	return &recycleCountReader{inner: r.Repository.Begin(), repo: r}
+}
+
+type recycleCountReader struct {
+	inner stream.Reader
+	repo  *recycleCountRepo
+}
+
+func (r *recycleCountReader) Next() (setcover.Set, bool) { return r.inner.Next() }
+
+func (r *recycleCountReader) Recycle(sets []setcover.Set) { r.repo.recycled += len(sets) }

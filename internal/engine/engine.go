@@ -1,10 +1,10 @@
-// Package engine is the shared pass executor: every set-system streaming
-// algorithm (internal/core and all of internal/baseline) reads the
-// repository through it instead of hand-rolling a
-// `repo.Begin(); for { Next() }` loop. The geometric algorithm
-// (internal/geom), the max-k-cover primitives (internal/maxcover), and the
-// communication protocols (internal/comm) still scan directly; converting
-// them is future work tracked in DESIGN.md §5.
+// Package engine is the shared pass executor: every streaming algorithm in
+// this repository — the set-system algorithms (internal/core and all of
+// internal/baseline), the max-k-cover primitives (internal/maxcover), the
+// geometric algorithm (internal/geom, through the generic RunOver entry
+// point), and anything running over internal/comm's protocol simulation —
+// reads its stream through it instead of hand-rolling a
+// `repo.Begin(); for { Next() }` loop.
 //
 // The paper's central accounting trick (Lemma 2.1) is that all O(log n)
 // parallel guesses of the optimum size k share physical passes: one scan of
@@ -19,19 +19,31 @@
 // count. The paper's "parallel guesses" thereby become actual goroutines
 // without changing pass counts, space accounting, or results.
 //
+// The delivery loops themselves are generic over the element type
+// (generic.go): Run is their T = setcover.Set instantiation plus the
+// repository-specific capabilities below, and RunOver runs the same
+// machinery over any Source[T] — which is how the geometric algorithm's
+// shape streams get observer fan-out and the failure contract without
+// pretending shapes are sets.
+//
 // Passes are parallel on a second axis too: when the repository implements
 // stream.SegmentedRepository and the engine runs with Workers > 1, the
 // stream is decoded as contiguous chunks on Workers goroutines and
 // reassembled in stream order before delivery (segmented.go) — the
 // CPU-bound decode of a disk-backed pass scales with cores while every
-// observer still sees the exact sequential stream.
+// observer still sees the exact sequential stream. A segment source that
+// declares its decode trivial (stream.DecodeCoster — SliceRepo's, whose
+// "decode" is a header memcpy) is driven as one sequential segment instead:
+// there is nothing to parallelize, so the engine skips the chunk fan-out
+// and its reorder overhead while still counting the same single pass.
 //
 // Pass failure is first-class: Run returns an error when the pass could not
 // be fully drained (a truncated or corrupt backing file, surfaced through
-// stream.ErrorReader, or a failed decode segment, which poisons the whole
-// pass). Algorithms propagate that error instead of reporting a cover built
-// from a partial scan — in this model a partial pass must never be mistaken
-// for a cheap full one.
+// stream.ErrorReader, a failed decode segment — which poisons the whole
+// pass — or a stream that silently ends short of NumSets). Algorithms
+// propagate that error instead of reporting a cover built from a partial
+// scan — in this model a partial pass must never be mistaken for a cheap
+// full one.
 //
 // Invariants the engine guarantees (tested in engine_test.go and relied on
 // by internal/core's pass-sharing tests):
@@ -39,7 +51,7 @@
 //   - One Run = one pass: exactly one repo.Begin() per call, even with zero
 //     observers (the stream is still drained — the model does not allow a
 //     partial scan to be cheaper).
-//   - Full drain: every pass reads all m sets.
+//   - Full drain: every pass reads all m sets, or Run reports failure.
 //   - Per-observer sequentiality: Observe is called with consecutive,
 //     non-overlapping batches covering the stream in order; BeginPass and
 //     EndPass (optional, via PassLifecycle) bracket them on the same
@@ -66,7 +78,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/setcover"
 	"repro/internal/stream"
@@ -84,16 +95,17 @@ var ErrPassFailed = errors.New("pass failed")
 // overhead, small enough to keep per-worker scratch in cache.
 const DefaultBatchSize = 256
 
-// Observer consumes one physical pass over the set stream. Observe is called
-// with consecutive batches in stream order; each observer's calls happen on
-// a single goroutine, but different observers may run concurrently.
-type Observer interface {
-	Observe(batch []setcover.Set)
-}
+// Observer consumes one physical pass over the set stream: the
+// T = setcover.Set instantiation of the generic ObserverOf. Observe is
+// called with consecutive batches in stream order; each observer's calls
+// happen on a single goroutine, but different observers may run
+// concurrently.
+type Observer = ObserverOf[setcover.Set]
 
-// PassLifecycle is the optional hook pair an Observer may additionally
-// implement: BeginPass runs before the pass's first batch and EndPass after
-// its last, both on the caller's goroutine in observer registration order.
+// PassLifecycle is the optional hook pair an Observer (of any element type)
+// may additionally implement: BeginPass runs before the pass's first batch
+// and EndPass after its last, both on the caller's goroutine in observer
+// registration order.
 type PassLifecycle interface {
 	BeginPass()
 	EndPass()
@@ -101,10 +113,7 @@ type PassLifecycle interface {
 
 // Func adapts a plain function to an Observer, for algorithms whose per-pass
 // state lives in the enclosing scope.
-type Func func(batch []setcover.Set)
-
-// Observe implements Observer.
-func (f Func) Observe(batch []setcover.Set) { f(batch) }
+type Func = FuncOf[setcover.Set]
 
 // Options configures an Engine. The zero value is usable: it runs one worker
 // per CPU with DefaultBatchSize.
@@ -126,6 +135,25 @@ type Options struct {
 	DisableSegmented bool
 }
 
+// PerCall validates a variadic per-call option list — the trailing
+// `engOpts ...engine.Options` idiom shared by the baselines, the max-cover
+// entry points, and the experiment builders: at most one set may be passed
+// (the variadic exists only so option-less call sites stay source
+// compatible). It returns the options and whether any were given; each
+// caller chooses its own fallback for the no-options case (baseline keeps a
+// deprecated process default, maxcover uses engine defaults). caller names
+// the package in the misuse panic.
+func PerCall(caller string, engOpts []Options) (Options, bool) {
+	switch len(engOpts) {
+	case 0:
+		return Options{}, false
+	case 1:
+		return engOpts[0], true
+	default:
+		panic(fmt.Sprintf("%s: %d engine option sets passed; want at most 1", caller, len(engOpts)))
+	}
+}
+
 // normalized fills in defaults.
 func (o Options) normalized() Options {
 	if o.Workers <= 0 {
@@ -138,7 +166,9 @@ func (o Options) normalized() Options {
 }
 
 // Engine executes passes. It is stateless between Runs and safe to reuse;
-// the batch pool is shared across Runs to keep steady-state allocation flat.
+// the batch pool is shared across set-system Runs to keep steady-state
+// allocation flat (generic RunOver passes pool per call — their element
+// types differ per instantiation).
 type Engine struct {
 	opts Options
 	pool sync.Pool
@@ -148,7 +178,7 @@ type Engine struct {
 func New(opts Options) *Engine {
 	e := &Engine{opts: opts.normalized()}
 	e.pool.New = func() any {
-		return &batch{sets: make([]setcover.Set, 0, e.opts.BatchSize)}
+		return &batchOf[setcover.Set]{items: make([]setcover.Set, 0, e.opts.BatchSize)}
 	}
 	return e
 }
@@ -159,152 +189,42 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // BatchSize reports the configured batch size after defaulting.
 func (e *Engine) BatchSize() int { return e.opts.BatchSize }
 
-// batch is a pooled, reference-counted slice of sets. The reader fills it,
-// every worker reads it (read-only), and the last worker to finish returns
-// it to the pool.
-type batch struct {
-	sets []setcover.Set
-	refs atomic.Int32
-}
-
 // Run executes one physical pass over repo and feeds it to the observers.
 // It returns when the pass is fully drained and every observer has seen
 // every batch. Observers with disjoint state need no synchronization.
 //
 // A non-nil error means the pass FAILED mid-stream (the reader reported a
-// decode error, or a segment came up short): observers saw only a prefix of
-// the stream, so whatever they accumulated is unusable and the caller must
-// propagate the failure instead of reporting a result. The model's "a begun
-// pass is a full scan" discipline cuts both ways — a pass that cannot finish
-// must not pass for one that did.
+// decode error, a segment came up short, or the stream silently ended before
+// NumSets sets): observers saw only a prefix of the stream, so whatever they
+// accumulated is unusable and the caller must propagate the failure instead
+// of reporting a result. The model's "a begun pass is a full scan"
+// discipline cuts both ways — a pass that cannot finish must not pass for
+// one that did.
 func (e *Engine) Run(repo stream.Repository, observers ...Observer) error {
-	for _, o := range observers {
-		if l, ok := o.(PassLifecycle); ok {
-			l.BeginPass()
-		}
-	}
-
-	it := e.beginPass(repo)
-	workers := e.opts.Workers
-	if workers > len(observers) {
-		workers = len(observers)
-	}
-	if workers <= 1 {
-		e.runSequential(it, observers)
-	} else {
-		e.runParallel(it, observers, workers)
-	}
-	err := stream.ReaderErr(it)
-
-	for _, o := range observers {
-		if l, ok := o.(PassLifecycle); ok {
-			l.EndPass()
-		}
-	}
-	if err != nil {
-		return fmt.Errorf("engine: %w: %w", ErrPassFailed, err)
-	}
-	return nil
+	return runPass(func() Cursor[setcover.Set] { return e.beginPass(repo) },
+		repo.NumSets(), observers, e.opts.Workers,
+		func() *batchOf[setcover.Set] { return e.pool.Get().(*batchOf[setcover.Set]) },
+		func(b *batchOf[setcover.Set]) { e.pool.Put(b) })
 }
 
 // beginPass starts the pass, choosing the decode mode: segmented
-// data-parallel decode whenever more than one worker is configured and the
-// repository supports it (the CPU-bound varint decode of a disk pass is the
-// hot path this exists for), the plain single reader otherwise. Exactly one
-// pass is counted either way.
+// data-parallel decode whenever more than one worker is configured, the
+// repository supports it, and the segment source does not declare its decode
+// trivial (the CPU-bound varint decode of a disk pass is the hot path
+// segmentation exists for; a header-memcpy source like SliceRepo's gains
+// nothing from chunk fan-out and is driven as one sequential segment of the
+// same counted pass instead). The plain single reader otherwise. Exactly one
+// pass is counted in every mode.
 func (e *Engine) beginPass(repo stream.Repository) stream.Reader {
 	if e.opts.Workers > 1 && !e.opts.DisableSegmented {
 		if sr, ok := repo.(stream.SegmentedRepository); ok {
 			if src, ok := sr.BeginSegmented(); ok {
+				if dc, ok := src.(stream.DecodeCoster); ok && dc.DecodeCost() == stream.DecodeCostTrivial {
+					return src.Segment(0, repo.NumSets())
+				}
 				return newSegmentedReader(src, repo.NumSets(), e.opts.Workers, e.opts.BatchSize)
 			}
 		}
 	}
 	return repo.Begin()
-}
-
-// fill loads the next batch of the pass into buf (up to cap(buf)), using the
-// BatchReader fast path when the reader provides one.
-func fill(it stream.Reader, buf []setcover.Set) []setcover.Set {
-	if br, ok := it.(stream.BatchReader); ok {
-		return buf[:br.NextBatch(buf[:0])]
-	}
-	buf = buf[:0]
-	for len(buf) < cap(buf) {
-		s, ok := it.Next()
-		if !ok {
-			break
-		}
-		buf = append(buf, s)
-	}
-	return buf
-}
-
-// runSequential drains the pass on the calling goroutine, reusing a single
-// batch buffer. Also used with zero observers: the pass is still a full
-// scan, it just feeds no one. When the reader recycles (stream.Recycler),
-// each batch is handed back as soon as the observers are done with it.
-func (e *Engine) runSequential(it stream.Reader, observers []Observer) {
-	rec, _ := it.(stream.Recycler)
-	b := e.pool.Get().(*batch)
-	defer e.pool.Put(b)
-	for {
-		sets := fill(it, b.sets[:0])
-		if len(sets) == 0 {
-			return
-		}
-		for _, o := range observers {
-			o.Observe(sets)
-		}
-		if rec != nil {
-			rec.Recycle(sets)
-		}
-	}
-}
-
-// runParallel shards observers across workers (observer i belongs to worker
-// i % workers) and streams ref-counted batches to all of them. Channel FIFO
-// order per worker preserves stream order per observer.
-func (e *Engine) runParallel(it stream.Reader, observers []Observer, workers int) {
-	rec, _ := it.(stream.Recycler)
-	chans := make([]chan *batch, workers)
-	for w := range chans {
-		chans[w] = make(chan *batch, 2)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for b := range chans[w] {
-				for i := w; i < len(observers); i += workers {
-					observers[i].Observe(b.sets)
-				}
-				if b.refs.Add(-1) == 0 {
-					if rec != nil {
-						rec.Recycle(b.sets)
-					}
-					b.sets = b.sets[:0]
-					e.pool.Put(b)
-				}
-			}
-		}(w)
-	}
-
-	for {
-		b := e.pool.Get().(*batch)
-		b.sets = fill(it, b.sets[:0])
-		if len(b.sets) == 0 {
-			e.pool.Put(b)
-			break
-		}
-		b.refs.Store(int32(workers))
-		for _, ch := range chans {
-			ch <- b
-		}
-	}
-	for _, ch := range chans {
-		close(ch)
-	}
-	wg.Wait()
 }

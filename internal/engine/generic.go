@@ -1,0 +1,249 @@
+// Generic pass machinery. The engine's delivery loops are generic over the
+// element type: one counted pass over a Source[T] feeds batches of T to
+// ObserverOf[T] observers, sharded across a worker pool exactly like the
+// set-system path. The concrete stream.Repository entry point (Run, in
+// engine.go) is the T = setcover.Set instantiation of these loops plus the
+// repository-specific capabilities (segmented decode, the shared batch
+// pool); RunOver is the entry point for every other element type — the
+// geometric algorithm drives it with streamed shapes.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Cursor yields the items of one pass, in stream order — the generic
+// analogue of stream.Reader. A cursor whose pass can fail mid-stream
+// additionally implements stream.ErrorReader (Err() error); RunOver probes
+// it after draining and turns a non-nil result into a failed pass.
+type Cursor[T any] interface {
+	Next() (item T, ok bool)
+}
+
+// BatchCursor is the optional fast path a Cursor may implement, the generic
+// analogue of stream.BatchReader: NextBatch fills dst (up to cap(dst)) with
+// the next items of the pass and returns how many were written; zero means
+// the pass is exhausted. The two paths must yield identical streams.
+type BatchCursor[T any] interface {
+	NextBatch(dst []T) int
+}
+
+// RecyclerOf is the generic analogue of stream.Recycler: a Cursor that owns
+// its decode buffers gets each batch handed back once the last observer is
+// done with it.
+type RecyclerOf[T any] interface {
+	Recycle(items []T)
+}
+
+// ObserverOf consumes one physical pass. Observe is called with consecutive
+// batches in stream order; each observer's calls happen on a single
+// goroutine, but different observers may run concurrently. Observers may
+// additionally implement PassLifecycle.
+type ObserverOf[T any] interface {
+	Observe(batch []T)
+}
+
+// FuncOf adapts a plain function to an ObserverOf, for passes whose state
+// lives in the enclosing scope.
+type FuncOf[T any] func(batch []T)
+
+// Observe implements ObserverOf.
+func (f FuncOf[T]) Observe(batch []T) { f(batch) }
+
+// Source is the capability RunOver needs from a stream of T: the generic,
+// read-only analogue of stream.Repository. Begin starts (and, by the
+// implementer's contract, counts) one sequential pass; NumItems is the exact
+// stream length, which RunOver uses to detect silently truncated passes —
+// a cursor that ends early without reporting an error is still a failed
+// pass, never a cheap full one.
+type Source[T any] interface {
+	// NumItems returns the exact number of items a full pass yields.
+	NumItems() int
+	// Begin starts a new pass over the stream and returns its cursor.
+	Begin() Cursor[T]
+}
+
+// RunOver executes one physical pass over src on e's worker/batch
+// configuration and feeds it to the observers — engine.Run for streams whose
+// element type is not setcover.Set. The engine's contracts carry over
+// unchanged: one Begin per call, full drain even with zero observers,
+// per-observer sequential delivery in stream order, and determinism for
+// observers with disjoint state at every Workers/BatchSize setting.
+//
+// A non-nil error wraps ErrPassFailed and means the pass could not be fully
+// drained: the cursor reported a mid-stream failure (stream.ErrorReader), or
+// the stream ended short of src.NumItems() without one. Either way observers
+// saw only a prefix, so the caller must propagate the failure instead of
+// reporting a result built from a partial scan.
+func RunOver[T any](e *Engine, src Source[T], observers ...ObserverOf[T]) error {
+	// Batches are pooled per call: unlike the set-system path there is no
+	// per-engine pool to share (the element type differs per instantiation),
+	// but within the pass allocation still stays O(Workers · BatchSize).
+	var pool sync.Pool
+	pool.New = func() any {
+		return &batchOf[T]{items: make([]T, 0, e.opts.BatchSize)}
+	}
+	return runPass(src.Begin, src.NumItems(), observers, e.opts.Workers,
+		func() *batchOf[T] { return pool.Get().(*batchOf[T]) },
+		func(b *batchOf[T]) { pool.Put(b) })
+}
+
+// runPass is the one body behind Run and RunOver: lifecycle brackets around
+// the delivery loop, the failure-surface probe, and the full-drain check
+// against the expected stream length. begin opens the (pass-counting)
+// cursor after the BeginPass hooks, mirroring the original loop order.
+func runPass[T any](begin func() Cursor[T], want int, observers []ObserverOf[T], workers int,
+	get func() *batchOf[T], put func(*batchOf[T])) error {
+	for _, o := range observers {
+		if l, ok := o.(PassLifecycle); ok {
+			l.BeginPass()
+		}
+	}
+
+	it := begin()
+	n := drain(it, observers, workers, get, put)
+	err := cursorErr(it)
+
+	for _, o := range observers {
+		if l, ok := o.(PassLifecycle); ok {
+			l.EndPass()
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("engine: %w: %w", ErrPassFailed, err)
+	}
+	if n != want {
+		return fmt.Errorf("engine: %w: stream ended after %d of %d items", ErrPassFailed, n, want)
+	}
+	return nil
+}
+
+// cursorErr probes a cursor's optional mid-pass failure surface. The shape
+// is stream.ErrorReader — any cursor type can satisfy it, not just set
+// readers.
+func cursorErr[T any](c Cursor[T]) error {
+	if er, ok := c.(stream.ErrorReader); ok {
+		return er.Err()
+	}
+	return nil
+}
+
+// batchOf is a pooled, reference-counted slice of items. The reader fills
+// it, every delivery worker reads it (read-only), and the last worker to
+// finish returns it to the pool.
+type batchOf[T any] struct {
+	items []T
+	refs  atomic.Int32
+}
+
+// fillBatch loads the next batch of the pass into buf (up to cap(buf)),
+// using the BatchCursor fast path when the cursor provides one.
+func fillBatch[T any](it Cursor[T], buf []T) []T {
+	if br, ok := it.(BatchCursor[T]); ok {
+		return buf[:br.NextBatch(buf[:0])]
+	}
+	buf = buf[:0]
+	for len(buf) < cap(buf) {
+		item, ok := it.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, item)
+	}
+	return buf
+}
+
+// drain runs one pass's delivery loop: sequential on the calling goroutine
+// when at most one delivery worker is useful, sharded across workers
+// otherwise. It returns the number of items read from the cursor — every
+// observer saw exactly that prefix of the stream.
+func drain[T any](it Cursor[T], observers []ObserverOf[T], workers int,
+	get func() *batchOf[T], put func(*batchOf[T])) int {
+	if workers > len(observers) {
+		workers = len(observers)
+	}
+	if workers <= 1 {
+		return drainSequential(it, observers, get, put)
+	}
+	return drainParallel(it, observers, workers, get, put)
+}
+
+// drainSequential drains the pass on the calling goroutine, reusing a single
+// batch buffer. Also used with zero observers: the pass is still a full
+// scan, it just feeds no one. When the cursor recycles (RecyclerOf), each
+// batch is handed back as soon as the observers are done with it.
+func drainSequential[T any](it Cursor[T], observers []ObserverOf[T],
+	get func() *batchOf[T], put func(*batchOf[T])) int {
+	rec, _ := it.(RecyclerOf[T])
+	b := get()
+	defer put(b)
+	total := 0
+	for {
+		items := fillBatch(it, b.items[:0])
+		if len(items) == 0 {
+			return total
+		}
+		total += len(items)
+		for _, o := range observers {
+			o.Observe(items)
+		}
+		if rec != nil {
+			rec.Recycle(items)
+		}
+	}
+}
+
+// drainParallel shards observers across workers (observer i belongs to
+// worker i % workers) and streams ref-counted batches to all of them.
+// Channel FIFO order per worker preserves stream order per observer.
+func drainParallel[T any](it Cursor[T], observers []ObserverOf[T], workers int,
+	get func() *batchOf[T], put func(*batchOf[T])) int {
+	rec, _ := it.(RecyclerOf[T])
+	chans := make([]chan *batchOf[T], workers)
+	for w := range chans {
+		chans[w] = make(chan *batchOf[T], 2)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := range chans[w] {
+				for i := w; i < len(observers); i += workers {
+					observers[i].Observe(b.items)
+				}
+				if b.refs.Add(-1) == 0 {
+					if rec != nil {
+						rec.Recycle(b.items)
+					}
+					b.items = b.items[:0]
+					put(b)
+				}
+			}
+		}(w)
+	}
+
+	total := 0
+	for {
+		b := get()
+		b.items = fillBatch(it, b.items[:0])
+		if len(b.items) == 0 {
+			put(b)
+			break
+		}
+		total += len(b.items)
+		b.refs.Store(int32(workers))
+		for _, ch := range chans {
+			ch <- b
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	return total
+}

@@ -12,7 +12,11 @@ import (
 )
 
 // countingSegRepo wraps a SliceRepo and records which begin path the engine
-// chose, so tests can assert the mode selection, not just the results.
+// chose, so tests can assert the mode selection, not just the results. Its
+// source is wrapped opaquely: SliceRepo's own segment source declares its
+// decode trivial (stream.DecodeCoster), which would steer the engine to the
+// sequential single-segment mode — these tests exist to exercise the chunked
+// parallel decoder, so the wrapper hides the signal.
 type countingSegRepo struct {
 	*stream.SliceRepo
 	plainBegins int
@@ -26,8 +30,15 @@ func (r *countingSegRepo) Begin() stream.Reader {
 
 func (r *countingSegRepo) BeginSegmented() (stream.SegmentSource, bool) {
 	r.segBegins++
-	return r.SliceRepo.BeginSegmented()
+	src, ok := r.SliceRepo.BeginSegmented()
+	return opaqueSegSource{src: src}, ok
 }
+
+// opaqueSegSource forwards Segment only, hiding every optional capability of
+// the wrapped source (DecodeCoster in particular).
+type opaqueSegSource struct{ src stream.SegmentSource }
+
+func (s opaqueSegSource) Segment(start, end int) stream.Reader { return s.src.Segment(start, end) }
 
 // The segmented decode path must deliver the exact sequential stream to
 // every observer — same sets, same order, bracketed lifecycle — at every

@@ -92,28 +92,49 @@ func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// engineOpts is the pass-engine configuration every experiment threads into
-// IterSetCover (the baselines take it through their shared executor, see
-// SetEngine). The zero value means engine defaults: GOMAXPROCS workers,
-// which on multicore hosts also turns on segmented parallel decode for
-// segmentable repositories.
-var engineOpts engine.Options
+// defaultEngineOpts is the pass-engine configuration for experiments built
+// without per-call options, kept only for the deprecated SetEngine shim. The
+// zero value means engine defaults: GOMAXPROCS workers, which on multicore
+// hosts also turns on segmented parallel decode for segmentable
+// repositories.
+var defaultEngineOpts engine.Options
 
-// SetEngine configures the pass engine for every experiment run:
-// cmd/experiments threads its -workers flag here. Results are identical at
-// every setting (the engine's determinism contract) — it only moves
-// wall-clock, which is the point of sweeping it. Not safe to call
-// concurrently with running experiments.
+// SetEngine replaces the DEFAULT pass-engine configuration used by
+// experiments built without per-call options.
+//
+// Deprecated: pass engine.Options to the experiment builder instead
+// (Spec.Build(seed, quick, opts) / E1Figure11(seed, quick, opts) etc.) —
+// cmd/experiments threads its -workers flag per call now, and a process-wide
+// default cannot serve concurrent builds with different configurations.
+// Results are identical at every setting, per the engine's determinism
+// contract. Not safe to call concurrently with running experiments.
 func SetEngine(opts engine.Options) {
-	engineOpts = opts
+	defaultEngineOpts = opts
 	baseline.SetEngine(opts)
+}
+
+// engineFor resolves the pass-engine configuration for one experiment build:
+// the caller's per-call options when given (at most one, validated by
+// engine.PerCall), the process default otherwise (see SetEngine). Every
+// experiment threads the result into each algorithm call it makes —
+// IterSetCover and AlgGeomSC through their Options.Engine, baselines and
+// maxcover through their per-call trailing argument — so a build never
+// depends on process-global executor state.
+func engineFor(engOpts []engine.Options) engine.Options {
+	opts, ok := engine.PerCall("experiments", engOpts)
+	if !ok {
+		return defaultEngineOpts
+	}
+	return opts
 }
 
 // Spec names one experiment and builds its table on demand, so callers that
 // want a subset (cmd/experiments -only) can skip the cost of the rest.
+// engOpts (at most one) configures the pass engine for the build; tables are
+// identical at every setting.
 type Spec struct {
 	ID    string
-	Build func(seed int64, quick bool) Table
+	Build func(seed int64, quick bool, engOpts ...engine.Options) Table
 }
 
 // Registry returns every experiment in DESIGN.md §4 order WITHOUT running
@@ -122,7 +143,7 @@ func Registry() []Spec {
 	return []Spec{
 		{"E1", E1Figure11},
 		{"E2", E2DeltaSweep},
-		{"E3", func(_ int64, quick bool) Table { return E3Figure12(quick) }},
+		{"E3", func(_ int64, quick bool, _ ...engine.Options) Table { return E3Figure12(quick) }},
 		{"E4", E4Geometric},
 		{"E5", E5CanonicalCounts},
 		{"E6", E6RecoverBits},
@@ -143,19 +164,20 @@ func Registry() []Spec {
 
 // All runs every experiment in DESIGN.md §4 order, built with the given
 // seed. Quick mode shrinks the workloads (used by unit tests; the full sizes
-// run in cmd/experiments and the benchmarks).
-func All(seed int64, quick bool) []Table {
+// run in cmd/experiments and the benchmarks). engOpts (at most one)
+// configures the pass engine for every build.
+func All(seed int64, quick bool, engOpts ...engine.Options) []Table {
 	specs := Registry()
 	out := make([]Table, 0, len(specs))
 	for _, s := range specs {
-		out = append(out, s.Build(seed, quick))
+		out = append(out, s.Build(seed, quick, engOpts...))
 	}
 	return out
 }
 
 // RunAll renders every experiment to w.
-func RunAll(w io.Writer, seed int64, quick bool, markdown bool) {
-	for _, t := range All(seed, quick) {
+func RunAll(w io.Writer, seed int64, quick bool, markdown bool, engOpts ...engine.Options) {
+	for _, t := range All(seed, quick, engOpts...) {
 		if markdown {
 			t.Markdown(w)
 		} else {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // Every experiment must build (quick mode) and produce a well-formed table.
@@ -118,4 +120,32 @@ func TestRunAll(t *testing.T) {
 	if !strings.Contains(buf.String(), "E12") {
 		t.Fatal("RunAll did not render all experiments")
 	}
+}
+
+// Per-call engine options must leave tables byte-identical (the engine's
+// determinism contract is what makes -workers a pure wall-clock knob), and
+// the deprecated SetEngine shim must keep steering builds that pass no
+// per-call options — cmd/experiments migrated off it, legacy callers have
+// not.
+func TestPerCallEngineOptionsAndShim(t *testing.T) {
+	same := func(a, b Table) {
+		t.Helper()
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("cell [%d][%d] differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+	ref := E16MaxKCover(3, true, engine.Options{Workers: 1})
+	same(ref, E16MaxKCover(3, true, engine.Options{Workers: 2, BatchSize: 64}))
+	same(ref, E16MaxKCover(3, true, engine.Options{Workers: 2, DisableSegmented: true}))
+
+	defer SetEngine(engine.Options{})
+	SetEngine(engine.Options{Workers: 2, BatchSize: 32})
+	same(ref, E16MaxKCover(3, true)) // no per-call options: the shim steers
 }

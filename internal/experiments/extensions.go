@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/maxcover"
@@ -16,7 +17,8 @@ import (
 // E13PartialCover measures the ε-Partial Set Cover generalization that
 // [ER14] and [CW16] prove their bounds for (Section 1): as ε grows, the
 // cover shrinks while coverage stays above 1-ε.
-func E13PartialCover(seed int64, quick bool) Table {
+func E13PartialCover(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 2000, 4000, 25
 	if quick {
 		n, m, k = 500, 1000, 8
@@ -32,12 +34,12 @@ func E13PartialCover(seed int64, quick bool) Table {
 	}
 	t.AddNote("planted instance: n=%d m=%d OPT=%d", n, m, opt)
 	for _, eps := range []float64{0, 0.05, 0.2} {
-		st, err := baseline.EmekRosenPartial(stream.NewSliceRepo(in), eps)
+		st, err := baseline.EmekRosenPartial(stream.NewSliceRepo(in), eps, eng)
 		addPartialRow(&t, in, st, err, eps)
-		st, err = baseline.ChakrabartiWirthPartial(stream.NewSliceRepo(in), 2, eps)
+		st, err = baseline.ChakrabartiWirthPartial(stream.NewSliceRepo(in), 2, eps, eng)
 		addPartialRow(&t, in, st, err, eps)
 		res, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{
-			Delta: 0.5, Seed: seed, PartialEps: eps, Engine: engineOpts,
+			Delta: 0.5, Seed: seed, PartialEps: eps, Engine: eng,
 		})
 		addPartialRow(&t, in, res.Stats, err, eps)
 	}
@@ -56,7 +58,8 @@ func addPartialRow(t *Table, in *setcover.Instance, st setcover.Stats, err error
 // with and without the Lemma 4.2 rectangle splitting: without it, the
 // distinct stored projections (and the space) blow up, which is exactly why
 // the canonical representation exists.
-func E14CanonicalAblation(seed int64, quick bool) Table {
+func E14CanonicalAblation(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n := 128
 	if quick {
 		n = 48
@@ -76,7 +79,7 @@ func E14CanonicalAblation(seed int64, quick bool) Table {
 		repo.Precompute()
 		res, err := geom.AlgGeomSC(repo, geom.GeomOptions{
 			Delta: 0.25, Seed: seed, DisableCanonical: disable,
-			KMin: 16, KMax: 256,
+			KMin: 16, KMax: 256, Engine: eng,
 		})
 		name := "canonical split (Lemma 4.2)"
 		if disable {
@@ -97,7 +100,8 @@ func E14CanonicalAblation(seed int64, quick bool) Table {
 // communication bits. Comparing against the instance's description size
 // shows which algorithms would beat the naive protocol (and by Theorem 5.4,
 // exact ones cannot at few passes).
-func E15ProtocolSimulation(seed int64, quick bool) Table {
+func E15ProtocolSimulation(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	t := Table{
 		ID:    "E15",
 		Title: "Observation 5.9: streaming algorithms as communication protocols",
@@ -121,14 +125,14 @@ func E15ProtocolSimulation(seed int64, quick bool) Table {
 		run  func(repo stream.Repository) (setcover.Stats, error)
 	}{
 		{"iterSetCover δ=1/2", func(repo stream.Repository) (setcover.Stats, error) {
-			r, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
+			r, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: eng})
 			return r.Stats, err
 		}},
 		{"emek-rosen (1 pass)", func(repo stream.Repository) (setcover.Stats, error) {
-			return baseline.EmekRosen(repo, engineOpts)
+			return baseline.EmekRosen(repo, eng)
 		}},
 		{"threshold-greedy", func(repo stream.Repository) (setcover.Stats, error) {
-			return baseline.ThresholdGreedy(repo, engineOpts)
+			return baseline.ThresholdGreedy(repo, eng)
 		}},
 	}
 	for _, r := range runs {
@@ -153,7 +157,7 @@ func E15ProtocolSimulation(seed int64, quick bool) Table {
 		redBits += 32 * int64(len(s.Elems))
 	}
 	repo := comm.NewProtocolRepo(stream.NewSliceRepo(inst), 2*meta.P)
-	res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
+	res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Seed: seed, Engine: eng})
 	if err == nil {
 		bits := comm.ProtocolCost(repo.Crossings(), res.SpaceWords)
 		t.AddRow("ISC-reduced (n=6,p=2)", "iterSetCover δ=1/2", d(2*meta.P), d(res.Passes),
@@ -165,7 +169,8 @@ func E15ProtocolSimulation(seed int64, quick bool) Table {
 
 // E16MaxKCover exercises the [SG09] primitive directly: offline greedy vs
 // the one-pass streaming thresholding, plus the full SG09 SetCover loop.
-func E16MaxKCover(seed int64, quick bool) Table {
+func E16MaxKCover(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 2000, 4000, 20
 	if quick {
 		n, m, k = 400, 800, 8
@@ -187,14 +192,14 @@ func E16MaxKCover(seed int64, quick bool) Table {
 	}
 	t.AddRow("offline greedy max-k-cover", d(g.Covered), f2c(float64(g.Covered)/float64(n)), "-", "-")
 
-	s, err := maxcover.Streaming(stream.NewSliceRepo(in), k)
+	s, err := maxcover.Streaming(stream.NewSliceRepo(in), k, eng)
 	if err != nil {
 		panic(err)
 	}
 	t.AddRow("one-pass streaming max-k-cover", d(s.Covered), f2c(float64(s.Covered)/float64(n)),
 		d(s.Passes), d64(s.SpaceWords))
 
-	st, err := maxcover.SahaGetoorSetCover(stream.NewSliceRepo(in))
+	st, err := maxcover.SahaGetoorSetCover(stream.NewSliceRepo(in), eng)
 	if err != nil {
 		panic(err)
 	}

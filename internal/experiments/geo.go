@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -43,7 +44,8 @@ func E3Figure12(quick bool) Table {
 // E4Geometric reproduces Theorem 4.6: algGeomSC on disks, rectangles and fat
 // triangles uses Õ(n) space (flat in m), constant passes, and an O(ρ)
 // approximation against the planted cover.
-func E4Geometric(seed int64, quick bool) Table {
+func E4Geometric(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, k := 2000, 16
 	ms := []int{8000, 16000}
 	if quick {
@@ -77,7 +79,7 @@ func E4Geometric(seed int64, quick bool) Table {
 			repo := geom.NewShapeRepo(in)
 			repo.Precompute()
 			res, err := geom.AlgGeomSC(repo, geom.GeomOptions{
-				Delta: 0.25, Seed: seed, KMin: 4, KMax: 64,
+				Delta: 0.25, Seed: seed, KMin: 4, KMax: 64, Engine: eng,
 			})
 			if err != nil {
 				t.AddRow(g.name, d(n), d(m), "failed", d(len(planted)), "-", "-", "-", "-")
@@ -95,7 +97,7 @@ func E4Geometric(seed int64, quick bool) Table {
 // E5CanonicalCounts reproduces Lemma 4.4's counting: the number of distinct
 // canonical pieces of w-shallow shapes stays near-linear in n across shape
 // classes and shallowness levels.
-func E5CanonicalCounts(seed int64, quick bool) Table {
+func E5CanonicalCounts(seed int64, quick bool, _ ...engine.Options) Table {
 	n, numShapes := 2000, 20000
 	if quick {
 		n, numShapes = 500, 4000

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/offline"
 	"repro/internal/stream"
@@ -14,7 +15,8 @@ import (
 // the input grows like m·(n/k), iterSetCover's space like m·n^δ, so the
 // space-to-input ratio must fall as n grows — the sublinearity only
 // asymptotics can show.
-func E18Scaling(seed int64, quick bool) Table {
+func E18Scaling(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	sizes := []int{1024, 2048, 4096, 8192}
 	if quick {
 		sizes = []int{512, 1024}
@@ -39,7 +41,7 @@ func E18Scaling(seed int64, quick bool) Table {
 			inputWords += stream.WordsForElems(len(s.Elems))
 		}
 		repo := stream.NewSliceRepo(in)
-		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
+		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed, Engine: eng})
 		if err != nil {
 			t.AddRow(d(n), d(m), d64(inputWords), "failed", "-", "-", "-", "-")
 			continue

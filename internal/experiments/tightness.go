@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/offline"
 	"repro/internal/stream"
@@ -16,7 +17,8 @@ import (
 // paper cites). iterSetCover with the exact offline solver (ρ = 1) escapes
 // the greedy trap; nothing one-pass escapes the ER trap (Theorem 3.8 says
 // even randomization cannot help below Ω(mn) space).
-func E17Tightness(seed int64, quick bool) Table {
+func E17Tightness(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	t := Table{
 		ID:    "E17",
 		Title: "Tightness traps: where each algorithm's factor actually bites",
@@ -30,14 +32,14 @@ func E17Tightness(seed int64, quick bool) Table {
 	}
 	trap, opt := gen.GreedyTrap(levels)
 	logn := math.Log2(float64(trap.N))
-	g, err := baseline.OnePassGreedy(stream.NewSliceRepo(trap))
+	g, err := baseline.OnePassGreedy(stream.NewSliceRepo(trap), eng)
 	if err != nil {
 		panic(err)
 	}
 	t.AddRow("greedy-trap n="+d(trap.N), "greedy-1pass", d(len(g.Cover)), d(opt),
 		f2c(float64(len(g.Cover))/float64(opt)), "Θ(log n) = "+f1(logn))
 	ex, err := core.IterSetCover(stream.NewSliceRepo(trap), core.Options{
-		Delta: 0.5, Offline: offline.Exact{}, Seed: seed, Engine: engineOpts,
+		Delta: 0.5, Offline: offline.Exact{}, Seed: seed, Engine: eng,
 	})
 	if err != nil {
 		panic(err)
@@ -51,13 +53,13 @@ func E17Tightness(seed int64, quick bool) Table {
 		b = 16
 	}
 	ertrap, eropt := gen.EmekRosenTrap(b)
-	er, err := baseline.EmekRosen(stream.NewSliceRepo(ertrap))
+	er, err := baseline.EmekRosen(stream.NewSliceRepo(ertrap), eng)
 	if err != nil {
 		panic(err)
 	}
 	t.AddRow("er-trap n="+d(ertrap.N), "emek-rosen[ER14]", d(len(er.Cover)), d(eropt),
 		f2c(float64(len(er.Cover))/float64(eropt)), "Θ(√n) = "+f1(math.Sqrt(float64(ertrap.N))))
-	it2, err := core.IterSetCover(stream.NewSliceRepo(ertrap), core.Options{Delta: 0.5, Seed: seed, Engine: engineOpts})
+	it2, err := core.IterSetCover(stream.NewSliceRepo(ertrap), core.Options{Delta: 0.5, Seed: seed, Engine: eng})
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/maxcover"
 	"repro/internal/offline"
@@ -22,7 +23,8 @@ import (
 // passes; ER14 1 pass with poor approximation; CW16 few passes; DIMV14 same
 // space as iterSetCover but many more passes; iterSetCover 2/δ passes with
 // Õ(m·n^δ) space and log-factor approximation).
-func E1Figure11(seed int64, quick bool) Table {
+func E1Figure11(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 2000, 4000, 25
 	if quick {
 		n, m, k = 400, 800, 8
@@ -49,32 +51,32 @@ func E1Figure11(seed int64, quick bool) Table {
 	}
 	rows := []row{
 		{"ln n / 1 / O(mn)", func() (setcover.Stats, error) {
-			return baseline.OnePassGreedy(stream.NewSliceRepo(in))
+			return baseline.OnePassGreedy(stream.NewSliceRepo(in), eng)
 		}},
 		{"ln n / n / O(n)", func() (setcover.Stats, error) {
-			return baseline.MultiPassGreedy(stream.NewSliceRepo(in))
+			return baseline.MultiPassGreedy(stream.NewSliceRepo(in), eng)
 		}},
 		{"O(log n) / O(log n) / Õ(n)", func() (setcover.Stats, error) {
-			return baseline.ThresholdGreedy(stream.NewSliceRepo(in))
+			return baseline.ThresholdGreedy(stream.NewSliceRepo(in), eng)
 		}},
 		{"O(log n) / O(log n) / Õ(n) [max-k-cover]", func() (setcover.Stats, error) {
-			return maxcover.SahaGetoorSetCover(stream.NewSliceRepo(in))
+			return maxcover.SahaGetoorSetCover(stream.NewSliceRepo(in), eng)
 		}},
 		{"O(√n) / 1 / Θ̃(n)", func() (setcover.Stats, error) {
-			return baseline.EmekRosen(stream.NewSliceRepo(in))
+			return baseline.EmekRosen(stream.NewSliceRepo(in), eng)
 		}},
 		{"O(n^δ/δ) / 1/δ−1 / Θ̃(n), δ=1/3", func() (setcover.Stats, error) {
-			return baseline.ChakrabartiWirth(stream.NewSliceRepo(in), 2)
+			return baseline.ChakrabartiWirth(stream.NewSliceRepo(in), 2, eng)
 		}},
 		{"O(4^{1/δ}ρ) / O(4^{1/δ}) / Õ(mn^δ), δ=1/2", func() (setcover.Stats, error) {
-			return baseline.DIMV14(stream.NewSliceRepo(in), baseline.DIMV14Options{Delta: 0.5, Scale: 0.25, Seed: seed})
+			return baseline.DIMV14(stream.NewSliceRepo(in), baseline.DIMV14Options{Delta: 0.5, Scale: 0.25, Seed: seed}, eng)
 		}},
 		{"O(ρ/δ) / 2/δ / Õ(mn^δ), δ=1/2", func() (setcover.Stats, error) {
-			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.5, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
+			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.5, Offline: offline.Greedy{}, Seed: seed, Engine: eng})
 			return r.Stats, err
 		}},
 		{"O(ρ/δ) / 2/δ / Õ(mn^δ), δ=1/4", func() (setcover.Stats, error) {
-			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.25, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
+			r, err := core.IterSetCover(stream.NewSliceRepo(in), core.Options{Delta: 0.25, Offline: offline.Greedy{}, Seed: seed, Engine: eng})
 			return r.Stats, err
 		}},
 	}
@@ -92,7 +94,8 @@ func E1Figure11(seed int64, quick bool) Table {
 
 // E2DeltaSweep reproduces Theorem 2.8's trade-off curve: as δ shrinks,
 // passes grow like 2/δ while space shrinks like m·n^δ.
-func E2DeltaSweep(seed int64, quick bool) Table {
+func E2DeltaSweep(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 4096, 8192, 32
 	if quick {
 		n, m, k = 512, 1024, 8
@@ -109,7 +112,7 @@ func E2DeltaSweep(seed int64, quick bool) Table {
 			panic(err)
 		}
 		repo := stream.NewSliceRepo(in)
-		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed, Engine: engineOpts})
+		res, err := core.IterSetCover(repo, core.Options{Delta: delta, Offline: offline.Greedy{}, Seed: seed, Engine: eng})
 		ratio := "-"
 		if err == nil {
 			ratio = f2c(res.Ratio(opt))
@@ -123,7 +126,8 @@ func E2DeltaSweep(seed int64, quick bool) Table {
 
 // E9AblationSizeTest measures what the Size Test buys (Lemma 2.3): without
 // it, heavy sets are stored instead of taken, and projection storage grows.
-func E9AblationSizeTest(seed int64, quick bool) Table {
+func E9AblationSizeTest(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 2048, 4096, 8
 	if quick {
 		n, m, k = 512, 1024, 4
@@ -143,7 +147,7 @@ func E9AblationSizeTest(seed int64, quick bool) Table {
 		res, err := core.IterSetCover(repo, core.Options{
 			Delta: 0.5, Offline: offline.Greedy{}, Seed: seed,
 			KMin: k, KMax: k, DisableSizeTest: disable, AdaptiveIterations: true,
-			Engine: engineOpts,
+			Engine: eng,
 		})
 		name := "with size test"
 		if disable {
@@ -162,7 +166,8 @@ func E9AblationSizeTest(seed int64, quick bool) Table {
 // size buys (Lemma 2.6 vs plain element sampling): with a too-small sample
 // the per-iteration shrink factor drops from n^δ to a constant and the
 // iteration count explodes — the qualitative gap to [DIMV14].
-func E10AblationSampling(seed int64, quick bool) Table {
+func E10AblationSampling(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 4096, 4096, 8
 	if quick {
 		n, m, k = 1024, 1024, 4
@@ -192,7 +197,7 @@ func E10AblationSampling(seed int64, quick bool) Table {
 		res, err := core.IterSetCover(repo, core.Options{
 			Delta: 0.5, Offline: offline.Greedy{}, Seed: seed,
 			KMin: k, KMax: k, Sizer: v.sizer, AdaptiveIterations: true,
-			Engine: engineOpts,
+			Engine: eng,
 		})
 		if err != nil {
 			t.AddRow(v.name, d(v.sizer(k, n, m, n)), "-", "-", "failed")
@@ -205,7 +210,8 @@ func E10AblationSampling(seed int64, quick bool) Table {
 
 // E11AblationOffline compares greedy (ρ = ln n) and exact (ρ = 1) offline
 // solvers inside iterSetCover — the ρ/δ factor of Theorem 2.8.
-func E11AblationOffline(seed int64, quick bool) Table {
+func E11AblationOffline(seed int64, quick bool, engOpts ...engine.Options) Table {
+	eng := engineFor(engOpts)
 	n, m, k := 300, 600, 6
 	if quick {
 		n, m, k = 150, 300, 4
@@ -222,7 +228,7 @@ func E11AblationOffline(seed int64, quick bool) Table {
 			panic(err)
 		}
 		repo := stream.NewSliceRepo(in)
-		res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Offline: solver, Seed: seed, Engine: engineOpts})
+		res, err := core.IterSetCover(repo, core.Options{Delta: 0.5, Offline: solver, Seed: seed, Engine: eng})
 		if err != nil {
 			t.AddRow(solver.Name(), f1(solver.Rho(n)), "failed", "-", "-")
 			continue
@@ -235,7 +241,7 @@ func E11AblationOffline(seed int64, quick bool) Table {
 // E12RelativeApprox empirically validates Lemma 2.5 (the HS11 sampling
 // bound): at the bound's sample size the violation rate of Definition 2.4
 // stays below q.
-func E12RelativeApprox(seed int64, quick bool) Table {
+func E12RelativeApprox(seed int64, quick bool, _ ...engine.Options) Table {
 	n, numRanges, trials := 4000, 64, 30
 	if quick {
 		n, numRanges, trials = 1000, 32, 10

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/offline"
 	"repro/internal/sample"
 	"repro/internal/setcover"
@@ -44,6 +45,13 @@ type GeomOptions struct {
 	// the distinct-projection count — and hence the space — blows up toward
 	// m while the canonical family stays Õ(n).
 	DisableCanonical bool
+	// Engine configures the shared pass executor (internal/engine) that
+	// fans every physical shape pass out to the parallel guesses, exactly
+	// as it does for the set-system algorithms. Results, pass counts, and
+	// space accounting are identical for every setting — each guess owns
+	// disjoint state and sees the shape stream in order — so this is
+	// purely a wall-clock knob.
+	Engine engine.Options
 }
 
 // GeomResult extends Stats with geometric diagnostics.
@@ -60,11 +68,37 @@ type GeomResult struct {
 	RawProjectionsSeen int
 }
 
+// failPass closes out a GeomResult whose physical shape pass failed
+// mid-stream (a flaky or truncated geometric instance): every guess saw only
+// a prefix of the shapes, so no cover can be reported — the run fails loudly
+// with the resources it consumed, never with a plausible-looking partial
+// answer. The error chain carries engine.ErrPassFailed for service-layer
+// classification.
+func (res GeomResult) failPass(repo ShapeStream, tracker *stream.Tracker, err error) (GeomResult, error) {
+	res.Passes = repo.Passes()
+	res.SpaceWords = tracker.Peak()
+	return res, fmt.Errorf("geom: %w", err)
+}
+
 type geomRun struct {
 	k    int
 	left *bitset.Bitset // L, over points
 	sol  []int
 	done bool
+}
+
+// geomIterState is one guess's per-iteration state: the sampled points, the
+// shallowness threshold, and the canonical piece store the second pass fills.
+type geomIterState struct {
+	s       *bitset.Bitset
+	sLen    int
+	w       float64
+	store   *CanonicalStore
+	tree    *XSplitTree
+	words   int64
+	solS    []Piece
+	picked  map[int]bool
+	rawSeen int // per-guess share of GeomResult.RawProjectionsSeen
 }
 
 // AlgGeomSC implements Figure 4.1: a streaming algorithm for Points-Shapes
@@ -77,7 +111,15 @@ type geomRun struct {
 //	shape whose projection contains it.
 //
 // A final pass covers the ≤ k leftovers with one arbitrary set each.
-func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
+//
+// Every pass runs on the shared pass engine (engine.RunOver over the shape
+// stream): one RunOver = one counted pass shared by all live guesses
+// (Lemma 2.1's accounting, the same sharing the set-system algorithm gets
+// from engine.Run), each guess its own observer over disjoint state. A pass
+// that cannot be fully drained — a reader error, or a stream that silently
+// ends short of NumShapes — aborts the solve with an error wrapping
+// engine.ErrPassFailed.
+func AlgGeomSC(repo ShapeStream, opts GeomOptions) (GeomResult, error) {
 	n := repo.NumPoints()
 	if opts.Delta == 0 {
 		opts.Delta = 0.25
@@ -106,6 +148,8 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 	pts := repo.Points()
 
 	runs := makeGeomRuns(n, opts, tracker)
+	eng := engine.New(opts.Engine)
+	src := shapeSource{repo: repo}
 	iterations := int(math.Ceil(1 / opts.Delta))
 
 	for iter := 0; iter < iterations; iter++ {
@@ -114,24 +158,10 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 		}
 
 		// Pass 1: heavy shapes — |r∩L| >= n/k enters sol immediately.
-		it := repo.Begin()
-		for {
-			_, id, ok := it.Next()
-			if !ok {
-				break
-			}
-			all := repo.Contained(id)
-			for _, g := range runs {
-				if g.done {
-					continue
-				}
-				cnt := g.left.IntersectionWithSlice(all)
-				if cnt > 0 && float64(cnt) >= float64(n)/float64(g.k) {
-					g.sol = append(g.sol, id)
-					tracker.Grow(1)
-					g.left.SubtractSlice(all)
-				}
-			}
+		if err := engine.RunOver(eng, src, liveGeomObservers(runs, func(g *geomRun) engine.ObserverOf[StreamShape] {
+			return &heavyShapeObserver{g: g, n: n, tracker: tracker}
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
 		}
 		for _, g := range runs {
 			if !g.done && g.left.Empty() {
@@ -143,17 +173,7 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 		}
 
 		// Sample per guess, then pass 2: canonical representation of (S, F).
-		type iterState struct {
-			s      *bitset.Bitset
-			sLen   int
-			w      float64
-			store  *CanonicalStore
-			tree   *XSplitTree
-			words  int64
-			solS   []Piece
-			picked map[int]bool
-		}
-		states := make(map[*geomRun]*iterState)
+		states := make(map[*geomRun]*geomIterState)
 		for _, g := range runs {
 			if g.done {
 				continue
@@ -163,7 +183,7 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 			if size < 1 {
 				size = 1
 			}
-			st := &iterState{store: NewCanonicalStore()}
+			st := &geomIterState{store: NewCanonicalStore()}
 			st.s = sample.UniformFromBitset(rng, g.left, size)
 			st.sLen = st.s.Count()
 			st.w = opts.HeavyW * float64(st.sLen) / float64(g.k)
@@ -180,37 +200,17 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 			states[g] = st
 		}
 
-		it = repo.Begin()
-		for {
-			_, id, ok := it.Next()
-			if !ok {
-				break
-			}
-			all := repo.Contained(id)
-			for _, g := range runs {
-				if g.done {
-					continue
-				}
-				st := states[g]
-				proj := projectSorted(all, st.s)
-				if len(proj) == 0 || float64(len(proj)) > st.w {
-					continue // empty or too heavy for the canonical family
-				}
-				res.RawProjectionsSeen++
-				before := st.store.Words()
-				CanonicalPieces(st.store, st.tree, repo.Instance().Shapes[id], proj, pts)
-				grown := st.store.Words() - before
-				if grown > 0 {
-					st.words += grown
-					tracker.Grow(grown)
-				}
-			}
+		if err := engine.RunOver(eng, src, liveGeomObservers(runs, func(g *geomRun) engine.ObserverOf[StreamShape] {
+			return &canonicalObserver{st: states[g], pts: pts, tracker: tracker}
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
 		}
 		for _, g := range runs {
 			if g.done {
 				continue
 			}
 			st := states[g]
+			res.RawProjectionsSeen += st.rawSeen
 			if st.store.Count() > res.CanonicalPiecesPeak {
 				res.CanonicalPiecesPeak = st.store.Count()
 			}
@@ -234,42 +234,10 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 		}
 
 		// Pass 3: replace chosen pieces by stream shapes covering them.
-		it = repo.Begin()
-		for {
-			_, id, ok := it.Next()
-			if !ok {
-				break
-			}
-			all := repo.Contained(id)
-			for _, g := range runs {
-				if g.done {
-					continue
-				}
-				st := states[g]
-				if len(st.solS) == 0 {
-					continue
-				}
-				proj := projectSorted(all, st.s)
-				if len(proj) == 0 {
-					continue
-				}
-				matched := false
-				rest := st.solS[:0]
-				for _, piece := range st.solS {
-					if SubsetOfSorted(piece.Elems, proj) {
-						matched = true
-					} else {
-						rest = append(rest, piece)
-					}
-				}
-				st.solS = rest
-				if matched && !st.picked[id] {
-					st.picked[id] = true
-					g.sol = append(g.sol, id)
-					tracker.Grow(1)
-					g.left.SubtractSlice(all)
-				}
-			}
+		if err := engine.RunOver(eng, src, liveGeomObservers(runs, func(g *geomRun) engine.ObserverOf[StreamShape] {
+			return &replacePieceObserver{g: g, st: states[g], tracker: tracker}
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
 		}
 
 		for _, g := range runs {
@@ -287,26 +255,10 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 	// Final pass: one arbitrary shape per leftover point (≤ k of them when
 	// the guess is right).
 	if !geomAllDone(runs) {
-		it := repo.Begin()
-		for {
-			_, id, ok := it.Next()
-			if !ok {
-				break
-			}
-			all := repo.Contained(id)
-			for _, g := range runs {
-				if g.done {
-					continue
-				}
-				if g.left.IntersectionWithSlice(all) > 0 {
-					g.sol = append(g.sol, id)
-					tracker.Grow(1)
-					g.left.SubtractSlice(all)
-					if g.left.Empty() {
-						g.done = true
-					}
-				}
-			}
+		if err := engine.RunOver(eng, src, liveGeomObservers(runs, func(g *geomRun) engine.ObserverOf[StreamShape] {
+			return &patchShapeObserver{g: g, tracker: tracker}
+		})...); err != nil {
+			return res.failPass(repo, tracker, err)
 		}
 	}
 
@@ -325,6 +277,130 @@ func AlgGeomSC(repo *ShapeRepo, opts GeomOptions) (GeomResult, error) {
 	res.Valid = true
 	res.BestK = runs[best].k
 	return res, nil
+}
+
+// liveGeomObservers wraps every guess that is still running as an engine
+// observer, in run order (the engine's per-observer delivery keeps each
+// guess's view sequential; disjoint per-guess state keeps results identical
+// at every worker count). done only flips between passes — except in the
+// final patch pass, whose observer re-checks it as it flips mid-pass.
+func liveGeomObservers(runs []*geomRun, mk func(*geomRun) engine.ObserverOf[StreamShape]) []engine.ObserverOf[StreamShape] {
+	obs := make([]engine.ObserverOf[StreamShape], 0, len(runs))
+	for _, g := range runs {
+		if !g.done {
+			obs = append(obs, mk(g))
+		}
+	}
+	return obs
+}
+
+// heavyShapeObserver runs pass 1 of an iteration for one guess: any shape
+// covering at least n/k of the guess's leftover points is taken immediately.
+type heavyShapeObserver struct {
+	g       *geomRun
+	n       int
+	tracker *stream.Tracker
+}
+
+func (o *heavyShapeObserver) Observe(batch []StreamShape) {
+	g := o.g
+	for _, sh := range batch {
+		cnt := g.left.IntersectionWithSlice(sh.Contained)
+		if cnt > 0 && float64(cnt) >= float64(o.n)/float64(g.k) {
+			g.sol = append(g.sol, sh.ID)
+			o.tracker.Grow(1)
+			g.left.SubtractSlice(sh.Contained)
+		}
+	}
+}
+
+// canonicalObserver runs pass 2 for one guess: every w-shallow shape with a
+// non-empty sample projection contributes its canonical pieces (Lemma 4.2)
+// to the guess's store.
+type canonicalObserver struct {
+	st      *geomIterState
+	pts     []Point
+	tracker *stream.Tracker
+}
+
+func (o *canonicalObserver) Observe(batch []StreamShape) {
+	st := o.st
+	for _, sh := range batch {
+		proj := projectSorted(sh.Contained, st.s)
+		if len(proj) == 0 || float64(len(proj)) > st.w {
+			continue // empty or too heavy for the canonical family
+		}
+		st.rawSeen++
+		before := st.store.Words()
+		CanonicalPieces(st.store, st.tree, sh.Shape, proj, o.pts)
+		grown := st.store.Words() - before
+		if grown > 0 {
+			st.words += grown
+			o.tracker.Grow(grown)
+		}
+	}
+}
+
+// replacePieceObserver runs pass 3 for one guess: each chosen canonical
+// piece is replaced by the first streamed shape whose sample projection
+// contains it.
+type replacePieceObserver struct {
+	g       *geomRun
+	st      *geomIterState
+	tracker *stream.Tracker
+}
+
+func (o *replacePieceObserver) Observe(batch []StreamShape) {
+	g, st := o.g, o.st
+	for _, sh := range batch {
+		if len(st.solS) == 0 {
+			return
+		}
+		proj := projectSorted(sh.Contained, st.s)
+		if len(proj) == 0 {
+			continue
+		}
+		matched := false
+		rest := st.solS[:0]
+		for _, piece := range st.solS {
+			if SubsetOfSorted(piece.Elems, proj) {
+				matched = true
+			} else {
+				rest = append(rest, piece)
+			}
+		}
+		st.solS = rest
+		if matched && !st.picked[sh.ID] {
+			st.picked[sh.ID] = true
+			g.sol = append(g.sol, sh.ID)
+			o.tracker.Grow(1)
+			g.left.SubtractSlice(sh.Contained)
+		}
+	}
+}
+
+// patchShapeObserver runs the final pass for one guess: cover each remaining
+// point with an arbitrary shape containing it.
+type patchShapeObserver struct {
+	g       *geomRun
+	tracker *stream.Tracker
+}
+
+func (o *patchShapeObserver) Observe(batch []StreamShape) {
+	g := o.g
+	for _, sh := range batch {
+		if g.done {
+			return
+		}
+		if g.left.IntersectionWithSlice(sh.Contained) > 0 {
+			g.sol = append(g.sol, sh.ID)
+			o.tracker.Grow(1)
+			g.left.SubtractSlice(sh.Contained)
+			if g.left.Empty() {
+				g.done = true
+			}
+		}
+	}
 }
 
 func makeGeomRuns(n int, opts GeomOptions, tracker *stream.Tracker) []*geomRun {

@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// Golden outputs of the pre-engine (seed-state) direct-scan AlgGeomSC,
+// captured before the migration onto engine.RunOver. The migration must be
+// invisible: byte-identical covers, exact pass budgets, exact space charges,
+// and identical diagnostics — at every worker count, segmented knob set or
+// not (the shape source has no segmented path; the option must be inert).
+var (
+	// PlantedDisks(400, 1600, 16, seed 4), Delta 0.25, Seed 1.
+	goldenDisksCover = []int{4, 5, 8, 17, 27, 49, 92, 118, 161, 459,
+		16, 58, 82, 139, 194, 252, 368, 544, 614,
+		11, 20, 21, 391, 891, 1212, 1457,
+		26, 69, 81, 95, 129, 146, 193, 329, 1, 61, 64, 197}
+	goldenDisksPasses     = 13
+	goldenDisksSpace      = int64(2301)
+	goldenDisksBestK      = 8
+	goldenDisksPiecesPeak = 197
+	goldenDisksRawSeen    = 8040
+
+	// Figure12(64) — the adversarial stream — Delta 0.25, Seed 6.
+	goldenFig12CoverLen   = 32
+	goldenFig12Passes     = 13
+	goldenFig12Space      = int64(541)
+	goldenFig12BestK      = 32
+	goldenFig12PiecesPeak = 38
+	goldenFig12RawSeen    = 5235
+)
+
+func geomEngineSweep() []engine.Options {
+	var out []engine.Options
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for _, ds := range []bool{false, true} {
+			out = append(out, engine.Options{Workers: w, DisableSegmented: ds})
+		}
+	}
+	return out
+}
+
+// AlgGeomSC on the planted-disks instance must reproduce the golden
+// seed-state result exactly at every engine setting: the parallel guesses
+// own disjoint state, so observer fan-out is invisible in covers, passes,
+// space, and the canonical-representation diagnostics.
+func TestAlgGeomSCEngineConformance(t *testing.T) {
+	in, _, err := PlantedDisks(400, 1600, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engOpts := range geomEngineSweep() {
+		label := fmt.Sprintf("workers=%d/noseg=%v", engOpts.Workers, engOpts.DisableSegmented)
+		repo := NewShapeRepo(in)
+		repo.Precompute()
+		res, err := AlgGeomSC(repo, GeomOptions{Delta: 0.25, Seed: 1, Engine: engOpts})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Passes != goldenDisksPasses {
+			t.Errorf("%s: passes = %d, want exactly %d", label, res.Passes, goldenDisksPasses)
+		}
+		if res.SpaceWords != goldenDisksSpace {
+			t.Errorf("%s: space = %d, want %d", label, res.SpaceWords, goldenDisksSpace)
+		}
+		if res.BestK != goldenDisksBestK {
+			t.Errorf("%s: bestK = %d, want %d", label, res.BestK, goldenDisksBestK)
+		}
+		if res.CanonicalPiecesPeak != goldenDisksPiecesPeak {
+			t.Errorf("%s: piecesPeak = %d, want %d", label, res.CanonicalPiecesPeak, goldenDisksPiecesPeak)
+		}
+		if res.RawProjectionsSeen != goldenDisksRawSeen {
+			t.Errorf("%s: rawSeen = %d, want %d", label, res.RawProjectionsSeen, goldenDisksRawSeen)
+		}
+		if len(res.Cover) != len(goldenDisksCover) {
+			t.Fatalf("%s: cover size %d, want %d", label, len(res.Cover), len(goldenDisksCover))
+		}
+		for i, id := range goldenDisksCover {
+			if res.Cover[i] != id {
+				t.Fatalf("%s: cover[%d] = %d, want %d", label, i, res.Cover[i], id)
+			}
+		}
+	}
+}
+
+// Same invariance on the adversarial Figure 1.2 stream, whose canonical
+// store takes the pass-2 hot path hard (every rectangle is sample-shallow).
+func TestAlgGeomSCFigure12EngineConformance(t *testing.T) {
+	in, err := Figure12(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engOpts := range geomEngineSweep() {
+		label := fmt.Sprintf("workers=%d/noseg=%v", engOpts.Workers, engOpts.DisableSegmented)
+		repo := NewShapeRepo(in)
+		repo.Precompute()
+		res, err := AlgGeomSC(repo, GeomOptions{Delta: 0.25, Seed: 6, Engine: engOpts})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !in.IsCover(res.Cover) {
+			t.Fatalf("%s: cover invalid", label)
+		}
+		if len(res.Cover) != goldenFig12CoverLen || res.Passes != goldenFig12Passes ||
+			res.SpaceWords != goldenFig12Space || res.BestK != goldenFig12BestK ||
+			res.CanonicalPiecesPeak != goldenFig12PiecesPeak || res.RawProjectionsSeen != goldenFig12RawSeen {
+			t.Fatalf("%s: (cover=%d passes=%d space=%d bestK=%d pieces=%d raw=%d), want (%d %d %d %d %d %d)",
+				label, len(res.Cover), res.Passes, res.SpaceWords, res.BestK,
+				res.CanonicalPiecesPeak, res.RawProjectionsSeen,
+				goldenFig12CoverLen, goldenFig12Passes, goldenFig12Space, goldenFig12BestK,
+				goldenFig12PiecesPeak, goldenFig12RawSeen)
+		}
+	}
+}

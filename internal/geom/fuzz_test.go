@@ -1,0 +1,78 @@
+package geom
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// FuzzAlgGeomSCStreamFailure fuzzes the shape-stream error surface: a
+// failure injected at an arbitrary (pass, offset) — loud (reader reports
+// through Err) or silent (the stream just ends short) — must either leave
+// the solve untouched (the injector never fired because the failing pass
+// was past the end, or the offset was past m) or abort it with an error
+// wrapping engine.ErrPassFailed. Under no input may AlgGeomSC return a
+// cover from a partial shape stream, and a fired silent truncation must be
+// indistinguishable, at the API, from a loud one. This is the geometric
+// analogue of internal/scdisk's flaky-ReaderAt fuzzing, run as a 15 s CI
+// smoke stage like the SCIX/SCB1 parsers.
+func FuzzAlgGeomSCStreamFailure(f *testing.F) {
+	f.Add(uint8(1), uint16(0), false)
+	f.Add(uint8(1), uint16(37), true)
+	f.Add(uint8(3), uint16(119), false)
+	f.Add(uint8(13), uint16(59), true)
+	f.Add(uint8(200), uint16(400), false) // never fires: clean solve
+
+	in, _, err := PlantedDisks(80, 160, 4, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The clean reference: deterministic given the seed, so every non-fired
+	// fuzz case must reproduce it exactly.
+	cleanRepo := NewShapeRepo(in)
+	cleanRepo.Precompute()
+	clean, err := AlgGeomSC(cleanRepo, GeomOptions{Delta: 0.25, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, failOnPass uint8, failAfter uint16, silent bool) {
+		repo := NewShapeRepo(in)
+		repo.Precompute()
+		flaky := &flakyShapeRepo{
+			ShapeStream: repo,
+			failOnPass:  int(failOnPass),
+			failAfter:   int(failAfter),
+			silent:      silent,
+		}
+		res, err := AlgGeomSC(flaky, GeomOptions{Delta: 0.25, Seed: 3,
+			Engine: engine.Options{Workers: 1 + int(failAfter)%3}})
+		if flaky.fired {
+			if !errors.Is(err, engine.ErrPassFailed) {
+				t.Fatalf("failOnPass=%d failAfter=%d silent=%v: err = %v, want ErrPassFailed",
+					failOnPass, failAfter, silent, err)
+			}
+			if res.Valid || len(res.Cover) != 0 {
+				t.Fatalf("failOnPass=%d failAfter=%d silent=%v: failed run reported a cover (size %d)",
+					failOnPass, failAfter, silent, len(res.Cover))
+			}
+			return
+		}
+		// Injector never fired: the run must be byte-identical to the clean
+		// reference.
+		if err != nil {
+			t.Fatalf("failOnPass=%d failAfter=%d silent=%v: unfired injector changed the run: %v",
+				failOnPass, failAfter, silent, err)
+		}
+		if len(res.Cover) != len(clean.Cover) || res.Passes != clean.Passes || res.SpaceWords != clean.SpaceWords {
+			t.Fatalf("unfired injector diverged: (cover=%d passes=%d space=%d), want (%d %d %d)",
+				len(res.Cover), res.Passes, res.SpaceWords, len(clean.Cover), clean.Passes, clean.SpaceWords)
+		}
+		for i := range clean.Cover {
+			if res.Cover[i] != clean.Cover[i] {
+				t.Fatalf("unfired injector diverged at cover[%d]", i)
+			}
+		}
+	})
+}

@@ -53,13 +53,38 @@ func (in *Instance) IsCover(ids []int) bool {
 	return true
 }
 
-// ShapeReader yields the shapes of one pass with their stream IDs.
+// ShapeReader yields the shapes of one pass with their stream IDs. A reader
+// whose pass can fail mid-stream (truncated or corrupt geometric storage)
+// additionally implements stream.ErrorReader (Err() error); the pass engine
+// probes it after draining, exactly as it does for set readers, and turns a
+// non-nil result into a failed pass.
 type ShapeReader interface {
 	Next() (s Shape, id int, ok bool)
 }
 
+// ShapeStream is the capability AlgGeomSC needs from a shape repository: a
+// pass-counted stream of shapes plus the model's in-memory point set. It is
+// an interface (rather than the concrete ShapeRepo) so tests can wrap the
+// stream with failure injectors — a flaky or truncating ShapeReader must
+// fail the solve loudly, never yield a cover of a partial stream.
+type ShapeStream interface {
+	// NumPoints returns n (the points are stored in memory per the model).
+	NumPoints() int
+	// NumShapes returns m, the exact length of one full pass.
+	NumShapes() int
+	// Points exposes the in-memory point set.
+	Points() []Point
+	// Contained returns the sorted global indices of the points contained
+	// in shape id.
+	Contained(id int) []int32
+	// Begin starts (and counts) a new pass over the shapes.
+	Begin() ShapeReader
+	// Passes returns the number of passes started so far.
+	Passes() int
+}
+
 // ShapeRepo is a pass-counted, read-only stream of shapes, the geometric
-// analogue of stream.Repository.
+// analogue of stream.Repository and the standard ShapeStream implementation.
 type ShapeRepo struct {
 	inst   *Instance
 	passes atomic.Int64

@@ -15,6 +15,14 @@
 //     it picked; with k ≥ OPT a constant fraction of the leftovers is
 //     covered per round, so O(log n) rounds = O(log n) passes suffice for an
 //     O(log n)-approximation in Õ(n) space.
+//
+// Every pass here runs on the shared pass engine (internal/engine), like
+// every other streaming algorithm in the repository: one engine.Run = one
+// counted pass shared by all parallel guesses, each guess its own observer
+// over disjoint state — so the guesses fan out across workers, segmentable
+// repositories get data-parallel decode, and a pass that cannot be fully
+// drained fails the solve with an error wrapping engine.ErrPassFailed
+// instead of reporting a selection computed from a prefix of F.
 package maxcover
 
 import (
@@ -26,6 +34,17 @@ import (
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
+
+// engineFor resolves the pass executor for one solve: the caller's per-call
+// options when given (at most one, validated by engine.PerCall), engine
+// defaults otherwise — deliberately NOT the deprecated baseline.SetEngine
+// process default, which is documented as steering baselines only (maxcover
+// never ran on it). Per-call engines are constructed fresh, so concurrent
+// solves with different configurations never share mutable executor state.
+func engineFor(engOpts []engine.Options) *engine.Engine {
+	opts, _ := engine.PerCall("maxcover", engOpts)
+	return engine.New(opts)
+}
 
 // Result reports a Max k-Cover solution.
 type Result struct {
@@ -64,17 +83,50 @@ func Greedy(in *setcover.Instance, k int) (Result, error) {
 	return res, nil
 }
 
+// coverageGuess is one parallel guess v of the optimum coverage: its own
+// residual bitset and selection, disjoint from every other guess — which is
+// what lets the engine run the guesses as independent observers.
+type coverageGuess struct {
+	v         float64
+	k         int
+	uncovered *bitset.Bitset
+	sets      []int
+	covered   int
+	tracker   *stream.Tracker
+}
+
+// Observe implements engine.Observer: the one-pass thresholding rule for
+// this guess.
+func (g *coverageGuess) Observe(batch []setcover.Set) {
+	for _, s := range batch {
+		if len(g.sets) >= g.k {
+			return
+		}
+		gain := g.uncovered.IntersectionWithSlice(s.Elems)
+		if float64(gain) >= g.v/(2*float64(g.k)) {
+			g.sets = append(g.sets, s.ID)
+			g.tracker.Grow(1)
+			g.covered += g.uncovered.SubtractSlice(s.Elems)
+		}
+	}
+}
+
 // Streaming solves Max k-Cover in one pass: for each guess v of the optimal
 // coverage (powers of two up to n), accept an arriving set while fewer than
 // k are held and its marginal gain is at least v/(2k). All guesses share the
-// single physical pass; the best guess's selection is returned.
+// single physical pass (one engine.Run, each guess an observer); the best
+// guess's selection is returned.
+//
+// engOpts (at most one) configures the pass executor for this call; results
+// are identical at every setting.
 //
 // Guarantee: for the guess with OPT/2 < v <= OPT, either k sets are taken
 // (each adding >= v/2k, so coverage >= v/2 >= OPT/4) or every unpicked set
 // had marginal gain < v/2k against the final selection, so OPT's k sets add
 // less than v/2 beyond it — coverage >= OPT - v/2 >= OPT/2. Either way the
 // result is a 1/4-approximation (the standard threshold analysis).
-func Streaming(repo stream.Repository, k int) (Result, error) {
+func Streaming(repo stream.Repository, k int, engOpts ...engine.Options) (Result, error) {
+	eng := engineFor(engOpts)
 	if k < 0 {
 		return Result{}, fmt.Errorf("maxcover: negative budget %d", k)
 	}
@@ -84,44 +136,22 @@ func Streaming(repo stream.Repository, k int) (Result, error) {
 		return Result{Passes: repo.Passes(), SpaceWords: tracker.Peak()}, nil
 	}
 
-	type guess struct {
-		v         float64
-		uncovered *bitset.Bitset
-		sets      []int
-		covered   int
-	}
-	var guesses []*guess
+	var guesses []*coverageGuess
+	obs := make([]engine.Observer, 0)
 	for v := float64(1); v <= float64(2*n); v *= 2 {
-		g := &guess{v: v, uncovered: bitset.New(n)}
+		g := &coverageGuess{v: v, k: k, uncovered: bitset.New(n), tracker: tracker}
 		g.uncovered.Fill()
 		tracker.Grow(stream.WordsForBitset(n))
 		guesses = append(guesses, g)
+		obs = append(obs, g)
 	}
 
-	it := repo.Begin()
-	for {
-		s, ok := it.Next()
-		if !ok {
-			break
-		}
-		for _, g := range guesses {
-			if len(g.sets) >= k {
-				continue
-			}
-			gain := g.uncovered.IntersectionWithSlice(s.Elems)
-			if float64(gain) >= g.v/(2*float64(k)) {
-				g.sets = append(g.sets, s.ID)
-				tracker.Grow(1)
-				g.covered += g.uncovered.SubtractSlice(s.Elems)
-			}
-		}
-	}
-	// A reader that failed mid-stream delivered only a prefix of F: the
-	// selection is meaningless, fail loudly (maxcover scans directly rather
-	// than through the engine, so it checks the reader itself).
-	if err := stream.ReaderErr(it); err != nil {
+	// One physical pass feeds every guess; a pass that fails mid-stream
+	// (truncated or corrupt repository) delivered only a prefix of F, so the
+	// selection is meaningless and the failure propagates.
+	if err := eng.Run(repo, obs...); err != nil {
 		return Result{Passes: repo.Passes(), SpaceWords: tracker.Peak()},
-			fmt.Errorf("maxcover: %w: %w", engine.ErrPassFailed, err)
+			fmt.Errorf("maxcover: %w", err)
 	}
 
 	best := guesses[0]
@@ -138,13 +168,54 @@ func Streaming(repo stream.Repository, k int) (Result, error) {
 	}, nil
 }
 
+// sgRun is one parallel guess k of the [SG09] loop.
+type sgRun struct {
+	k         int
+	uncovered *bitset.Bitset
+	sol       []int
+	done      bool // covered everything
+	failed    bool // stuck: some element is in no set
+}
+
+// sgRoundObserver executes one round's thresholding for one live guess: the
+// streaming max-cover rule against the guess's residual, with v guessed as
+// the residual size.
+type sgRoundObserver struct {
+	r       *sgRun
+	sets    []int
+	counts  *bitset.Bitset
+	taken   int
+	thresh  float64
+	tracker *stream.Tracker
+}
+
+// Observe implements engine.Observer.
+func (rs *sgRoundObserver) Observe(batch []setcover.Set) {
+	for _, s := range batch {
+		if rs.taken >= rs.r.k {
+			return
+		}
+		if g := rs.counts.IntersectionWithSlice(s.Elems); float64(g) >= rs.thresh {
+			rs.sets = append(rs.sets, s.ID)
+			rs.tracker.Grow(1)
+			rs.counts.SubtractSlice(s.Elems)
+			rs.taken++
+		}
+	}
+}
+
 // SahaGetoorSetCover solves SetCover by repeated one-pass Max k-Cover, the
 // [SG09] strategy: guess k = OPT (all powers of two in parallel, sharing
 // passes), and in each round keep everything the max-cover pass picked and
 // drop the covered elements. With k >= OPT each round covers a constant
 // fraction of the residual, so rounds (= passes) stay O(log n) and the
 // output is an O(log n)-approximation in Õ(n) space.
-func SahaGetoorSetCover(repo stream.Repository) (setcover.Stats, error) {
+//
+// engOpts (at most one) configures the pass executor for this call — the
+// per-call form concurrent solves must use (internal/serve threads its
+// per-solve options here); results are identical at every setting.
+func SahaGetoorSetCover(repo stream.Repository, engOpts ...engine.Options) (setcover.Stats, error) {
+	eng := engineFor(engOpts)
 	st := setcover.Stats{Algorithm: "saha-getoor[SG09]"}
 	n := repo.UniverseSize()
 	tracker := stream.NewTracker()
@@ -154,20 +225,13 @@ func SahaGetoorSetCover(repo stream.Repository) (setcover.Stats, error) {
 	}
 	maxRounds := 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
 
-	type run struct {
-		k         int
-		uncovered *bitset.Bitset
-		sol       []int
-		done      bool // covered everything
-		failed    bool // stuck: some element is in no set
-	}
-	var runs []*run
+	var runs []*sgRun
 	kMax := 1 << uint(math.Ceil(math.Log2(float64(n))))
 	if kMax < 1 {
 		kMax = 1
 	}
 	for k := 1; k <= kMax; k *= 2 {
-		r := &run{k: k, uncovered: bitset.New(n)}
+		r := &sgRun{k: k, uncovered: bitset.New(n)}
 		r.uncovered.Fill()
 		tracker.Grow(stream.WordsForBitset(n))
 		runs = append(runs, r)
@@ -184,55 +248,28 @@ func SahaGetoorSetCover(repo stream.Repository) (setcover.Stats, error) {
 			break
 		}
 
-		// One shared pass: each run executes the streaming max-cover
-		// thresholding against its own residual, with v guessed as the
-		// residual size (the best coverable amount is at most that).
-		type roundState struct {
-			sets   []int
-			counts *bitset.Bitset
-			taken  int
-			thresh float64
-			before int
-		}
-		states := make(map[*run]*roundState)
+		// One shared pass: each live run is an observer executing the
+		// streaming max-cover thresholding against its own residual.
+		states := make(map[*sgRun]*sgRoundObserver)
+		obs := make([]engine.Observer, 0, len(runs))
 		for _, r := range runs {
 			if r.done || r.failed {
 				continue
 			}
-			rs := &roundState{counts: r.uncovered.Clone(), before: r.uncovered.Count()}
-			rs.thresh = float64(rs.before) / (2 * float64(r.k))
+			rs := &sgRoundObserver{r: r, counts: r.uncovered.Clone(), tracker: tracker}
+			before := rs.counts.Count()
+			rs.thresh = float64(before) / (2 * float64(r.k))
 			if rs.thresh < 1 {
 				rs.thresh = 1
 			}
 			tracker.Grow(stream.WordsForBitset(n))
 			states[r] = rs
+			obs = append(obs, rs)
 		}
-		it := repo.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			for _, r := range runs {
-				if r.done || r.failed {
-					continue
-				}
-				rs := states[r]
-				if rs.taken >= r.k {
-					continue
-				}
-				if g := rs.counts.IntersectionWithSlice(s.Elems); float64(g) >= rs.thresh {
-					rs.sets = append(rs.sets, s.ID)
-					tracker.Grow(1)
-					rs.counts.SubtractSlice(s.Elems)
-					rs.taken++
-				}
-			}
-		}
-		if err := stream.ReaderErr(it); err != nil {
+		if err := eng.Run(repo, obs...); err != nil {
 			st.Passes = repo.Passes()
 			st.SpaceWords = tracker.Peak()
-			return st, fmt.Errorf("maxcover: %w: %w", engine.ErrPassFailed, err)
+			return st, fmt.Errorf("maxcover: %w", err)
 		}
 		for _, r := range runs {
 			if r.done || r.failed {

@@ -341,7 +341,9 @@ func TestTruncatedInstanceReturnsStructured5xx(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	for _, algo := range []string{"iter", "greedy1", "er14"} {
+	// sg09 exercises the engine-migrated maxcover failure path: its rounds
+	// now fail through engine.Run like every other algorithm's passes.
+	for _, algo := range []string{"iter", "greedy1", "er14", "sg09"} {
 		code, _, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "trunc", "algo": algo})
 		if code != 502 || apiErr == nil || apiErr.Code != CodePassFailed {
 			t.Fatalf("%s: want 502 pass_failed, got status %d err %+v", algo, code, apiErr)
@@ -379,8 +381,8 @@ func TestTruncatedInstanceReturnsStructured5xx(t *testing.T) {
 		t.Fatalf("retained failed job: %+v", jv)
 	}
 	m := getMetrics(t, ts.URL)
-	if m["setcoverd_solve_failures_total"] != 4 {
-		t.Fatalf("solve_failures_total=%d, want 4", m["setcoverd_solve_failures_total"])
+	if m["setcoverd_solve_failures_total"] != 5 {
+		t.Fatalf("solve_failures_total=%d, want 5", m["setcoverd_solve_failures_total"])
 	}
 }
 

@@ -181,7 +181,7 @@ func dispatch(repo stream.Repository, req *SolveRequest, engOpts engine.Options)
 		st, err := baseline.ThresholdGreedyPartial(repo, req.Eps, engOpts)
 		return st, 0, err
 	case "sg09":
-		st, err := maxcover.SahaGetoorSetCover(repo)
+		st, err := maxcover.SahaGetoorSetCover(repo, engOpts)
 		return st, 0, err
 	case "er14":
 		st, err := baseline.EmekRosenPartial(repo, req.Eps, engOpts)

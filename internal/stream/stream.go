@@ -74,6 +74,34 @@ type SegmentSource interface {
 	Segment(start, end int) Reader
 }
 
+// DecodeCost classifies how much CPU work a SegmentSource spends producing
+// one set — the signal the pass engine uses to decide whether chunked
+// parallel decode can win anything.
+type DecodeCost int
+
+const (
+	// DecodeCostHeavy is real per-set CPU work (varint decode of a disk
+	// page, running a generator function): parallel chunk decode pays for
+	// its fan-out. The zero value — an absent signal means heavy, so
+	// sources that do not implement DecodeCoster keep the segmented path.
+	DecodeCostHeavy DecodeCost = iota
+	// DecodeCostTrivial is a header memcpy or cheaper (SliceRepo hands out
+	// pre-built sets): there is nothing to parallelize, and the engine
+	// drives the pass as one sequential segment instead of paying the
+	// chunk fan-out and reorder overhead for no decode win.
+	DecodeCostTrivial
+)
+
+// DecodeCoster is the optional decode-cost signal a SegmentSource may
+// implement. The pass engine probes it after BeginSegmented (the pass is
+// already counted either way): a trivial source is read as the single
+// segment [0, m) on one goroutine, a heavy (or silent) source is decoded as
+// parallel chunks. Results are identical in both modes — this is purely a
+// wall-clock signal.
+type DecodeCoster interface {
+	DecodeCost() DecodeCost
+}
+
 // SegmentedRepository is an optional capability a Repository may implement
 // when its passes can be split into independently decodable set ranges:
 // BeginSegmented starts ONE counted pass (exactly like Begin) whose stream
@@ -159,6 +187,11 @@ type sliceSegSource struct{ sets []setcover.Set }
 func (s sliceSegSource) Segment(start, end int) Reader {
 	return &sliceReader{sets: s.sets[:end], pos: start}
 }
+
+// DecodeCost implements DecodeCoster: handing out an in-memory set is a
+// header copy, so parallel chunk decode has nothing to win and the engine
+// reads the pass as one sequential segment at any worker count.
+func (s sliceSegSource) DecodeCost() DecodeCost { return DecodeCostTrivial }
 
 type sliceReader struct {
 	sets []setcover.Set
