@@ -132,7 +132,20 @@ func NewSequentialFuncRepository(n, m int, gen func(id int) Set) *FuncRepo {
 // Close it when done. A truncated or corrupt file fails loudly: the solve
 // entry points and VerifyCover return the decode error of the pass that hit
 // it (DiskRepo.Err is only a sticky first-failure diagnostic).
-func OpenFile(path string) (*DiskRepo, error) { return scdisk.Open(path) }
+func OpenFile(path string, opts ...OpenOption) (*DiskRepo, error) {
+	return scdisk.Open(path, opts...)
+}
+
+// OpenOption configures OpenFile.
+type OpenOption = scdisk.OpenOption
+
+// ReadOnlyMmap asks OpenFile to memory-map the instance read-only and decode
+// sets straight from the mapping, dropping the positional-read syscalls and
+// buffer copies from every pass. Purely a wall-clock knob: streams, covers,
+// and space accounting are identical to the default backend. On platforms
+// without mmap support (or if mapping fails) OpenFile silently falls back to
+// positional reads; DiskRepo.Mapped reports which backend is live.
+func ReadOnlyMmap() OpenOption { return scdisk.ReadOnlyMmap() }
 
 // InstanceWriter streams an instance to the indexed SCB1 format set by set
 // (NewInstanceWriter, then exactly m WriteSet calls, then Close), so

@@ -61,6 +61,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "pass-engine worker goroutines: observer fan-out and, at >1 on indexed files, segmented parallel decode (0 = GOMAXPROCS)")
 		batch      = fs.Int("batch", 0, "pass-engine batch size (0 = default)")
 		noSeg      = fs.Bool("no-segmented", false, "force the single-reader decode path even at -workers > 1 (results identical; separates decode parallelism from observer fan-out when debugging)")
+		mmap       = fs.Bool("mmap", false, "with -format disk, memory-map the file and decode from the mapping (results identical; falls back to positional reads where unsupported)")
 		reduce     = fs.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving (text/binary only)")
 		printCover = fs.Bool("print-cover", false, "print the chosen set IDs")
 	)
@@ -95,7 +96,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *reduce {
 			return fatal(fmt.Errorf("-reduce needs the whole family in memory; use -format binary"))
 		}
-		d, err := ssc.OpenFile(*inPath)
+		var openOpts []ssc.OpenOption
+		if *mmap {
+			openOpts = append(openOpts, ssc.ReadOnlyMmap())
+		}
+		d, err := ssc.OpenFile(*inPath, openOpts...)
 		if err != nil {
 			return fatal(err)
 		}

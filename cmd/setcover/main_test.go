@@ -64,6 +64,24 @@ func TestDiskMatchesBinaryInMemory(t *testing.T) {
 	}
 }
 
+// -mmap is purely a backend switch: the solve output must be byte-identical
+// to the positional-read run of the same file and seed.
+func TestDiskMmapMatchesReadAt(t *testing.T) {
+	path, _ := genFile(t, t.TempDir())
+	var readat, mapped bytes.Buffer
+	if code := run([]string{"-algo", "iter", "-seed", "7", "-format", "disk", "-in", path, "-print-cover"},
+		strings.NewReader(""), &readat, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("readat run failed:\n%s", readat.String())
+	}
+	if code := run([]string{"-algo", "iter", "-seed", "7", "-format", "disk", "-mmap", "-in", path, "-print-cover"},
+		strings.NewReader(""), &mapped, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("mmap run failed:\n%s", mapped.String())
+	}
+	if readat.String() != mapped.String() {
+		t.Fatalf("mmap vs readat output differs:\n--- readat\n%s--- mmap\n%s", readat.String(), mapped.String())
+	}
+}
+
 // Text input over stdin still works (the seed's original main path).
 func TestSolveFromStdinText(t *testing.T) {
 	in, _, _, err := ssc.Planted(ssc.PlantedConfig{N: 100, M: 220, K: 8, Seed: 3})

@@ -136,6 +136,20 @@ func (b *Bitset) Union(other *Bitset) {
 	}
 }
 
+// UnionInPlace sets b = b ∪ other and returns how many elements were newly
+// added (|other \ b| before the merge) — the word-wise "new elements covered"
+// count the coverage-tracking hot loops need, in one sweep instead of a
+// Count-diff before and after.
+func (b *Bitset) UnionInPlace(other *Bitset) int {
+	b.sameLen(other)
+	added := 0
+	for i, w := range other.words {
+		added += bits.OnesCount64(w &^ b.words[i])
+		b.words[i] |= w
+	}
+	return added
+}
+
 // Intersect sets b = b ∩ other.
 func (b *Bitset) Intersect(other *Bitset) {
 	b.sameLen(other)
@@ -158,6 +172,17 @@ func (b *Bitset) IntersectionCount(other *Bitset) int {
 	c := 0
 	for i, w := range other.words {
 		c += bits.OnesCount64(b.words[i] & w)
+	}
+	return c
+}
+
+// AndNotCount returns |b \ other| without allocating or mutating either set:
+// the word-wise "how much of b is NOT already covered by other" primitive.
+func (b *Bitset) AndNotCount(other *Bitset) int {
+	b.sameLen(other)
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w &^ other.words[i])
 	}
 	return c
 }
@@ -249,28 +274,69 @@ func (b *Bitset) NextSet(i int) int {
 	return -1
 }
 
-// IntersectionWithSlice counts how many of the (sorted or unsorted) elements
-// in elems are members of b. It is the hot path of the streaming "size test".
+// IntersectionWithSlice counts how many of the UNIQUE elements in elems are
+// members of b. It is the hot path of the streaming "size test": runs of
+// elements falling in the same 64-bit word (which is what a sorted dense set
+// is made of) are collapsed into one mask and counted with a single popcount,
+// so a set touching w distinct words costs O(|elems| cheap mask-ors + w
+// popcounts) instead of |elems| dependent load-test-branch round trips.
+// Unsorted input stays correct (a run of one element is just the scalar
+// path); duplicated elements would be under-counted and are excluded by the
+// setcover.Set normalization contract every caller already relies on.
 func (b *Bitset) IntersectionWithSlice(elems []int32) int {
 	c := 0
-	for _, e := range elems {
-		if b.words[int(e)/wordBits]&(1<<(uint(e)%wordBits)) != 0 {
-			c++
+	for i := 0; i < len(elems); {
+		wi := int(elems[i]) / wordBits
+		mask := uint64(1) << (uint(elems[i]) % wordBits)
+		j := i + 1
+		for j < len(elems) && int(elems[j])/wordBits == wi {
+			mask |= 1 << (uint(elems[j]) % wordBits)
+			j++
 		}
+		c += bits.OnesCount64(b.words[wi] & mask)
+		i = j
 	}
 	return c
 }
 
+// IntersectsSlice reports whether any of the unique elements of elems is a
+// member of b — IntersectionWithSlice with an early exit, for callers that
+// only branch on "covers anything new at all".
+func (b *Bitset) IntersectsSlice(elems []int32) bool {
+	for i := 0; i < len(elems); {
+		wi := int(elems[i]) / wordBits
+		mask := uint64(1) << (uint(elems[i]) % wordBits)
+		j := i + 1
+		for j < len(elems) && int(elems[j])/wordBits == wi {
+			mask |= 1 << (uint(elems[j]) % wordBits)
+			j++
+		}
+		if b.words[wi]&mask != 0 {
+			return true
+		}
+		i = j
+	}
+	return false
+}
+
 // SubtractSlice removes every element of elems from b and returns how many
-// were actually removed (i.e., were present).
+// were actually removed (i.e., were present). Like IntersectionWithSlice it
+// processes same-word runs with one mask: one popcount and one store per
+// touched word. elems must be unique (sorted input is the fast case).
 func (b *Bitset) SubtractSlice(elems []int32) int {
 	removed := 0
-	for _, e := range elems {
-		wi, mask := int(e)/wordBits, uint64(1)<<(uint(e)%wordBits)
-		if b.words[wi]&mask != 0 {
-			b.words[wi] &^= mask
-			removed++
+	for i := 0; i < len(elems); {
+		wi := int(elems[i]) / wordBits
+		mask := uint64(1) << (uint(elems[i]) % wordBits)
+		j := i + 1
+		for j < len(elems) && int(elems[j])/wordBits == wi {
+			mask |= 1 << (uint(elems[j]) % wordBits)
+			j++
 		}
+		w := b.words[wi]
+		removed += bits.OnesCount64(w & mask)
+		b.words[wi] = w &^ mask
+		i = j
 	}
 	return removed
 }

@@ -173,7 +173,7 @@ type guessRun struct {
 	left       *bitset.Bitset    // L: uncovered sampled elements
 	projElems  [][]setcover.Elem // stored projections r∩L
 	projIDs    []int             // original stream IDs of stored projections
-	newPicks   map[int]bool      // sets picked this iteration (heavy + offline)
+	newPicks   *bitset.Bitset    // over the m stream IDs: sets picked this iteration (heavy + offline)
 	iterWords  int64             // space charged for this iteration's state
 }
 
@@ -351,7 +351,7 @@ type recomputeObserver struct {
 
 func (o *recomputeObserver) Observe(batch []setcover.Set) {
 	for _, s := range batch {
-		if o.g.newPicks[s.ID] {
+		if o.g.newPicks.Test(s.ID) {
 			o.g.uncovered.SubtractSlice(s.Elems)
 		}
 	}
@@ -372,7 +372,7 @@ func (o *patchObserver) Observe(batch []setcover.Set) {
 		if g.done {
 			return
 		}
-		if g.uncovered.IntersectionWithSlice(s.Elems) > 0 {
+		if g.uncovered.IntersectsSlice(s.Elems) {
 			g.sol = append(g.sol, s.ID)
 			o.tracker.Grow(1)
 			g.uncovered.SubtractSlice(s.Elems)
@@ -444,7 +444,18 @@ func (g *guessRun) beginIteration(rng *rand.Rand, n, m int, opts Options, tracke
 	g.sampleSize = g.left.Count() // clamp when uncovered < requested
 	g.projElems = g.projElems[:0]
 	g.projIDs = g.projIDs[:0]
-	g.newPicks = make(map[int]bool)
+	// newPicks is a bitset over the m stream IDs rather than a map: pass 2
+	// probes it once per streamed set, and a word-indexed bit test beats a
+	// map lookup in that loop. The space METER is unchanged — it still
+	// charges one word per picked ID (the abstract cost of remembering the
+	// pick), so SpaceWords stays byte-identical to the map representation;
+	// the bitset is a constant-factor runtime choice, reused across
+	// iterations.
+	if g.newPicks == nil || g.newPicks.Len() != m {
+		g.newPicks = bitset.New(m)
+	} else {
+		g.newPicks.Reset()
+	}
 	// Charge the leftover bitset L (the sample is represented by it).
 	g.iterWords = stream.WordsForBitset(n)
 	tracker.Grow(g.iterWords)
@@ -460,7 +471,7 @@ func (g *guessRun) observe(s setcover.Set, opts Options, tracker *stream.Tracker
 	if !opts.DisableSizeTest && float64(inL) >= threshold {
 		// Heavy: take it now, no storage needed beyond its ID.
 		g.sol = append(g.sol, s.ID)
-		g.newPicks[s.ID] = true
+		g.newPicks.Set(s.ID)
 		g.left.SubtractSlice(s.Elems)
 		w := int64(2) // one ID in sol, one in newPicks
 		g.iterWords += w
@@ -524,9 +535,9 @@ func (g *guessRun) solveOffline(opts Options, tracker *stream.Tracker) {
 	}
 	for _, sid := range cover {
 		orig := origIDs[sid]
-		if !g.newPicks[orig] {
+		if !g.newPicks.Test(orig) {
 			g.sol = append(g.sol, orig)
-			g.newPicks[orig] = true
+			g.newPicks.Set(orig)
 			w := int64(2)
 			g.iterWords += w
 			tracker.Grow(w)
@@ -541,5 +552,7 @@ func (g *guessRun) endIteration(tracker *stream.Tracker) {
 	g.left = nil
 	g.projElems = g.projElems[:0]
 	g.projIDs = g.projIDs[:0]
-	g.newPicks = nil
+	if g.newPicks != nil {
+		g.newPicks.Reset() // keep the allocation; next iteration reuses it
+	}
 }

@@ -10,9 +10,17 @@ import (
 
 // segmented.go is the data-parallel decode path of the engine: when a
 // repository implements stream.SegmentedRepository and the engine runs with
-// more than one worker, one physical pass is split into contiguous chunks of
-// chunkSize sets, decoded by `workers` goroutines, and reassembled in stream
-// order before any observer sees a set.
+// more than one worker, one physical pass is split into contiguous chunks,
+// decoded by `workers` goroutines, and reassembled in stream order before
+// any observer sees a set.
+//
+// Chunk boundaries come from planBounds: uniform cuts of chunkSize sets by
+// default, or — when the segment source implements stream.SegmentPlanner —
+// the source's own cost-balanced plan (scdisk cuts ≈equal-BYTE chunks from
+// its seek index, so one huge set no longer serializes a decoder on skewed
+// families; see that interface's doc). A malformed plan falls back to the
+// uniform cut. Either way the boundaries are fixed before any decoder
+// starts, shared by all of them, and affect wall-clock only.
 //
 // Chunk ownership is strided: decoder w owns chunks w, w+W, w+2W, ... and
 // publishes them, in its own order, on its own bounded channel. The consumer
@@ -21,13 +29,15 @@ import (
 // stream order with no sequence numbers and no sorting. The channels ARE the
 // reorder window: each holds at most segWindow finished chunks, so a fast
 // decoder blocks after running segWindow chunks ahead of delivery and the
-// in-flight decoded state stays O(workers · segWindow · chunkSize) sets —
-// the same asymptotic scratch bound as the engine's batch pool.
+// in-flight decoded state stays O(workers · segWindow) chunks — with uniform
+// cuts that is O(workers · segWindow · chunkSize) sets, with a byte-balanced
+// plan the equivalent bound in bytes.
 //
-// Determinism: chunk boundaries depend only on (m, chunkSize), each chunk is
-// decoded by exactly one goroutine from an independent reader, and delivery
-// is in stream order, so observers receive byte-identical streams at every
-// worker count — the engine's contract, now including the decode layer.
+// Determinism: chunk boundaries depend only on (m, chunkSize) and the
+// source's deterministic plan, each chunk is decoded by exactly one goroutine
+// from an independent reader, and delivery is in stream order, so observers
+// receive byte-identical streams at every worker count — the engine's
+// contract, now including the decode layer.
 //
 // Failure: a chunk whose reader errors (or comes up short — a partial chunk
 // is a truncation even if the reader doesn't say so) is published with its
@@ -69,9 +79,10 @@ type segmentedReader struct {
 }
 
 // newSegmentedReader starts `workers` decode goroutines over the m sets of
-// src, in chunks of chunkSize.
+// src, cut into chunks by planBounds.
 func newSegmentedReader(src stream.SegmentSource, m, workers, chunkSize int) *segmentedReader {
-	chunks := (m + chunkSize - 1) / chunkSize
+	bounds := planBounds(src, m, chunkSize)
+	chunks := len(bounds) - 1
 	if workers > chunks {
 		workers = chunks
 	}
@@ -89,20 +100,50 @@ func newSegmentedReader(src stream.SegmentSource, m, workers, chunkSize int) *se
 	}
 	r.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go r.decode(src, w, workers, m, chunkSize)
+		go r.decode(src, w, workers, bounds)
 	}
 	return r
 }
 
+// planBounds fixes the chunk boundaries of one segmented pass: the source's
+// own cost-balanced plan when it offers a valid one (stream.SegmentPlanner),
+// uniform chunkSize cuts otherwise. The uniform fallback also guards against
+// a planner returning malformed boundaries — the plan is an untrusted hint,
+// never a correctness input.
+func planBounds(src stream.SegmentSource, m, chunkSize int) []int {
+	target := (m + chunkSize - 1) / chunkSize
+	if p, ok := src.(stream.SegmentPlanner); ok {
+		if b := p.PlanSegments(target); validBounds(b, m) {
+			return b
+		}
+	}
+	b := make([]int, 0, target+1)
+	for start := 0; start < m; start += chunkSize {
+		b = append(b, start)
+	}
+	return append(b, m)
+}
+
+// validBounds reports whether b is a well-formed boundary list over m sets:
+// strictly increasing from exactly 0 to exactly m.
+func validBounds(b []int, m int) bool {
+	if len(b) < 1 || b[0] != 0 || b[len(b)-1] != m {
+		return false
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // decode runs one decoder goroutine: chunks w, w+workers, ... in order.
-func (r *segmentedReader) decode(src stream.SegmentSource, w, workers, m, chunkSize int) {
+func (r *segmentedReader) decode(src stream.SegmentSource, w, workers int, bounds []int) {
 	defer r.wg.Done()
 	defer close(r.chans[w])
-	for start := w * chunkSize; start < m; start += workers * chunkSize {
-		end := start + chunkSize
-		if end > m {
-			end = m
-		}
+	for c := w; c < len(bounds)-1; c += workers {
+		start, end := bounds[c], bounds[c+1]
 		it := src.Segment(start, end)
 		ck := &segChunk{sets: r.fillChunk(it, end-start)}
 		if err := stream.ReaderErr(it); err != nil {
@@ -126,6 +167,12 @@ func (r *segmentedReader) decode(src stream.SegmentSource, w, workers, m, chunkS
 // sets (a healthy segment yields exactly that many).
 func (r *segmentedReader) fillChunk(it stream.Reader, want int) []setcover.Set {
 	buf := r.free.Get().([]setcover.Set)[:0]
+	if cap(buf) < want {
+		// A cost-balanced plan may pack more sets than chunkSize into one
+		// chunk (many small sets balancing one huge one); the pooled buffers
+		// grow to the largest chunk seen and stay there.
+		buf = make([]setcover.Set, 0, want)
+	}
 	br, batched := it.(stream.BatchReader)
 	for len(buf) < want {
 		if batched {

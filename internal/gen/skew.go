@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/setcover"
+)
+
+// SkewedConfig parameterizes SkewedFunc.
+type SkewedConfig struct {
+	N, M int // universe size, number of sets
+	// HeavyID is the stream position of the heavy set; it is clamped into
+	// [0, M).
+	HeavyID int
+	// HeavyFrac is the fraction of the universe the heavy set covers,
+	// clamped into [0, 1]; 0.5 by default (when <= 0). Because SCB1
+	// delta-encodes dense sets near one byte per element, the heavy set
+	// carries ≈HeavyFrac·N of the family's encoded bytes while the light
+	// sets split the rest.
+	HeavyFrac float64
+	LightSize int // elements per light set; clamped into [1, N]
+	Seed      int64
+}
+
+// SkewedFunc returns a deterministic per-set generator for a byte-skewed
+// family: one heavy set covering ≈HeavyFrac of the universe (≈half the
+// family's encoded bytes at the default), and M-1 small pseudo-random light
+// sets. It is the adversarial shape for count-uniform segmented decode — the
+// chunk holding the heavy set carries half the decode work — and therefore
+// the family the byte-balanced chunk planner (scdisk.PlanSegments) is
+// benchmarked and conformance-tested on.
+//
+// genSet(id) is pure given cfg: callable in any order, repeatedly, from
+// multiple goroutines, always returning freshly allocated sorted-unique
+// elements — the stream.NewFuncRepo contract, and what scdisk.Writer needs to
+// spill the family to disk without materializing it.
+func SkewedFunc(cfg SkewedConfig) (genSet func(id int) setcover.Set, err error) {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		return nil, fmt.Errorf("gen: need N > 0 and M > 0, got N=%d M=%d", cfg.N, cfg.M)
+	}
+	if cfg.HeavyID < 0 {
+		cfg.HeavyID = 0
+	}
+	if cfg.HeavyID >= cfg.M {
+		cfg.HeavyID = cfg.M - 1
+	}
+	if cfg.HeavyFrac <= 0 {
+		cfg.HeavyFrac = 0.5
+	}
+	if cfg.HeavyFrac > 1 {
+		cfg.HeavyFrac = 1
+	}
+	if cfg.LightSize < 1 {
+		cfg.LightSize = 1
+	}
+	if cfg.LightSize > cfg.N {
+		cfg.LightSize = cfg.N
+	}
+	heavyLen := int(cfg.HeavyFrac * float64(cfg.N))
+	if heavyLen < 1 {
+		heavyLen = 1
+	}
+
+	// The heavy set's membership is a per-seed pseudo-random heavyLen-subset,
+	// realized lazily per call so the generator itself stays O(1) state.
+	genSet = func(id int) setcover.Set {
+		if id < 0 || id >= cfg.M {
+			panic(fmt.Sprintf("gen: set id %d out of range [0,%d)", id, cfg.M))
+		}
+		if id == cfg.HeavyID {
+			r := rand.New(rand.NewSource(cfg.Seed))
+			es := make([]setcover.Elem, 0, heavyLen)
+			for _, e := range r.Perm(cfg.N)[:heavyLen] {
+				es = append(es, setcover.Elem(e))
+			}
+			sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+			return setcover.Set{ID: id, Elems: es}
+		}
+		r := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15)))
+		seen := make(map[int]bool, cfg.LightSize)
+		es := make([]setcover.Elem, 0, cfg.LightSize)
+		for len(es) < cfg.LightSize {
+			e := r.Intn(cfg.N)
+			if !seen[e] {
+				seen[e] = true
+				es = append(es, setcover.Elem(e))
+			}
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+		return setcover.Set{ID: id, Elems: es}
+	}
+	return genSet, nil
+}

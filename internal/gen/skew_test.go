@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/setcover"
+)
+
+// checkNormalized fails unless the set's elements are sorted-unique in [0, n).
+func checkNormalized(t *testing.T, s setcover.Set, n int) {
+	t.Helper()
+	for i, e := range s.Elems {
+		if e < 0 || int(e) >= n {
+			t.Fatalf("set %d: element %d out of universe [0,%d)", s.ID, e, n)
+		}
+		if i > 0 && s.Elems[i-1] >= e {
+			t.Fatalf("set %d: elements not sorted-unique at %d", s.ID, i)
+		}
+	}
+}
+
+func TestSkewedFuncShape(t *testing.T) {
+	cfg := SkewedConfig{N: 1000, M: 50, HeavyID: 7, LightSize: 12, Seed: 3}
+	genSet, err := SkewedFunc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalLight := 0
+	for id := 0; id < cfg.M; id++ {
+		s := genSet(id)
+		if s.ID != id {
+			t.Fatalf("genSet(%d) returned ID %d", id, s.ID)
+		}
+		checkNormalized(t, s, cfg.N)
+		if id == cfg.HeavyID {
+			if len(s.Elems) != cfg.N/2 {
+				t.Fatalf("heavy set has %d elements, want N/2 = %d", len(s.Elems), cfg.N/2)
+			}
+			continue
+		}
+		if len(s.Elems) != cfg.LightSize {
+			t.Fatalf("light set %d has %d elements, want %d", id, len(s.Elems), cfg.LightSize)
+		}
+		totalLight += len(s.Elems)
+	}
+	// The point of the family: the heavy set alone rivals all light sets
+	// combined, so count-uniform chunking is maximally lopsided.
+	if cfg.N/2 < totalLight/2 {
+		t.Fatalf("heavy set (%d elems) is not dominant vs %d total light elems", cfg.N/2, totalLight)
+	}
+}
+
+// genSet must be pure: repeated calls, any order, identical output.
+func TestSkewedFuncDeterminism(t *testing.T) {
+	cfg := SkewedConfig{N: 200, M: 20, HeavyID: 19, LightSize: 5, Seed: 11}
+	g1, err := SkewedFunc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := SkewedFunc(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{19, 0, 5, 19, 5, 0} {
+		a, b := g1(id), g2(id)
+		if len(a.Elems) != len(b.Elems) {
+			t.Fatalf("set %d: lengths differ across calls", id)
+		}
+		for i := range a.Elems {
+			if a.Elems[i] != b.Elems[i] {
+				t.Fatalf("set %d: element %d differs across calls", id, i)
+			}
+		}
+	}
+}
+
+func TestSkewedFuncClamps(t *testing.T) {
+	if _, err := SkewedFunc(SkewedConfig{N: 0, M: 5}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := SkewedFunc(SkewedConfig{N: 5, M: 0}); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	genSet, err := SkewedFunc(SkewedConfig{N: 10, M: 3, HeavyID: 99, LightSize: 99, HeavyFrac: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := genSet(2); len(s.Elems) != 10 {
+		t.Fatalf("HeavyFrac clamp: heavy set (clamped to id 2) has %d elems, want 10", len(s.Elems))
+	}
+	if s := genSet(0); len(s.Elems) != 10 {
+		t.Fatalf("LightSize clamp: light set has %d elems, want 10", len(s.Elems))
+	}
+}

@@ -191,23 +191,57 @@ func TestElemPoolFillBatched(t *testing.T) {
 	for i := range sets {
 		sets[i] = setcover.Set{Elems: make([]setcover.Elem, 0, 8)}
 	}
-	p.put(sets)
-	if len(p.free) != 10 {
-		t.Fatalf("pool holds %d buffers, want 10", len(p.free))
+	p.put(sets, 0)
+	if n := len(p.shards[0].free); n != 10 {
+		t.Fatalf("shard 0 holds %d buffers, want 10", n)
 	}
-	got := p.fill(nil, 4)
-	if len(got) != 4 || len(p.free) != 6 {
-		t.Fatalf("fill(4): got %d, pool %d; want 4, 6", len(got), len(p.free))
+	got := p.fill(nil, 4, 0)
+	if len(got) != 4 || len(p.shards[0].free) != 6 {
+		t.Fatalf("fill(4): got %d, shard %d; want 4, 6", len(got), len(p.shards[0].free))
 	}
-	got = p.fill(got[:0], 100)
-	if len(got) != 6 || len(p.free) != 0 {
-		t.Fatalf("fill(100): got %d, pool %d; want 6, 0", len(got), len(p.free))
+	got = p.fill(got[:0], 100, 0)
+	if len(got) != 6 || len(p.shards[0].free) != 0 {
+		t.Fatalf("fill(100): got %d, shard %d; want 6, 0", len(got), len(p.shards[0].free))
 	}
 	// Oversized buffers are dropped by putBufs, ordinary ones return.
 	got = append(got[:2], make([]setcover.Elem, 0, maxPooledElemCap+1))
-	p.putBufs(got)
-	if len(p.free) != 2 {
-		t.Fatalf("putBufs kept %d buffers, want 2 (oversized dropped)", len(p.free))
+	p.putBufs(got, 0)
+	if n := len(p.shards[0].free); n != 2 {
+		t.Fatalf("putBufs kept %d buffers, want 2 (oversized dropped)", n)
+	}
+}
+
+// A decoder whose own shard runs dry must still find buffers returned to
+// other shards (the cross-shard sweep), and every path must count its lock
+// acquisitions — the two properties the sharded pool adds over the single
+// mutex it replaced.
+func TestElemPoolShardSweepAndLockCount(t *testing.T) {
+	var p elemPool
+	sets := []setcover.Set{{Elems: make([]setcover.Elem, 0, 8)}, {Elems: make([]setcover.Elem, 0, 8)}}
+	p.put(sets, 3)
+	if n := p.lockAcquisitions(); n != 1 {
+		t.Fatalf("put cost %d lock acquisitions, want 1", n)
+	}
+	// fill from shard 0: shard 0 is empty, the sweep must reach shard 3 —
+	// and the empty-shard peek must keep untouched shards lock-free.
+	got := p.fill(nil, 2, 0)
+	if len(got) != 2 {
+		t.Fatalf("cross-shard fill got %d buffers, want 2", len(got))
+	}
+	if n := p.lockAcquisitions(); n != 2 {
+		t.Fatalf("put+sweep cost %d lock acquisitions, want 2 (empty shards peeked, not locked)", n)
+	}
+	if n := len(p.shards[3].free); n != 0 {
+		t.Fatalf("shard 3 still holds %d buffers after sweep", n)
+	}
+	// Per-shard cap: a shard never grows past maxPooledPerShard.
+	big := make([]setcover.Set, maxPooledPerShard+10)
+	for i := range big {
+		big[i] = setcover.Set{Elems: make([]setcover.Elem, 0, 4)}
+	}
+	p.put(big, 5)
+	if n := len(p.shards[5].free); n != maxPooledPerShard {
+		t.Fatalf("shard 5 holds %d buffers, cap is %d", n, maxPooledPerShard)
 	}
 }
 

@@ -46,66 +46,123 @@ func FuzzNewRepo(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := NewRepo(bytes.NewReader(data), int64(len(data)))
+		db, berr := NewRepoBytes(data)
+		if (err == nil) != (berr == nil) {
+			t.Fatalf("read paths disagree at open: readat err=%v, bytes err=%v", err, berr)
+		}
 		if err != nil {
 			return // rejected at open: fine
 		}
 		// Sequential drain: must terminate (the reader is bounded by m and
-		// the section size) and never panic.
-		var seq []setcover.Set
-		it := d.Begin()
-		for {
-			s, ok := it.Next()
-			if !ok {
-				break
-			}
-			cp := append([]setcover.Elem(nil), s.Elems...)
-			seq = append(seq, setcover.Set{ID: s.ID, Elems: cp})
+		// the section size) and never panic. The byte-backed repo decodes the
+		// same bytes through setcover.DecodeSetBytes — it must agree with the
+		// buffered path on acceptance and, when both are healthy, set for set.
+		seq, seqErr := drainSeq(d)
+		bseq, bseqErr := drainSeq(db)
+		if (seqErr == nil) != (bseqErr == nil) {
+			t.Fatalf("read paths disagree on decode failure: readat=%v, bytes=%v", seqErr, bseqErr)
 		}
-		seqErr := stream.ReaderErr(it)
+		if seqErr == nil {
+			compareStreams(t, "byte-backed sequential", seq, bseq)
+		}
 
 		if !d.HasIndex() {
 			return
 		}
 		// The index claims to know where every set starts: segmented chunks
-		// must reproduce the sequential stream (or fail), set for set.
-		src, ok := d.BeginSegmented()
-		if !ok {
-			t.Fatal("HasIndex but BeginSegmented declined")
-		}
-		const chunk = 2
-		var seg []setcover.Set
-		var segErr error
-		for start := 0; start < d.NumSets() && segErr == nil; start += chunk {
-			end := start + chunk
-			if end > d.NumSets() {
-				end = d.NumSets()
+		// must reproduce the sequential stream (or fail), set for set — under
+		// the fixed-width cut AND under byte-balanced plans of several
+		// granularities, on both read paths.
+		m := d.NumSets()
+		plans := [][]int{fixedChunks(m, 2)}
+		for _, target := range []int{1, 3, m} {
+			b := planByteChunks(d.offs, target)
+			if len(b) < 1 || b[0] != 0 || b[len(b)-1] != m {
+				t.Fatalf("planByteChunks(target=%d) span broken: %v", target, b)
 			}
-			r := src.Segment(start, end)
-			for {
-				s, ok := r.Next()
-				if !ok {
-					break
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] {
+					t.Fatalf("planByteChunks(target=%d) not increasing: %v", target, b)
 				}
-				cp := append([]setcover.Elem(nil), s.Elems...)
-				seg = append(seg, setcover.Set{ID: s.ID, Elems: cp})
 			}
-			segErr = stream.ReaderErr(r)
+			plans = append(plans, b)
 		}
-		if seqErr != nil || segErr != nil {
-			return // either path failed loudly: acceptable for corrupt data
-		}
-		if len(seg) != len(seq) {
-			t.Fatalf("segmented pass yielded %d sets, sequential %d", len(seg), len(seq))
-		}
-		for i := range seq {
-			if seq[i].ID != seg[i].ID || len(seq[i].Elems) != len(seg[i].Elems) {
-				t.Fatalf("set %d diverges between sequential and segmented decode", i)
-			}
-			for j := range seq[i].Elems {
-				if seq[i].Elems[j] != seg[i].Elems[j] {
-					t.Fatalf("set %d element %d diverges", i, j)
+		for _, repo := range []*Repo{d, db} {
+			for _, bounds := range plans {
+				seg, segErr := drainPlanned(t, repo, bounds)
+				if seqErr != nil || segErr != nil {
+					continue // either path failed loudly: acceptable for corrupt data
 				}
+				compareStreams(t, "segmented", seq, seg)
 			}
 		}
 	})
+}
+
+// fixedChunks is the count-uniform boundary list: chunks of `chunk` sets.
+func fixedChunks(m, chunk int) []int {
+	b := []int{0}
+	for start := chunk; start < m; start += chunk {
+		b = append(b, start)
+	}
+	return append(b, m)
+}
+
+// drainSeq copies out a full sequential pass.
+func drainSeq(d *Repo) ([]setcover.Set, error) {
+	var seq []setcover.Set
+	it := d.Begin()
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		cp := append([]setcover.Elem(nil), s.Elems...)
+		seq = append(seq, setcover.Set{ID: s.ID, Elems: cp})
+	}
+	return seq, stream.ReaderErr(it)
+}
+
+// drainPlanned decodes every chunk of one boundary list through a segment
+// source, concatenated in order.
+func drainPlanned(t *testing.T, d *Repo, bounds []int) ([]setcover.Set, error) {
+	t.Helper()
+	src, ok := d.BeginSegmented()
+	if !ok {
+		t.Fatal("HasIndex but BeginSegmented declined")
+	}
+	var seg []setcover.Set
+	for c := 0; c+1 < len(bounds); c++ {
+		r := src.Segment(bounds[c], bounds[c+1])
+		for {
+			s, ok := r.Next()
+			if !ok {
+				break
+			}
+			cp := append([]setcover.Elem(nil), s.Elems...)
+			seg = append(seg, setcover.Set{ID: s.ID, Elems: cp})
+		}
+		if err := stream.ReaderErr(r); err != nil {
+			return seg, err
+		}
+	}
+	return seg, nil
+}
+
+// compareStreams fails unless the two decoded streams agree set for set.
+func compareStreams(t *testing.T, label string, want, got []setcover.Set) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s pass yielded %d sets, reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || len(want[i].Elems) != len(got[i].Elems) {
+			t.Fatalf("%s: set %d diverges from reference", label, i)
+		}
+		for j := range want[i].Elems {
+			if want[i].Elems[j] != got[i].Elems[j] {
+				t.Fatalf("%s: set %d element %d diverges", label, i, j)
+			}
+		}
+	}
 }

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package scdisk
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes Open's ReadOnlyMmap option degrade to the positional-read
+// path on platforms without a memory-map syscall wrapper here.
+var errNoMmap = errors.New("scdisk: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

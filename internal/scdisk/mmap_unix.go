@@ -1,0 +1,22 @@
+//go:build unix
+
+package scdisk
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping is shared (the file is
+// never written through it) and lives until munmapFile.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -57,6 +57,16 @@ type Repo struct {
 	n, m    int
 	dataOff int64
 
+	// data is the whole file image when the repository is byte-backed (mmap
+	// or NewRepoBytes): readers decode straight out of it with
+	// setcover.DecodeSetBytes instead of pulling bytes through a bufio window
+	// — no per-byte interface calls, no copy into a read buffer. nil on the
+	// positional-read path.
+	data []byte
+	// mapped is the mmap region Close must unmap; non-nil only when Open
+	// mapped the file itself (a caller-provided byte slice is the caller's).
+	mapped []byte
+
 	// offs[i] is the absolute file offset of set i; offs[m] is the end of the
 	// set data. cards[i] is |set i|. Both nil when the file has no index.
 	offs  []int64
@@ -71,8 +81,31 @@ type Repo struct {
 	err error
 }
 
+// OpenOption customizes Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	mmap bool
+}
+
+// ReadOnlyMmap asks Open to map the file into memory read-only and decode
+// sets directly from the mapping — each pass walks the page cache instead of
+// copying the file through a read buffer, which is the fastest scan path on
+// files that fit (or mostly fit) in memory. On platforms without mmap support,
+// or when the map call fails, Open silently falls back to the positional-read
+// path: the option is a performance hint, never a correctness switch, and
+// every behavior contract (stream order, recycling, pass counting, error
+// surfaces) is identical on both paths.
+func ReadOnlyMmap() OpenOption {
+	return func(c *openConfig) { c.mmap = true }
+}
+
 // Open opens an SCB1 file (with or without index footer) as a repository.
-func Open(path string) (*Repo, error) {
+func Open(path string, opts ...OpenOption) (*Repo, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -82,12 +115,39 @@ func Open(path string) (*Repo, error) {
 		f.Close()
 		return nil, err
 	}
+	if cfg.mmap && st.Size() > 0 {
+		if data, merr := mmapFile(f, st.Size()); merr == nil {
+			d, err := NewRepoBytes(data)
+			if err != nil {
+				munmapFile(data)
+				f.Close()
+				return nil, err
+			}
+			d.mapped = data
+			d.closer = f
+			return d, nil
+		}
+	}
 	d, err := NewRepo(f, st.Size())
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	d.closer = f
+	return d, nil
+}
+
+// NewRepoBytes wraps an in-memory SCB1 image as a repository. Readers decode
+// straight from data (no buffered read layer); this is the path Open's
+// ReadOnlyMmap option routes through, and it works just as well for images
+// already held in memory (tests, network payloads). The caller keeps ownership
+// of data and must not mutate it while the repository is in use.
+func NewRepoBytes(data []byte) (*Repo, error) {
+	d, err := NewRepo(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	d.data = data
 	return d, nil
 }
 
@@ -250,13 +310,30 @@ func (d *Repo) Digest() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// Close releases the underlying file when the repository owns one.
+// Close unmaps the file when Open mapped it and releases the underlying file
+// when the repository owns one.
 func (d *Repo) Close() error {
-	if d.closer != nil {
-		return d.closer.Close()
+	var err error
+	if d.mapped != nil {
+		err = munmapFile(d.mapped)
+		d.mapped, d.data = nil, nil
 	}
-	return nil
+	if d.closer != nil {
+		if cerr := d.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
+
+// Mapped reports whether passes decode from a memory-mapped (or otherwise
+// byte-backed) image rather than through positional reads.
+func (d *Repo) Mapped() bool { return d.data != nil }
+
+// PoolLockAcquisitions returns how many times any pass has locked a decode
+// buffer pool shard since the repository was opened — the contention signal
+// cmd/scbench reports per benchmark case.
+func (d *Repo) PoolLockAcquisitions() int64 { return d.free.lockAcquisitions() }
 
 // UniverseSize returns n.
 func (d *Repo) UniverseSize() int { return d.n }
@@ -327,12 +404,21 @@ func (d *Repo) BeginAt(start int) (stream.Reader, error) {
 
 func (d *Repo) beginAt(pos, end int, off int64) *reader {
 	d.passes.Add(1)
-	return &reader{
-		d:   d,
-		br:  bufio.NewReaderSize(io.NewSectionReader(d.r, off, d.size-off), readerBufSize),
-		pos: pos,
-		end: end,
+	r := &reader{
+		d:     d,
+		pos:   pos,
+		end:   end,
+		shard: d.free.shard(),
 	}
+	if d.data != nil {
+		// Byte path: decode in place from the image. The span may run past the
+		// last set (index footer, trailing bytes) — decoding stops after
+		// end-pos sets, so the excess is never touched.
+		r.data = d.data[off:]
+	} else {
+		r.br = bufio.NewReaderSize(io.NewSectionReader(d.r, off, d.size-off), readerBufSize)
+	}
+	return r
 }
 
 // BeginSegmented implements stream.SegmentedRepository: one counted pass
@@ -360,8 +446,54 @@ type segSource struct {
 
 // segState is the reusable decode state of one chunk reader.
 type segState struct {
-	br    *bufio.Reader     // segBufSize window over the chunk's byte span
+	br    *bufio.Reader     // segBufSize window over the chunk's byte span; lazy, unused on the byte path
 	stash [][]setcover.Elem // emptied between chunks; capacity is what's reused
+	shard int               // pool shard this decode state draws from, fixed at creation
+}
+
+// PlanSegments implements stream.SegmentPlanner: chunk boundaries are cut so
+// every chunk covers ≈equal ENCODED BYTES (read straight off the SCIX per-set
+// spans) rather than equal set COUNTS. On skewed families — one set carrying
+// half the file's bytes, say — count-uniform chunks hand one decoder nearly
+// all the work and the pass runs at single-thread speed; byte-balanced chunks
+// keep every decoder busy for ≈the same wall-clock. The plan affects chunk
+// shapes only: the engine still delivers chunks in stream order, so the
+// observed stream is byte-identical to the sequential one (pinned by the
+// segmented conformance and fuzz suites).
+func (s *segSource) PlanSegments(targetChunks int) []int {
+	return planByteChunks(s.d.offs, targetChunks)
+}
+
+// planByteChunks greedily partitions sets [0, m) into at most target
+// contiguous chunks of ≈total/target encoded bytes each: cut k lands on the
+// first set whose start offset reaches the k-th ideal byte position. A set so
+// large that it spans several ideal positions becomes (most of) one chunk and
+// the plan re-anchors past it — ideal cut positions inside an unsplittable
+// set cannot be honored, so the plan yields fewer, still maximally balanced,
+// chunks. Deterministic in (offs, target).
+func planByteChunks(offs []int64, target int) []int {
+	m := len(offs) - 1
+	if m <= 0 {
+		return []int{0}
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > m {
+		target = m
+	}
+	base, total := offs[0], offs[m]-offs[0]
+	// width ≥ 1: every set is at least one encoded byte, and target ≤ m.
+	width := total / int64(target)
+	bounds := make([]int, 1, target+1) // bounds[0] == 0
+	k := int64(1)
+	for i := 1; i < m && k < int64(target); i++ {
+		if pos := offs[i] - base; pos >= k*width {
+			bounds = append(bounds, i)
+			k = pos/width + 1 // skip ideal positions swallowed by the chunk just closed
+		}
+	}
+	return append(bounds, m)
 }
 
 // Segment returns a reader for sets [start, end), positioned by one seek.
@@ -376,12 +508,20 @@ type segState struct {
 func (s *segSource) Segment(start, end int) stream.Reader {
 	st, _ := s.states.Get().(*segState)
 	if st == nil {
-		st = &segState{br: bufio.NewReaderSize(nil, segBufSize)}
+		st = &segState{shard: s.d.free.shard()}
 	}
 	off := s.d.offs[start]
-	st.br.Reset(io.NewSectionReader(s.d.r, off, s.d.offs[end]-off))
-	r := &reader{d: s.d, br: st.br, pos: start, end: end,
-		verifySpan: true, stash: st.stash}
+	r := &reader{d: s.d, pos: start, end: end,
+		verifySpan: true, stash: st.stash, shard: st.shard}
+	if s.d.data != nil {
+		r.data = s.d.data[off:s.d.offs[end]]
+	} else {
+		if st.br == nil {
+			st.br = bufio.NewReaderSize(nil, segBufSize)
+		}
+		st.br.Reset(io.NewSectionReader(s.d.r, off, s.d.offs[end]-off))
+		r.br = st.br
+	}
 	r.release = func() {
 		st.stash = r.stash // emptied by finish; keeps its capacity for the next chunk
 		s.states.Put(st)
@@ -391,8 +531,10 @@ func (s *segSource) Segment(start, end int) stream.Reader {
 
 // Recycle implements stream.Recycler at the source level: the pass engine's
 // reorder layer hands consumed batches back here, and the element buffers
-// rejoin the repository pool the chunk decoders draw from.
-func (s *segSource) Recycle(sets []setcover.Set) { s.d.free.put(sets) }
+// rejoin the repository pool the chunk decoders draw from. Returns rotate
+// across shards so the concurrent decoders (each pinned to its own shard)
+// all find refills without fighting over one lock.
+func (s *segSource) Recycle(sets []setcover.Set) { s.d.free.put(sets, s.d.free.shard()) }
 
 // reader decodes one sequential span of the file: a whole pass (Begin,
 // BeginAt) or one chunk of a segmented pass (segSource.Segment). Each reader
@@ -401,9 +543,12 @@ func (s *segSource) Recycle(sets []setcover.Set) { s.d.free.put(sets) }
 // pass (Repo.Err is only the sticky first-failure diagnostic).
 type reader struct {
 	d          *Repo
-	br         *bufio.Reader
+	br         *bufio.Reader // positional-read path; nil when data is set
+	data       []byte        // byte path: this span's encoded bytes (mmap / in-memory repos)
+	dpos       int           // decode position within data
 	pos        int
 	end        int
+	shard      int // pool shard this reader draws from and returns to
 	failed     bool
 	err        error
 	verifySpan bool   // segment readers: span must be consumed exactly
@@ -414,6 +559,19 @@ type reader struct {
 	stash [][]setcover.Elem
 }
 
+// decodeNext decodes the next set's elements from whichever source this
+// reader owns: in place from the byte image, or through the buffered window.
+// Both decoders accept exactly the same encodings (fuzz-pinned equivalent in
+// internal/setcover), so the two paths yield byte-identical streams.
+func (it *reader) decodeNext(buf []setcover.Elem) ([]setcover.Elem, error) {
+	if it.data != nil {
+		elems, k, err := setcover.DecodeSetBytes(it.data[it.dpos:], it.d.n, buf)
+		it.dpos += k
+		return elems, err
+	}
+	return setcover.ReadSetBinary(it.br, it.d.n, buf)
+}
+
 // Next decodes the next set into a freshly allocated element slice. The
 // batched path (NextBatch) is the one that reuses recycled buffers; Next is
 // kept allocation-fresh so direct scanners may retain what they are handed.
@@ -422,7 +580,7 @@ func (it *reader) Next() (setcover.Set, bool) {
 		it.finish()
 		return setcover.Set{}, false
 	}
-	elems, err := setcover.ReadSetBinary(it.br, it.d.n, nil)
+	elems, err := it.decodeNext(nil)
 	if err != nil {
 		it.fail(err)
 		return setcover.Set{}, false
@@ -443,7 +601,7 @@ func (it *reader) NextBatch(dst []setcover.Set) int {
 	// state (engine recycles every batch) the stash drains exactly as the
 	// batch fills, so the pool sees two lock acquisitions per batch.
 	if need := len(dst) - len(it.stash); need > 0 && !it.failed && it.pos < it.end {
-		it.stash = it.d.free.fill(it.stash, need)
+		it.stash = it.d.free.fill(it.stash, need, it.shard)
 	}
 	k := 0
 	for k < len(dst) && !it.failed && it.pos < it.end {
@@ -453,7 +611,7 @@ func (it *reader) NextBatch(dst []setcover.Set) int {
 			it.stash[n-1] = nil
 			it.stash = it.stash[:n-1]
 		}
-		elems, err := setcover.ReadSetBinary(it.br, it.d.n, buf)
+		elems, err := it.decodeNext(buf)
 		if err != nil {
 			it.fail(err)
 			break
@@ -475,13 +633,18 @@ func (it *reader) finish() {
 	if len(it.stash) > 0 {
 		// Unused recycled buffers (short final batch, failed span) rejoin the
 		// pool rather than leaking with the reader.
-		it.d.free.putBufs(it.stash)
+		it.d.free.putBufs(it.stash, it.shard)
 		it.stash = it.stash[:0]
 	}
 	if it.verifySpan {
 		it.verifySpan = false
 		if !it.failed {
-			if _, err := it.br.ReadByte(); err != io.EOF {
+			consumed := it.data != nil && it.dpos == len(it.data)
+			if it.data == nil {
+				_, err := it.br.ReadByte()
+				consumed = err == io.EOF
+			}
+			if !consumed {
 				it.fail(fmt.Errorf("segment ending at set %d: bytes left after the last set — index span mismatch", it.end))
 				return // fail re-enters finish with verifySpan already cleared
 			}
@@ -494,8 +657,10 @@ func (it *reader) finish() {
 }
 
 // Recycle implements stream.Recycler: consumed batches return their element
-// buffers to the repository pool for later decodes.
-func (it *reader) Recycle(sets []setcover.Set) { it.d.free.put(sets) }
+// buffers to the repository pool, to the same shard this reader fills from —
+// a single-worker sequential pass therefore touches exactly one shard, with
+// the same two-locks-per-batch profile the unsharded pool had.
+func (it *reader) Recycle(sets []setcover.Set) { it.d.free.put(sets, it.shard) }
 
 // Err returns the decode error that ended this pass early, if any.
 func (it *reader) Err() error { return it.err }
@@ -508,57 +673,112 @@ func (it *reader) fail(err error) {
 	it.finish()
 }
 
-// elemPool is the shared free list of decode buffers. sync.Mutex rather than
+// poolShards is how many independent free lists the decode-buffer pool splits
+// into. A power of two; sized so a realistic decoder count (the engine caps
+// segmented workers well below this on the machines we target) maps each
+// decoder to its own lock.
+const poolShards = 8
+
+// maxPooledPerShard splits the global pool cap evenly; a full shard drops
+// returns even if another shard has room — the cap is a memory safety bound,
+// not an exact budget.
+const maxPooledPerShard = maxPooledElems / poolShards
+
+// elemPool is the shared free list of decode buffers, sharded so concurrent
+// chunk decoders are not serialized on one mutex. Mutexes rather than
 // sync.Pool: buffers must survive GC cycles between passes for the
-// steady-state allocation profile tests rely on. Both directions are batched
-// — fill hands a whole batch's worth of buffers to a decoder in one lock
-// acquisition and put returns a consumed batch in one — so with many decode
-// workers on multicore hosts the mutex is hit twice per ~BatchSize sets, not
-// once per set (the contention point ROADMAP called out).
+// steady-state allocation profile tests rely on.
+//
+// Both directions are batched — fill hands a whole batch's worth of buffers
+// to a decoder in one lock acquisition and put returns a consumed batch in
+// one — and each reader is pinned to one shard (round-robin at creation), so
+// a single-worker pass costs two acquisitions per ~BatchSize sets on one
+// shard, while W segmented decoders spread over min(W, poolShards) disjoint
+// locks. fill falls back to sweeping the other shards (each peeked through an
+// atomic length before paying for its lock) only when its own runs dry, which
+// is what keeps the steady-state reuse guarantee regardless of how returns
+// distribute. Every acquisition is counted; cmd/scbench reports the delta per
+// case, so pool contention is a measured quantity, not a guess.
 type elemPool struct {
-	mu   sync.Mutex
-	free [][]setcover.Elem
+	rr     atomic.Uint64 // round-robin cursor assigning shards to readers and source-level returns
+	locks  atomic.Int64  // total lock acquisitions (bench visibility)
+	shards [poolShards]poolShard
 }
 
-// fill appends up to want recycled buffers to dst under a single lock and
-// returns the extended slice; fewer (or none) come back when the pool is low,
-// and the decoder allocates fresh for the difference.
-func (p *elemPool) fill(dst [][]setcover.Elem, want int) [][]setcover.Elem {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	k := min(want, len(p.free))
-	if k <= 0 {
-		return dst
+// poolShard is one free list; padded so neighboring shard locks do not share
+// a cache line.
+type poolShard struct {
+	n    atomic.Int32 // == len(free), maintained under mu, read racily by fill's sweep
+	mu   sync.Mutex
+	free [][]setcover.Elem
+	_    [24]byte
+}
+
+// shard returns the next shard index round-robin: readers call it once at
+// creation, segSource.Recycle per returned batch.
+func (p *elemPool) shard() int {
+	return int(p.rr.Add(1) % poolShards)
+}
+
+// lock acquires a shard's mutex, counted.
+func (p *elemPool) lock(s *poolShard) {
+	s.mu.Lock()
+	p.locks.Add(1)
+}
+
+// lockAcquisitions returns the total shard-lock acquisitions so far.
+func (p *elemPool) lockAcquisitions() int64 { return p.locks.Load() }
+
+// fill appends up to want recycled buffers to dst and returns the extended
+// slice, drawing from the caller's shard first and sweeping the others only
+// if it runs dry; fewer (or none) come back when the whole pool is low, and
+// the decoder allocates fresh for the difference.
+func (p *elemPool) fill(dst [][]setcover.Elem, want, shard int) [][]setcover.Elem {
+	target := len(dst) + want
+	for i := 0; i < poolShards && len(dst) < target; i++ {
+		s := &p.shards[(shard+i)%poolShards]
+		if s.n.Load() == 0 {
+			continue // cheap peek: don't pay for a lock on an empty shard
+		}
+		p.lock(s)
+		if k := min(target-len(dst), len(s.free)); k > 0 {
+			tail := s.free[len(s.free)-k:]
+			dst = append(dst, tail...)
+			for j := range tail {
+				tail[j] = nil // do not pin recycled buffers through the free-list's spare capacity
+			}
+			s.free = s.free[:len(s.free)-k]
+			s.n.Store(int32(len(s.free)))
+		}
+		s.mu.Unlock()
 	}
-	tail := p.free[len(p.free)-k:]
-	dst = append(dst, tail...)
-	for i := range tail {
-		tail[i] = nil // do not pin recycled buffers through the free-list's spare capacity
-	}
-	p.free = p.free[:len(p.free)-k]
 	return dst
 }
 
-func (p *elemPool) put(sets []setcover.Set) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, s := range sets {
+func (p *elemPool) put(sets []setcover.Set, shard int) {
+	s := &p.shards[shard%poolShards]
+	p.lock(s)
+	defer s.mu.Unlock()
+	for _, set := range sets {
 		// Oversized buffers (grown by one pathologically large set) are
 		// dropped rather than pinned for the repository's lifetime.
-		if c := cap(s.Elems); c > 0 && c <= maxPooledElemCap && len(p.free) < maxPooledElems {
-			p.free = append(p.free, s.Elems[:0])
+		if c := cap(set.Elems); c > 0 && c <= maxPooledElemCap && len(s.free) < maxPooledPerShard {
+			s.free = append(s.free, set.Elems[:0])
 		}
 	}
+	s.n.Store(int32(len(s.free)))
 }
 
 // putBufs returns raw, unused buffers (a reader's stash at end of span) under
 // one lock, with the same caps as put.
-func (p *elemPool) putBufs(bufs [][]setcover.Elem) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+func (p *elemPool) putBufs(bufs [][]setcover.Elem, shard int) {
+	s := &p.shards[shard%poolShards]
+	p.lock(s)
+	defer s.mu.Unlock()
 	for _, b := range bufs {
-		if c := cap(b); c > 0 && c <= maxPooledElemCap && len(p.free) < maxPooledElems {
-			p.free = append(p.free, b[:0])
+		if c := cap(b); c > 0 && c <= maxPooledElemCap && len(s.free) < maxPooledPerShard {
+			s.free = append(s.free, b[:0])
 		}
 	}
+	s.n.Store(int32(len(s.free)))
 }

@@ -520,16 +520,16 @@ func TestElemPoolDropsOversizedBuffers(t *testing.T) {
 	var p elemPool
 	small := make([]setcover.Elem, 0, 16)
 	huge := make([]setcover.Elem, 0, maxPooledElemCap+1)
-	p.put([]setcover.Set{{Elems: huge}, {Elems: small}})
-	got := p.fill(nil, 2)
+	p.put([]setcover.Set{{Elems: huge}, {Elems: small}}, 0)
+	got := p.fill(nil, 2, 0)
 	if len(got) != 1 || cap(got[0]) != 16 {
 		t.Fatalf("pool kept %d buffers (first cap %v), want just the small one (16)",
 			len(got), got)
 	}
 	// Boundary: exactly maxPooledElemCap is still pooled.
 	edge := make([]setcover.Elem, 0, maxPooledElemCap)
-	p.put([]setcover.Set{{Elems: edge}})
-	if got := p.fill(nil, 1); len(got) != 1 || cap(got[0]) != maxPooledElemCap {
+	p.put([]setcover.Set{{Elems: edge}}, 0)
+	if got := p.fill(nil, 1, 0); len(got) != 1 || cap(got[0]) != maxPooledElemCap {
 		t.Fatalf("pool dropped a buffer at the cap boundary")
 	}
 }

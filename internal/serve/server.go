@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -205,8 +206,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := &SolveRequest{}
-	if err := json.Unmarshal(body, req); err != nil {
+	// Strict decode: an unknown field is a client bug (a typoed knob would
+	// otherwise be silently ignored and the solve would run with defaults —
+	// the worst failure mode for a parameter that changes the RESULT, like a
+	// misspelled "seed"). Trailing data after the object is rejected too.
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "parsing body: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after request object")
 		return
 	}
 	req.normalize()

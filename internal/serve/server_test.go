@@ -422,6 +422,18 @@ func TestRequestValidation(t *testing.T) {
 		{map[string]any{"instance": "planted", "delta": 1.5}, 400, CodeBadRequest},
 		{map[string]any{"instance": "planted", "eps": 1.0}, 400, CodeBadRequest},
 		{map[string]any{}, 400, CodeBadRequest},
+		// Hardening: absurd pass budgets and engine knobs are client errors,
+		// answered before any queue slot is spent.
+		{map[string]any{"instance": "planted", "algo": "cw16", "passes": maxPassBudget + 1}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "engine": map[string]any{"workers": -1}}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "engine": map[string]any{"workers": maxEngineWorkers + 1}}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "engine": map[string]any{"batch_size": -5}}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "engine": map[string]any{"batch_size": maxEngineBatch + 1}}, 400, CodeBadRequest},
+		// Strict decode: a typoed field must not be silently ignored — a
+		// misspelled result-determining knob would otherwise run with
+		// defaults and poison the cache under the wrong key.
+		{map[string]any{"instance": "planted", "sede": 7}, 400, CodeBadRequest},
+		{map[string]any{"instance": "planted", "engine": map[string]any{"workrs": 2}}, 400, CodeBadRequest},
 	}
 	for _, c := range cases {
 		code, _, apiErr := postSolve(t, ts.URL, c.req)
@@ -430,7 +442,28 @@ func TestRequestValidation(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	// The bounds themselves must be accepted: limits are inclusive.
+	for _, ok := range []map[string]any{
+		{"instance": "planted", "algo": "cw16", "passes": maxPassBudget},
+		{"instance": "planted", "algo": "greedy1", "engine": map[string]any{"workers": maxEngineWorkers, "batch_size": maxEngineBatch}},
+	} {
+		if code, _, apiErr := postSolve(t, ts.URL, ok); code != 200 {
+			t.Fatalf("boundary req %v rejected: %d %+v", ok, code, apiErr)
+		}
+	}
+
+	// Trailing data after the request object is a malformed body.
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+		strings.NewReader(`{"instance":"planted"}{"instance":"planted"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("trailing garbage: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/job-999")
 	if err != nil {
 		t.Fatal(err)
 	}

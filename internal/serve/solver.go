@@ -72,6 +72,21 @@ func (r *SolveRequest) normalize() {
 	}
 }
 
+// Hard request bounds. The solver itself would run with anything — these
+// exist so one request cannot commit the service to an absurd amount of work
+// (a 10^9-pass cw16 budget) or an absurd per-solve allocation (a gigabyte
+// batch): out-of-range values are a client error, answered 400 before any
+// queue slot is spent.
+const (
+	// maxPassBudget bounds cw16's pass budget: passes beyond ~log n add
+	// nothing to the guarantee, so a budget this high is a client bug.
+	maxPassBudget = 64
+	// maxEngineWorkers bounds the per-solve decode parallelism request.
+	maxEngineWorkers = 256
+	// maxEngineBatch bounds the per-solve batch size (sets per batch).
+	maxEngineBatch = 1 << 20
+)
+
 // validate rejects malformed parameters before any queue slot is spent.
 func (r *SolveRequest) validate() error {
 	if r.Instance == "" {
@@ -93,8 +108,19 @@ func (r *SolveRequest) validate() error {
 	if r.Passes < 1 {
 		return fmt.Errorf("passes %d < 1", r.Passes)
 	}
+	if r.Passes > maxPassBudget {
+		return fmt.Errorf("passes %d exceeds limit %d", r.Passes, maxPassBudget)
+	}
 	if r.Eps < 0 || r.Eps >= 1 {
 		return fmt.Errorf("eps %v out of [0,1)", r.Eps)
+	}
+	if e := r.Engine; e != nil {
+		if e.Workers < 0 || e.Workers > maxEngineWorkers {
+			return fmt.Errorf("engine.workers %d out of [0,%d]", e.Workers, maxEngineWorkers)
+		}
+		if e.BatchSize < 0 || e.BatchSize > maxEngineBatch {
+			return fmt.Errorf("engine.batch_size %d out of [0,%d]", e.BatchSize, maxEngineBatch)
+		}
 	}
 	return nil
 }

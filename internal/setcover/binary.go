@@ -121,6 +121,66 @@ func ReadSetBinary(r io.ByteReader, n int, buf []Elem) ([]Elem, error) {
 	return buf, nil
 }
 
+// DecodeSetBytes is ReadSetBinary for callers that hold the encoded bytes in
+// memory (a mmap-backed file window): it decodes one SCB1-encoded set from
+// the front of data into buf (reusing its capacity; nil allocates) and
+// returns the elements — sorted-unique in [0, n) — plus how many bytes of
+// data the set occupied. Skipping the io.ByteReader indirection (an interface
+// call per input byte) is what makes this the hot decode path; the two
+// decoders accept exactly the same encodings and are fuzz-verified
+// equivalent (FuzzDecodeSetBytes). Allocation is bounded by the bytes
+// actually present, never by the claimed count alone.
+func DecodeSetBytes(data []byte, n int, buf []Elem) ([]Elem, int, error) {
+	count, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, 0, uvarintBytesErr("set size", k)
+	}
+	if count > uint64(n) {
+		return nil, 0, fmt.Errorf("binary set size %d exceeds limit %d", count, n)
+	}
+	pos := k
+	buf = buf[:0]
+	if cap(buf) == 0 && count > 0 {
+		buf = make([]Elem, 0, preallocCap(count))
+	}
+	prev := int64(-1)
+	for j := uint64(0); j < count; j++ {
+		var gap uint64
+		// One-byte varints dominate delta-encoded dense sets; decode them
+		// inline and fall back to the general decoder for the rest.
+		if pos < len(data) && data[pos] < 0x80 {
+			gap = uint64(data[pos])
+			pos++
+		} else {
+			g, k := binary.Uvarint(data[pos:])
+			if k <= 0 {
+				return nil, 0, uvarintBytesErr("gap", k)
+			}
+			gap = g
+			pos += k
+		}
+		if gap > uint64(n) {
+			return nil, 0, fmt.Errorf("binary gap %d exceeds limit %d", gap, n)
+		}
+		e := prev + 1 + int64(gap)
+		if e >= int64(n) {
+			return nil, 0, fmt.Errorf("binary set: element %d out of range", e)
+		}
+		buf = append(buf, Elem(e))
+		prev = e
+	}
+	return buf, pos, nil
+}
+
+// uvarintBytesErr maps binary.Uvarint's non-positive return to the matching
+// decode error: 0 is truncation, negative is a 64-bit overflow.
+func uvarintBytesErr(what string, k int) error {
+	if k == 0 {
+		return fmt.Errorf("binary %s: %w", what, io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("binary %s: varint overflows 64 bits", what)
+}
+
 // readBoundedUvarint reads a varint and rejects values above limit. Errors
 // carry no package prefix: the exported entry points (ReadBinaryHeader,
 // ReadBinary, scdisk's readers) each add their own context exactly once.

@@ -1,0 +1,70 @@
+package setcover
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSetBytes pins the slice-based decoder to the io.ByteReader one:
+// for every input and universe size, both must agree on accept/reject, on the
+// decoded elements, and on how many bytes the set occupied. This is the
+// equivalence the mmap read path (internal/scdisk) relies on — the two
+// decoders must be interchangeable byte for byte.
+func FuzzDecodeSetBytes(f *testing.F) {
+	f.Add(AppendSetBinary(nil, []Elem{0, 3, 7, 100}), 101)
+	f.Add(AppendSetBinary(nil, []Elem{}), 5)
+	f.Add(AppendSetBinary(nil, []Elem{0}), 1)
+	f.Add([]byte{}, 10)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}, 1000)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > MaxBinaryDim {
+			return
+		}
+		br := bytes.NewReader(data)
+		refElems, refErr := ReadSetBinary(br, n, nil)
+		refConsumed := len(data) - br.Len()
+
+		gotElems, gotConsumed, gotErr := DecodeSetBytes(data, n, nil)
+
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("decoders disagree on acceptance: reader err=%v, bytes err=%v", refErr, gotErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if gotConsumed != refConsumed {
+			t.Fatalf("consumed %d bytes, reader consumed %d", gotConsumed, refConsumed)
+		}
+		if len(gotElems) != len(refElems) {
+			t.Fatalf("decoded %d elements, reader %d", len(gotElems), len(refElems))
+		}
+		for i := range refElems {
+			if gotElems[i] != refElems[i] {
+				t.Fatalf("element %d: %d vs %d", i, gotElems[i], refElems[i])
+			}
+		}
+	})
+}
+
+// TestDecodeSetBytesReuse proves the buf-reuse contract matches
+// ReadSetBinary's: capacity is reused, contents are replaced.
+func TestDecodeSetBytesReuse(t *testing.T) {
+	enc := AppendSetBinary(nil, []Elem{1, 5, 9})
+	buf := make([]Elem, 0, 16)
+	elems, consumed, err := DecodeSetBytes(enc, 10, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(enc))
+	}
+	if &elems[:1][0] != &buf[:1][0] {
+		t.Fatal("decode did not reuse the provided buffer")
+	}
+	want := []Elem{1, 5, 9}
+	for i := range want {
+		if elems[i] != want[i] {
+			t.Fatalf("element %d: got %d want %d", i, elems[i], want[i])
+		}
+	}
+}

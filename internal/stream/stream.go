@@ -102,6 +102,26 @@ type DecodeCoster interface {
 	DecodeCost() DecodeCost
 }
 
+// SegmentPlanner is the optional chunk-planning hook a SegmentSource may
+// implement when it knows the per-set decode COST — in practice the encoded
+// byte length, which a disk repository's seek index records. PlanSegments
+// returns the chunk boundaries for one segmented pass as a strictly
+// increasing slice b with b[0] == 0 and b[len(b)-1] == m; chunk i is the set
+// range [b[i], b[i+1]), and targetChunks is the engine's hint for how many
+// chunks it would otherwise cut (ceil(m/BatchSize)).
+//
+// The point is load balance under skew: uniform set-count chunks serialize a
+// pass on one pathologically large set (the whole chunk containing it decodes
+// on a single goroutine while the others finish and idle), whereas
+// byte-balanced chunks give the big set its own chunk and keep the rest
+// ≈equal in bytes. The engine validates the returned boundaries and falls
+// back to uniform set-count chunks if they are malformed; either way the
+// reassembled stream is byte-identical — a plan moves wall-clock only.
+// Sources that cost all sets equally simply do not implement it.
+type SegmentPlanner interface {
+	PlanSegments(targetChunks int) []int
+}
+
 // SegmentedRepository is an optional capability a Repository may implement
 // when its passes can be split into independently decodable set ranges:
 // BeginSegmented starts ONE counted pass (exactly like Begin) whose stream
