@@ -51,6 +51,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/maxcover"
@@ -397,3 +398,30 @@ var (
 // (cmd/setcoverd's -queue default). ServerConfig.MaxQueue itself is literal:
 // 0 means no waiting room.
 const DefaultSolveQueue = serve.DefaultMaxQueue
+
+// Fleet layer (internal/fleet, DESIGN.md §8): the digest-routing HTTP router
+// behind cmd/setcoverrt. A FleetRouter spreads POST /v1/solve across N
+// setcoverd nodes by instance content digest (rendezvous hashing — sticky
+// while a node lives, minimal remapping when membership changes), retries
+// dead or draining nodes down the rendezvous order, and relays everything
+// else verbatim. Point every node's ServerConfig.CacheDir at one shared
+// directory and solved covers persist and replicate fleet-wide; the
+// determinism contract is what makes any node's answer — cached or computed —
+// byte-identical to any other's.
+type (
+	// FleetRouter routes solve traffic across a static fleet of nodes.
+	FleetRouter = fleet.Router
+	// FleetConfig tunes a FleetRouter (node list, retry bounds, timeouts).
+	FleetConfig = fleet.Config
+)
+
+// NewFleetRouter builds a router over cfg.Nodes.
+var NewFleetRouter = fleet.NewRouter
+
+// DefaultFleetAttemptTimeout is FleetConfig's default per-node attempt budget
+// (headers, not body: a streamed cover may relay for longer).
+const DefaultFleetAttemptTimeout = fleet.DefaultAttemptTimeout
+
+// FleetNodeHeader is the response header naming the backend node that
+// produced a routed response.
+const FleetNodeHeader = fleet.NodeHeader

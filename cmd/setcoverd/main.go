@@ -68,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		batch         = fs.Int("batch", 0, "default pass-engine batch size (0 = engine default)")
 		noSeg         = fs.Bool("no-segmented", false, "default solves to the single-reader decode path")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight solves")
+		cacheDir      = fs.String("cache-dir", "", "directory for the persistent result cache (shared fleet-wide when several daemons point at one directory; empty disables)")
+		verifyDigest  = fs.Bool("verify-digest", false, "register -instance files under the FULL-content digest (reads each file whole at registration; every fleet node must agree on this flag)")
 	)
 	var instances, gens []string
 	fs.Func("instance", "register an SCB1 file as name=path (repeatable; bare path uses the filename as name)", func(v string) error {
@@ -89,7 +91,19 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return 2
 	}
 
+	// Fail fast on an unusable cache directory: the serving layer would
+	// silently degrade to misses, but an operator who ASKED for persistence
+	// wants the typo at startup, not a cold cache discovered in production.
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			return fatal(fmt.Errorf("-cache-dir: %w", err))
+		}
+	}
+
 	cat := ssc.NewCatalog()
+	if *verifyDigest {
+		cat.SetVerifyDigest(true)
+	}
 	for _, spec := range instances {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -118,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		MaxQueue:      *maxQueue,
 		CacheSize:     *cacheSize,
 		JobHistory:    *jobHistory,
+		CacheDir:      *cacheDir,
 		Engine:        ssc.SolveEngineRequest{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg},
 	})
 

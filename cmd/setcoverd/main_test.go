@@ -239,3 +239,123 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Fatalf("unhelpful error:\n%s", &out)
 	}
 }
+
+// -cache-dir end to end: a daemon writes its solved covers to the directory;
+// a SECOND daemon (the restart) over the same directory serves them as cache
+// hits without solving.
+func TestDaemonPersistentCacheFlag(t *testing.T) {
+	in, _, _, err := ssc.Planted(ssc.PlantedConfig{N: 300, M: 700, K: 12, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "planted.scb")
+	if err := ssc.WriteInstanceFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	url1, _ := startDaemon(t, "-instance", "planted="+path, "-cache-dir", cacheDir)
+	status, first := solve(t, url1, `{"instance":"planted","algo":"greedy1"}`)
+	if status != 200 {
+		t.Fatalf("solve: %d: %v", status, first)
+	}
+
+	url2, _ := startDaemon(t, "-instance", "planted="+path, "-cache-dir", cacheDir)
+	status, second := solve(t, url2, `{"instance":"planted","algo":"greedy1"}`)
+	if status != 200 || second["cached"] != true {
+		t.Fatalf("second daemon not serving from the shared cache: %d %v", status, second["cached"])
+	}
+	firstCover := first["result"].(map[string]any)["cover"].([]any)
+	secondCover := second["result"].(map[string]any)["cover"].([]any)
+	if len(firstCover) != len(secondCover) {
+		t.Fatalf("persisted cover size %d != original %d", len(secondCover), len(firstCover))
+	}
+	for i := range firstCover {
+		if firstCover[i] != secondCover[i] {
+			t.Fatalf("persisted cover[%d] differs", i)
+		}
+	}
+	resp, err := http.Get(url2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"setcoverd_solves_total 0", "setcoverd_disk_cache_hits_total 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("second daemon metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// An unusable cache dir (a regular file in the way) fails fast at startup.
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-instance", "planted=" + path, "-cache-dir", blocked}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("unusable -cache-dir: exit %d, want 2\n%s", code, &out)
+	}
+	if !strings.Contains(out.String(), "-cache-dir") {
+		t.Fatalf("error does not name the flag:\n%s", &out)
+	}
+}
+
+// -verify-digest registers instances under the audit-grade full-content
+// digest: a different (domain-separated) digest than sampled mode, matching
+// the library's VerifyDigest exactly.
+func TestDaemonVerifyDigestFlag(t *testing.T) {
+	in, _, _, err := ssc.Planted(ssc.PlantedConfig{N: 200, M: 400, K: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "planted.scb")
+	if err := ssc.WriteInstanceFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+
+	digestOf := func(url string) string {
+		resp, err := http.Get(url + "/v1/instances")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var listing struct {
+			Instances []struct {
+				Digest string `json:"digest"`
+			} `json:"instances"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		if len(listing.Instances) != 1 {
+			t.Fatalf("%d instances, want 1", len(listing.Instances))
+		}
+		return listing.Instances[0].Digest
+	}
+
+	sampledURL, _ := startDaemon(t, "-instance", "planted="+path)
+	fullURL, _ := startDaemon(t, "-instance", "planted="+path, "-verify-digest")
+	sampled, full := digestOf(sampledURL), digestOf(fullURL)
+	if sampled == full {
+		t.Fatal("-verify-digest did not change the registration digest")
+	}
+	d, err := ssc.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	want, err := d.VerifyDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != want {
+		t.Fatalf("daemon full digest %s != library VerifyDigest %s", full, want)
+	}
+
+	// Digest addressing still works in verify mode, end to end.
+	status, body := solve(t, fullURL, `{"instance":"`+full+`","algo":"greedy1"}`)
+	if status != 200 {
+		t.Fatalf("solve by full digest: %d: %v", status, body)
+	}
+}

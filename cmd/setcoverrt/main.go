@@ -1,0 +1,133 @@
+// Command setcoverrt routes solve traffic across a fleet of setcoverd
+// daemons (internal/fleet, DESIGN.md §8). Requests are routed by instance
+// CONTENT DIGEST via rendezvous hashing over the static node list — the same
+// digest always lands on the same node while that node lives, concentrating
+// each instance's page-cache and result-cache footprint — and fail over to
+// the next node in rendezvous order when a node is down or draining. By the
+// determinism contract the failover is invisible: every node answers every
+// request with byte-identical covers.
+//
+// Usage:
+//
+//	setcoverd -addr :8081 -instance big=big.scb -cache-dir /shared/cache &
+//	setcoverd -addr :8082 -instance big=big.scb -cache-dir /shared/cache &
+//	setcoverd -addr :8083 -instance big=big.scb -cache-dir /shared/cache &
+//	setcoverrt -addr :8080 -node http://localhost:8081 \
+//	           -node http://localhost:8082 -node http://localhost:8083
+//	curl -s -X POST localhost:8080/v1/solve \
+//	     -d '{"instance":"big","algo":"iter","delta":0.5}'
+//
+// Endpoints mirror setcoverd: POST /v1/solve (routed), GET /v1/jobs/{id}
+// (searched across nodes — job ids are node-local), GET /v1/instances
+// (relayed from the first healthy node), GET /healthz (200 while any node
+// serves, with a per-node breakdown), GET /metrics (the router's own
+// counters). The X-Fleet-Node response header names the node that answered.
+//
+// Retry policy: transport errors and 503 (dead or draining node) move to the
+// next node, at most -max-attempts nodes per request with -attempt-timeout
+// each; 429 relays unchanged (backpressure belongs to the client). A request
+// that exhausts every eligible node gets 503
+// {"error":{"code":"fleet_exhausted",...}}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ssc "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run starts the router against explicit streams so tests drive the full path
+// in-process. When ready is non-nil it receives the router's base URL once
+// listening; closing stop triggers the same graceful drain a SIGTERM would.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("setcoverrt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		attemptTimeout = fs.Duration("attempt-timeout", ssc.DefaultFleetAttemptTimeout, "per-node attempt budget until response headers arrive (must exceed the slowest expected solve)")
+		maxAttempts    = fs.Int("max-attempts", 0, "nodes to try per request (0 = every node once)")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight relays")
+	)
+	var nodes []string
+	fs.Func("node", "backend setcoverd base URL (repeatable; order is irrelevant, membership must match other routers)", func(v string) error {
+		nodes = append(nodes, v)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "setcoverrt:", err)
+		return 2
+	}
+
+	rt, err := ssc.NewFleetRouter(ssc.FleetConfig{
+		Nodes:          nodes,
+		MaxAttempts:    *maxAttempts,
+		AttemptTimeout: *attemptTimeout,
+	})
+	if err != nil {
+		return fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "setcoverrt: routing %d nodes, listening on %s\n", len(nodes), url)
+	if ready != nil {
+		ready <- url
+	}
+
+	httpServer := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "setcoverrt: signal received, draining")
+	case <-stopChan(stop):
+		fmt.Fprintln(stdout, "setcoverrt: stop requested, draining")
+	case err := <-serveErr:
+		return fatal(err)
+	}
+
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := rt.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "setcoverrt: drain incomplete: %v\n", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "setcoverrt: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(stdout, "setcoverrt: drained, bye")
+	return 0
+}
+
+// stopChan normalizes a possibly-nil stop channel (nil blocks forever).
+func stopChan(stop <-chan struct{}) <-chan struct{} {
+	if stop == nil {
+		return make(chan struct{})
+	}
+	return stop
+}

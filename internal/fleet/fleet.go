@@ -1,0 +1,84 @@
+// Package fleet is the distribution layer over internal/serve: a router that
+// spreads solve traffic across N setcoverd daemons by CONTENT DIGEST, so the
+// fleet scales to catalogs bigger than one machine's page cache while keeping
+// every answer byte-identical to a single-process solve (DESIGN.md §8).
+//
+// The design leans entirely on two properties the lower layers already
+// guarantee:
+//
+//   - Determinism (DESIGN.md §5): a solve of (digest, algo, δ, p, ε, seed) is
+//     byte-identical on every node at any engine setting. Routing therefore
+//     needs no stickiness for correctness — ANY node may answer ANY request —
+//     and the shared persistent cache (serve.Config.CacheDir pointed at one
+//     directory) needs no owner or invalidation protocol.
+//   - Content digests (scdisk/catalog): the instance is identified by what it
+//     IS, not where it lives, so the routing key survives nodes renaming or
+//     re-registering files.
+//
+// Routing is rendezvous (highest-random-weight) hashing of the digest over
+// the static node list: each node gets a pseudo-random score per key, the
+// highest score wins, and removing a node only remaps the keys that node
+// owned — no ring, no coordination, no state. Stickiness is an OPTIMIZATION:
+// it concentrates each instance's page-cache and memory-LRU footprint on one
+// node. When the preferred node is down or draining, the router retries the
+// SAME request on the next node in rendezvous order (bounded attempts, one
+// timeout per attempt); determinism makes the failover invisible in the
+// response bytes.
+//
+// What retries and what does not: transport errors and 503 (a draining or
+// dead node) move to the next node; everything else — including 429 — relays
+// to the client unchanged, because queue-full is backpressure the client must
+// see, not a fault the fleet should paper over. When every attempt fails the
+// router answers 503 {"error":{"code":"fleet_exhausted",...}} listing the
+// attempts, so a client can tell "the fleet is down" from "my request is bad".
+package fleet
+
+import (
+	"net/http"
+	"time"
+)
+
+// DefaultAttemptTimeout bounds one backend attempt (dial + solve + response
+// headers) unless Config overrides it. Body relay is NOT under this timeout —
+// a streamed multi-million-set cover may take arbitrarily long to transfer;
+// the timeout exists to detect a node that will never answer, not to cap
+// solve size.
+const DefaultAttemptTimeout = 5 * time.Minute
+
+// Config tunes a Router.
+type Config struct {
+	// Nodes are the backend base URLs (e.g. "http://10.0.0.1:8080"), the
+	// static fleet membership. Order is irrelevant — rendezvous hashing sorts
+	// per key — but contents must agree across routers for stickiness to hold.
+	Nodes []string
+	// MaxAttempts bounds how many nodes one request may try (default: every
+	// node once).
+	MaxAttempts int
+	// AttemptTimeout bounds each attempt until response HEADERS arrive
+	// (default DefaultAttemptTimeout). Synchronous solves hold the request
+	// open for the whole solve, so this must comfortably exceed the slowest
+	// expected solve — it is a liveness backstop, not an SLO.
+	AttemptTimeout time.Duration
+	// ProbeTimeout bounds health and metadata probes (default 2s).
+	ProbeTimeout time.Duration
+	// Client optionally overrides the HTTP client used for backend calls
+	// (tests inject httptest clients). Its Timeout should stay zero — the
+	// router applies per-attempt timeouts itself.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 || c.MaxAttempts > len(c.Nodes) {
+		c.MaxAttempts = len(c.Nodes)
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}

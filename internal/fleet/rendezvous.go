@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+// rendezvousOrder returns nodes sorted by descending rendezvous score for key:
+// index 0 is the key's home node, the rest are the failover order. Every
+// router that agrees on the node SET produces the same order for the same key,
+// with no shared state — the property that lets routers be stateless and
+// restartable. Removing a node deletes one entry from every key's order and
+// changes nothing else, so only the removed node's keys move (the minimal-
+// disruption guarantee that distinguishes rendezvous hashing from mod-N).
+//
+// The score is sha256("rdv\x00" + key + "\x00" + node) compared as bytes:
+// cryptographic mixing makes per-key node choice uniform even when node names
+// share long prefixes ("http://10.0.0.1:8080" vs ":8081"), and the domain
+// prefix keeps these hashes disjoint from every other sha256 use in the repo.
+// Ties (impossible in practice for distinct nodes) break by node string so the
+// order is total either way.
+func rendezvousOrder(key string, nodes []string) []string {
+	type scored struct {
+		node  string
+		score [sha256.Size]byte
+	}
+	ss := make([]scored, len(nodes))
+	for i, n := range nodes {
+		ss[i] = scored{node: n, score: rendezvousScore(key, n)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		for b := 0; b < sha256.Size; b++ {
+			if ss[i].score[b] != ss[j].score[b] {
+				return ss[i].score[b] > ss[j].score[b]
+			}
+		}
+		return ss[i].node < ss[j].node
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.node
+	}
+	return out
+}
+
+// rendezvousScore is one (key, node) cell of the rendezvous table.
+func rendezvousScore(key, node string) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("rdv\x00"))
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(node))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Rendezvous hashing's load-bearing properties, pinned: determinism (every
+// router agrees), totality (all nodes appear exactly once), rough balance,
+// and minimal disruption (removing a node only remaps that node's keys —
+// the property that makes fleet membership changes cheap).
+func TestRendezvousOrder(t *testing.T) {
+	nodes := []string{
+		"http://10.0.0.1:8080", "http://10.0.0.2:8080", "http://10.0.0.3:8080",
+	}
+
+	// Deterministic and total.
+	a := rendezvousOrder("digest-abc", nodes)
+	b := rendezvousOrder("digest-abc", []string{nodes[2], nodes[0], nodes[1]}) // order-independent
+	if len(a) != len(nodes) {
+		t.Fatalf("order has %d nodes, want %d", len(a), len(nodes))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node-list order changed the rendezvous order: %v vs %v", a, b)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, n := range a {
+		if seen[n] {
+			t.Fatalf("node %s appears twice", n)
+		}
+		seen[n] = true
+	}
+
+	// Rough balance: over many keys, each node should own a non-trivial share.
+	// sha256 mixing makes the split near-uniform; the bound is loose on
+	// purpose (this is a smoke test, not a statistics exam).
+	const keys = 3000
+	owns := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		owns[rendezvousOrder(fmt.Sprintf("key-%d", i), nodes)[0]]++
+	}
+	for _, n := range nodes {
+		if owns[n] < keys/len(nodes)/2 {
+			t.Fatalf("node %s owns only %d of %d keys — hash badly skewed: %v", n, owns[n], keys, owns)
+		}
+	}
+
+	// Minimal disruption: drop node[1]; every key NOT owned by it keeps its
+	// owner, and its keys land on their previous SECOND choice.
+	reduced := []string{nodes[0], nodes[2]}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := rendezvousOrder(key, nodes)
+		after := rendezvousOrder(key, reduced)
+		if before[0] != nodes[1] {
+			if after[0] != before[0] {
+				t.Fatalf("key %s moved from %s to %s though its owner survived", key, before[0], after[0])
+			}
+		} else if after[0] != before[1] {
+			t.Fatalf("key %s: owner removed, expected failover to %s, got %s", key, before[1], after[0])
+		}
+	}
+}
+
+func TestNewRouterValidatesNodes(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewRouter(Config{Nodes: []string{"http://a", ""}}); err == nil {
+		t.Fatal("empty node URL accepted")
+	}
+	if _, err := NewRouter(Config{Nodes: []string{"http://a", "http://a"}}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRouter(Config{Nodes: []string{"http://a"}}); err != nil {
+		t.Fatalf("single-node fleet rejected: %v", err)
+	}
+}

@@ -1,0 +1,462 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Error codes the router adds to the serve API's vocabulary.
+const (
+	// CodeFleetExhausted (503) means every eligible node failed the request:
+	// transport errors and drains all the way down the rendezvous order.
+	CodeFleetExhausted = "fleet_exhausted"
+	// CodeShuttingDown matches serve's code: the ROUTER is draining.
+	CodeShuttingDown = "shutting_down"
+	// CodeUnknownJob matches serve's code: no node knows the job id.
+	CodeUnknownJob = "unknown_job"
+)
+
+// NodeHeader is the response header naming the backend node that produced the
+// response — the fleet's observability hook (tests and the CI smoke assert
+// routing decisions through it; operators grep it out of access logs).
+const NodeHeader = "X-Fleet-Node"
+
+// apiError mirrors serve's structured error envelope so fleet responses are
+// indistinguishable in shape from node responses.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorBody struct {
+	Error *apiError `json:"error"`
+}
+
+// Router fans POST /v1/solve across a fleet of setcoverd nodes by instance
+// content digest. It is stateless apart from a name→digest cache and metrics:
+// restart it, run several concurrently — routing decisions depend only on
+// (key, node list).
+type Router struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	closed  bool
+	digests map[string]string // instance name or digest → digest
+
+	wg sync.WaitGroup
+
+	requests  atomic.Int64
+	retries   atomic.Int64
+	exhausted atomic.Int64
+	perNode   map[string]*atomic.Int64 // node → responses relayed from it
+}
+
+// NewRouter builds a router over cfg.Nodes.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("fleet: no nodes configured")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n == "" {
+			return nil, errors.New("fleet: empty node URL")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("fleet: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	rt := &Router{
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		digests: make(map[string]string),
+		perNode: make(map[string]*atomic.Int64, len(cfg.Nodes)),
+	}
+	for _, n := range rt.cfg.Nodes {
+		rt.perNode[n] = &atomic.Int64{}
+	}
+	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/instances", rt.handleInstances)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Handler returns the http.Handler serving the router API.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Shutdown drains the router: new requests get 503 immediately; Shutdown then
+// waits for in-flight relays to finish or ctx to expire. Backend nodes drain
+// separately — the router holds no solve state to hand off.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enter registers an in-flight request for drain accounting; it reports false
+// (and answers 503) when the router is draining.
+func (rt *Router) enter(w http.ResponseWriter) bool {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "router is draining")
+		return false
+	}
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+	return true
+}
+
+// handleSolve routes one solve: resolve the instance to its digest, walk the
+// digest's rendezvous order, relay the first answer that is not a dead or
+// draining node.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !rt.enter(w) {
+		return
+	}
+	defer rt.wg.Done()
+	rt.requests.Add(1)
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		return
+	}
+	// Lenient peek at the instance field only — full validation is the
+	// backend's job, and duplicating it here would let the two drift.
+	var peek struct {
+		Instance string `json:"instance"`
+	}
+	_ = json.Unmarshal(body, &peek)
+	key := rt.resolveDigest(r.Context(), peek.Instance)
+
+	order := rendezvousOrder(key, rt.cfg.Nodes)
+	if len(order) > rt.cfg.MaxAttempts {
+		order = order[:rt.cfg.MaxAttempts]
+	}
+	var failures []string
+	for i, node := range order {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		resp, err := rt.attempt(r.Context(), node, body)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
+			continue
+		}
+		rt.perNode[node].Add(1)
+		rt.relay(w, node, resp)
+		return
+	}
+	rt.exhausted.Add(1)
+	writeError(w, http.StatusServiceUnavailable, CodeFleetExhausted,
+		"all %d eligible nodes failed: %s", len(order), strings.Join(failures, "; "))
+}
+
+// errNodeDraining marks a 503 from a backend — retryable, unlike every other
+// backend status.
+var errNodeDraining = errors.New("node draining (503)")
+
+// attempt posts the solve body to one node. The returned response is live
+// (body unread) when err is nil; any error — transport or a 503 drain signal —
+// means "try the next node". The attempt timeout covers dial through response
+// HEADERS; relay of the body is unbounded by design (see DefaultAttemptTimeout).
+func (rt *Router) attempt(parent context.Context, node string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithCancel(parent)
+	timer := time.AfterFunc(rt.cfg.AttemptTimeout, cancel)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		timer.Stop()
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		timer.Stop()
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// A draining or overloaded-to-death node: the ONLY status worth moving
+		// on for. 429 is backpressure the client must see; 4xx/5xx otherwise
+		// would fail identically everywhere (determinism again).
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		timer.Stop()
+		cancel()
+		return nil, errNodeDraining
+	}
+	// Headers arrived: disarm the attempt timeout and hand the live body to
+	// the caller. The cancel is deliberately leaked to the response's lifetime
+	// — relay closes the body, which releases the connection; the context is
+	// collected with it.
+	timer.Stop()
+	return resp, nil
+}
+
+// relay copies a backend response to the client verbatim, stamping the node
+// header and flushing after each chunk so streamed NDJSON covers flow through
+// the router without buffering.
+func (rt *Router) relay(w http.ResponseWriter, node string, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set(NodeHeader, node)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client went away; nothing to clean up
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// resolveDigest maps an instance name to its content digest via the fleet's
+// catalogs, caching positives (a digest is content-addressed — it cannot go
+// stale while the fleet serves the same files). Unknown names fall back to the
+// raw string: it may BE a digest the router has not seen listed, and if it is
+// simply wrong, the backend answers 404 exactly as it would un-routed.
+func (rt *Router) resolveDigest(ctx context.Context, name string) string {
+	if name == "" {
+		return ""
+	}
+	rt.mu.Lock()
+	d, ok := rt.digests[name]
+	rt.mu.Unlock()
+	if ok {
+		return d
+	}
+	rt.refreshDigests(ctx)
+	rt.mu.Lock()
+	d, ok = rt.digests[name]
+	rt.mu.Unlock()
+	if ok {
+		return d
+	}
+	return name
+}
+
+// refreshDigests reloads the name→digest map from the first node that answers
+// GET /v1/instances.
+func (rt *Router) refreshDigests(ctx context.Context) {
+	for _, node := range rt.cfg.Nodes {
+		var listing struct {
+			Instances []struct {
+				Name   string `json:"name"`
+				Digest string `json:"digest"`
+			} `json:"instances"`
+		}
+		if err := rt.probeJSON(ctx, node+"/v1/instances", &listing); err != nil {
+			continue
+		}
+		rt.mu.Lock()
+		for _, inst := range listing.Instances {
+			rt.digests[inst.Name] = inst.Digest
+			rt.digests[inst.Digest] = inst.Digest
+		}
+		rt.mu.Unlock()
+		return
+	}
+}
+
+// probeJSON GETs url with the probe timeout and decodes a 200 JSON body into v.
+func (rt *Router) probeJSON(parent context.Context, url string, v any) error {
+	ctx, cancel := context.WithTimeout(parent, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(v)
+}
+
+// handleJob forwards a job-handle poll. Job ids are NODE-local (the node that
+// admitted the solve owns the job), and async clients may poll through the
+// router, so it asks each node in turn and relays the first answer that is not
+// a 404.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	if !rt.enter(w) {
+		return
+	}
+	defer rt.wg.Done()
+	id := r.PathValue("id")
+	for _, node := range rt.cfg.Nodes {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/jobs/"+id, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			cancel()
+			continue
+		}
+		rt.relay(w, node, resp)
+		cancel()
+		return
+	}
+	writeError(w, http.StatusNotFound, CodeUnknownJob, "job %q not found on any node", id)
+}
+
+// handleInstances relays the catalog listing from the first healthy node —
+// fleet nodes register identical catalogs (a deployment invariant the healthz
+// digest check below makes observable, not something the router can enforce).
+func (rt *Router) handleInstances(w http.ResponseWriter, r *http.Request) {
+	if !rt.enter(w) {
+		return
+	}
+	defer rt.wg.Done()
+	for _, node := range rt.cfg.Nodes {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/instances", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			cancel()
+			continue
+		}
+		rt.relay(w, node, resp)
+		cancel()
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, CodeFleetExhausted, "no node answered the catalog listing")
+}
+
+// handleHealthz reports fleet health: 200 while at least one node serves
+// (the fleet survives any minority of nodes dying — that is its point),
+// with the per-node breakdown in the body for operators.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	closed := rt.closed
+	rt.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "router is draining")
+		return
+	}
+	type probe struct {
+		node   string
+		status string
+	}
+	results := make(chan probe, len(rt.cfg.Nodes))
+	for _, node := range rt.cfg.Nodes {
+		go func(node string) {
+			var v struct {
+				Status string `json:"status"`
+			}
+			err := rt.probeJSON(r.Context(), node+"/healthz", &v)
+			switch {
+			case err == nil && v.Status == "ok":
+				results <- probe{node, "ok"}
+			case err == nil:
+				results <- probe{node, "unhealthy"}
+			default:
+				results <- probe{node, "down"}
+			}
+		}(node)
+	}
+	nodes := make(map[string]string, len(rt.cfg.Nodes))
+	healthy := 0
+	for range rt.cfg.Nodes {
+		p := <-results
+		nodes[p.node] = p.status
+		if p.status == "ok" {
+			healthy++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if healthy == 0 {
+		status, code = "down", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "healthy": healthy, "nodes": nodes})
+}
+
+// handleMetrics serves the router's own counters (node metrics live on the
+// nodes).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "setcoverrt_requests_total %d\n", rt.requests.Load())
+	fmt.Fprintf(w, "setcoverrt_retries_total %d\n", rt.retries.Load())
+	fmt.Fprintf(w, "setcoverrt_exhausted_total %d\n", rt.exhausted.Load())
+	fmt.Fprintf(w, "setcoverrt_nodes %d\n", len(rt.cfg.Nodes))
+	nodes := make([]string, 0, len(rt.perNode))
+	for n := range rt.perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(w, "setcoverrt_routed_total{node=%q} %d\n", n, rt.perNode[n].Load())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: &apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}

@@ -2,6 +2,7 @@ package scdisk
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -242,6 +243,82 @@ func TestElemPoolShardSweepAndLockCount(t *testing.T) {
 	p.put(big, 5)
 	if n := len(p.shards[5].free); n != maxPooledPerShard {
 		t.Fatalf("shard 5 holds %d buffers, cap is %d", n, maxPooledPerShard)
+	}
+}
+
+// The audit gap, pinned: on a file whose data section is larger than both
+// sampled ends, a single bit flip in the MIDDLE of the data section preserves
+// the header, the whole index (per-set byte lengths and cardinalities), and
+// both 64KB samples — so the cheap registration Digest cannot see it. The
+// full-content VerifyDigest must. This is exactly the corruption class
+// -verify-digest exists for.
+func TestVerifyDigestCatchesMidFileBitFlip(t *testing.T) {
+	// ~300 KB of set data: 2000 sets of 100 consecutive elements each.
+	const n, m, span = 4096, 2000, 100
+	in := &setcover.Instance{N: n}
+	for i := 0; i < m; i++ {
+		start := (i * 37) % (n - span)
+		elems := make([]setcover.Elem, span)
+		for j := range elems {
+			elems[j] = setcover.Elem(start + j)
+		}
+		in.Sets = append(in.Sets, setcover.Set{ID: i, Elems: elems})
+	}
+	path := filepath.Join(t.TempDir(), "big.scb")
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasIndex() {
+		t.Fatal("expected indexed file")
+	}
+	dataLen := d.indexOff - d.dataOff
+	if dataLen <= 2*digestSampleLen+1024 {
+		t.Fatalf("data section %d bytes is not larger than both samples; grow the instance", dataLen)
+	}
+	flipAt := d.dataOff + dataLen/2
+	origSampled, err := d.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origFull, err := d.VerifyDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[flipAt] ^= 0x40 // flip one bit inside some element's varint bytes
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	flippedSampled, err := d2.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flippedFull, err := d2.VerifyDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flippedSampled != origSampled {
+		t.Fatalf("sampled digest saw the mid-file flip — the gap this test pins has moved (flip offset %d)", flipAt)
+	}
+	if flippedFull == origFull {
+		t.Fatal("VerifyDigest missed a mid-file bit flip")
+	}
+	if origFull == origSampled {
+		t.Fatal("full and sampled digests collide (domain separation broken)")
 	}
 }
 

@@ -310,6 +310,27 @@ func (d *Repo) Digest() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// VerifyDigest returns the audit-grade content digest: a hash of the ENTIRE
+// file, byte for byte, regardless of whether the index footer is present.
+// Where Digest trades completeness for registration-time cheapness (on
+// indexed files it samples 64 KB from each end of the data section, so a
+// deliberate mid-file corruption that preserves the index profile can escape
+// it), VerifyDigest reads every byte: any bit flip anywhere in the file
+// changes it. The cost is a full sequential read — O(file size) I/O — which
+// is why it is the opt-in mode (setcoverd -verify-digest) rather than the
+// default. The scheme is domain-separated from both Digest schemes, so a
+// sampled digest can never be confused with a full one: fleets must register
+// with one mode consistently for digest addressing and the shared result
+// cache to line up.
+func (d *Repo) VerifyDigest() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "scb1-verify-digest-v1\n")
+	if _, err := io.Copy(h, io.NewSectionReader(d.r, 0, d.size)); err != nil {
+		return "", fmt.Errorf("scdisk: verify digest: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // Close unmaps the file when Open mapped it and releases the underlying file
 // when the repository owns one.
 func (d *Repo) Close() error {

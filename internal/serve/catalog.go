@@ -13,17 +13,20 @@ import (
 
 // Instance is one registered entry of a Catalog: enough metadata to list and
 // address it (name, content digest, dimensions) plus the recipe for opening a
-// FRESH repository view per solve — its own file handles and pass counter, so
-// concurrent solves never share decode state and per-solve pass counts are
-// exact.
+// FRESH repository view per solve — its own pass counter, so concurrent
+// solves never share decode state and per-solve pass counts are exact.
 type Instance struct {
 	// Name is the registration name, unique within a catalog.
 	Name string `json:"name"`
 	// Digest is the content digest computed once at registration. For disk
-	// instances it is scdisk's cheap digest (SCIX footer when present,
-	// full-file fallback); for generators it binds the name, dimensions, and
-	// the registrant's tag. It is the instance component of the result-cache
-	// key, and requests may address instances by it instead of by name.
+	// instances it is scdisk's cheap sampled digest by default, or the
+	// full-content VerifyDigest when the catalog is in verify-digest mode;
+	// for generators it is a SELF-digest binding the name, dimensions, the
+	// registrant's tag, AND a sample of the generator's actual output (the
+	// first and last generatorDigestSets sets), so two generators that claim
+	// the same tag but produce different families cannot alias each other.
+	// It is the instance component of the result-cache key, and requests may
+	// address instances by it instead of by name.
 	Digest string `json:"digest"`
 	// N and M are the universe size and family size.
 	N int `json:"n"`
@@ -34,23 +37,95 @@ type Instance struct {
 	Path string `json:"path,omitempty"`
 
 	open func() (stream.Repository, func() error, error)
+	// closePool releases pooled repository handles (disk instances only).
+	closePool func() error
 }
 
-// Open returns a fresh repository over the instance plus a release function
-// to call when the solve is done (closes per-solve file handles; a no-op for
-// generators).
+// Open returns a fresh repository view over the instance plus a release
+// function to call when the solve is done. Disk instances draw from a small
+// pool of open scdisk.Repo handles — a solve checks a handle out exclusively
+// (its pass counter reset, so per-solve counts stay exact) and release
+// returns it for the next solve instead of closing, dropping the
+// open/stat/index-parse syscall tax from every solve of a hot instance.
+// Beyond poolSize concurrently checked-out handles, extra opens are
+// satisfied fresh and closed on release.
 func (inst *Instance) Open() (stream.Repository, func() error, error) {
 	return inst.open()
 }
 
+// repoPoolSize bounds the idle open handles kept per disk instance. Handles
+// beyond it (opened under a burst of concurrent solves) close on release;
+// four idle handles cover a typical MaxConcurrent without pinning file
+// descriptors for hundreds of registered instances.
+const repoPoolSize = 4
+
+// repoPool is one disk instance's free list of open handles. After close,
+// releases close their handle instead of re-pooling it, so a drained catalog
+// cannot re-accumulate descriptors from solves that were in flight.
+type repoPool struct {
+	mu     sync.Mutex
+	free   []*scdisk.Repo
+	closed bool
+}
+
+// get checks out an idle handle, or nil when none is pooled.
+func (p *repoPool) get() *scdisk.Repo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return nil
+	}
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return r
+}
+
+// put returns a handle to the free list, closing it when the pool is full or
+// closed.
+func (p *repoPool) put(r *scdisk.Repo) error {
+	p.mu.Lock()
+	if !p.closed && len(p.free) < repoPoolSize {
+		p.free = append(p.free, r)
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	return r.Close()
+}
+
+// close closes every idle handle and flips the pool so future releases close
+// too.
+func (p *repoPool) close() error {
+	p.mu.Lock()
+	free := p.free
+	p.free, p.closed = nil, true
+	p.mu.Unlock()
+	var first error
+	for _, r := range free {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// generatorDigestSets is how many sets from EACH END of a generator's stream
+// its registration self-digest samples (16 total): enough that two
+// generators differing anywhere near either boundary — the overwhelmingly
+// common case for a wrong seed, version, or off-by-one — get different
+// digests, while registration stays O(1) generator calls rather than O(m).
+const generatorDigestSets = 8
+
 // Catalog is the registry of solvable instances. Registration digests and
 // validates each instance exactly once; solves then address it by name or
-// digest without re-opening metadata. Safe for concurrent use.
+// digest without re-opening metadata. Safe for concurrent use. Close the
+// catalog when done to release pooled file handles.
 type Catalog struct {
 	mu       sync.RWMutex
 	byName   map[string]*Instance
 	byDigest map[string]*Instance // first registration wins per digest
 	order    []string             // registration order, for stable listings
+	verify   bool
 }
 
 // NewCatalog returns an empty catalog.
@@ -58,9 +133,23 @@ func NewCatalog() *Catalog {
 	return &Catalog{byName: make(map[string]*Instance), byDigest: make(map[string]*Instance)}
 }
 
+// SetVerifyDigest switches subsequent AddFile registrations to the
+// audit-grade FULL-content digest (scdisk.Repo.VerifyDigest) instead of the
+// sampled default: registration reads the whole file, and the resulting
+// digest changes on ANY bit flip, not just ones the sampled scheme observes.
+// The two schemes are domain-separated — a fleet must register every node in
+// the same mode for digest addressing and the shared persistent cache to
+// agree on keys.
+func (c *Catalog) SetVerifyDigest(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verify = on
+}
+
 // AddFile registers the SCB1 file at path (plain or indexed) under name. The
 // file is opened once to validate the header and compute the content digest;
-// every subsequent solve opens its own repository over it. Registering a
+// that handle seeds the instance's pool, and every subsequent solve checks a
+// pooled handle out (or opens a fresh one past the pool). Registering a
 // truncated-but-openable file succeeds — SCB1 headers cannot promise the data
 // that follows — and the corruption surfaces as a structured pass failure at
 // solve time instead.
@@ -69,32 +158,62 @@ func (c *Catalog) AddFile(name, path string) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: register %q: %w", name, err)
 	}
-	digest, err := d.Digest()
+	c.mu.RLock()
+	verify := c.verify
+	c.mu.RUnlock()
+	var digest string
+	if verify {
+		digest, err = d.VerifyDigest()
+	} else {
+		digest, err = d.Digest()
+	}
 	n, m := d.UniverseSize(), d.NumSets()
-	d.Close()
 	if err != nil {
+		d.Close()
 		return nil, fmt.Errorf("serve: register %q: %w", name, err)
 	}
+
+	// The handle pool, seeded with the registration handle. Checkout is
+	// non-blocking — an empty pool means the solve opens its own handle;
+	// release returns to the pool, or closes when the pool is full or the
+	// catalog has been closed.
+	pool := &repoPool{}
+	pool.put(d)
 	inst := &Instance{
 		Name: name, Digest: digest, N: n, M: m, Kind: "disk", Path: path,
 		open: func() (stream.Repository, func() error, error) {
-			r, err := scdisk.Open(path)
-			if err != nil {
-				return nil, nil, err
+			r := pool.get()
+			if r == nil {
+				var err error
+				if r, err = scdisk.Open(path); err != nil {
+					return nil, nil, err
+				}
 			}
-			return r, r.Close, nil
+			// Exact per-solve pass counts on a reused handle.
+			r.ResetPasses()
+			return r, func() error { return pool.put(r) }, nil
 		},
+		closePool: pool.close,
 	}
-	return inst, c.add(inst)
+	if err := c.add(inst); err != nil {
+		inst.closePool()
+		return nil, err
+	}
+	return inst, nil
 }
 
 // AddGenerator registers a named in-process generator of m sets over n
 // elements. gen must follow the stream.NewFuncRepo contract (freshly
 // allocated sorted-unique elements, safe for concurrent calls — segmented
-// decode may run it on several goroutines). tag should change whenever the
-// generated family changes (a seed, a version): the digest binds only
-// (name, n, m, tag), so a stale tag would alias distinct families in the
-// result cache.
+// decode may run it on several goroutines, and registration itself calls it).
+// tag should still change whenever the generated family changes (a seed, a
+// version), but the digest no longer TRUSTS it: registration samples the
+// generator's actual output — the first and last generatorDigestSets sets —
+// into the digest, so two generators registered under the same tag with
+// different output get different digests and cannot alias each other's
+// result-cache entries. (A stale tag on generators that differ ONLY in an
+// unsampled interior region can still collide; the tag remains the
+// registrant's contract for that residue.)
 func (c *Catalog) AddGenerator(name string, n, m int, tag string, gen func(id int) setcover.Set) (*Instance, error) {
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("serve: register %q: negative dimensions n=%d m=%d", name, n, m)
@@ -103,7 +222,24 @@ func (c *Catalog) AddGenerator(name string, n, m int, tag string, gen func(id in
 		return nil, fmt.Errorf("serve: register %q: nil generator", name)
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "generator-digest-v1\x00%s\x00%d\x00%d\x00%s", name, n, m, tag)
+	fmt.Fprintf(h, "generator-digest-v2\x00%s\x00%d\x00%d\x00%s", name, n, m, tag)
+	// Sample the generator's own output into the digest: the first and last
+	// generatorDigestSets stream positions (deduplicated when they overlap).
+	last := m - generatorDigestSets
+	if last < generatorDigestSets {
+		last = generatorDigestSets
+	}
+	for id := 0; id < m; id++ {
+		if id >= generatorDigestSets && id < last {
+			id = last - 1 // skip the unsampled interior
+			continue
+		}
+		s := gen(id)
+		fmt.Fprintf(h, "\x00set %d len %d:", id, len(s.Elems))
+		for _, e := range s.Elems {
+			fmt.Fprintf(h, " %d", e)
+		}
+	}
 	inst := &Instance{
 		Name: name, Digest: hex.EncodeToString(h.Sum(nil)), N: n, M: m, Kind: "generator",
 		open: func() (stream.Repository, func() error, error) {
@@ -155,4 +291,26 @@ func (c *Catalog) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.order)
+}
+
+// Close releases every pooled repository handle. Solves in flight keep their
+// checked-out handles and close them on release (a closed pool re-pools
+// nothing); solving after Close still works — fresh handles open per solve —
+// so Close is a shutdown courtesy, not a poison pill.
+func (c *Catalog) Close() error {
+	c.mu.RLock()
+	insts := make([]*Instance, 0, len(c.order))
+	for _, name := range c.order {
+		insts = append(insts, c.byName[name])
+	}
+	c.mu.RUnlock()
+	var first error
+	for _, inst := range insts {
+		if inst.closePool != nil {
+			if err := inst.closePool(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }

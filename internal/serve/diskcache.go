@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// diskCache is the persistent tier of the result cache: one file per cache
+// key under a directory, so cached covers survive daemon restarts and — when
+// several daemons point at the same directory — are shared fleet-wide. The
+// determinism contract (DESIGN.md §5: byte-identical covers at any
+// Workers/BatchSize/backend) is what makes sharing sound: a result computed
+// by ANY node under a content digest answers the same request on EVERY node,
+// so the cache needs no owner, no coordination, and no invalidation beyond
+// key identity.
+//
+// On-disk format (one JSON object per file, see encodeCacheFile):
+//
+//	{"v":1,"sum":"<sha256 hex of the payload bytes>","payload":{"key":"...","result":{...}}}
+//
+// The file name is sha256(key) + ".json" — keys embed instance digests and
+// parameter strings, so hashing keeps names fixed-length and filesystem-safe.
+// Writes go through an O_EXCL temp file in the same directory followed by an
+// atomic rename: readers never observe a half-written entry, and two daemons
+// racing to publish the same key both land a complete file (last rename wins;
+// the contents are byte-identical by determinism, so it does not matter
+// which).
+//
+// Loads are VALIDATED, never trusted: the checksum must match the payload
+// bytes and the payload's embedded key must match the requested key (a file
+// copied or renamed under the wrong name — the "wrong digest" failure — is
+// rejected like any corruption). A file that fails validation is deleted and
+// the solve re-runs; a corrupt cache can cost work, never wrong answers.
+type diskCache struct {
+	dir string
+	// errs counts filesystem and validation failures (surfaced on /metrics);
+	// the cache itself degrades to misses, never to errors.
+	errs atomic.Int64
+}
+
+// cacheFileVersion is the on-disk format version; decodeCacheFile rejects
+// anything else.
+const cacheFileVersion = 1
+
+// cacheFile is the outer envelope of one persisted entry.
+type cacheFile struct {
+	V   int    `json:"v"`
+	Sum string `json:"sum"`
+	// Payload stays raw for decoding so the checksum binds the exact bytes,
+	// not a re-marshaling of them.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// cachePayload is the checksummed interior.
+type cachePayload struct {
+	Key    string       `json:"key"`
+	Result *SolveResult `json:"result"`
+}
+
+// newDiskCache returns a cache rooted at dir, creating it if needed.
+func newDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// path maps a cache key to its file.
+func (c *diskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// get loads and validates the entry for key. Any failure — missing file,
+// short file, corrupt JSON, checksum mismatch, key mismatch — is a miss; a
+// present-but-invalid file is additionally deleted so the re-solve can
+// repopulate it.
+func (c *diskCache) get(key string) (*SolveResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	p := c.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			c.errs.Add(1)
+		}
+		return nil, false
+	}
+	res, err := decodeCacheFile(data, key)
+	if err != nil {
+		c.errs.Add(1)
+		os.Remove(p) // never serve it, never trip on it again
+		return nil, false
+	}
+	return res, true
+}
+
+// put persists the entry for key. Failures are counted and swallowed: the
+// memory tier already has the result, and persistence is an optimization.
+func (c *diskCache) put(key string, res *SolveResult) {
+	if c == nil {
+		return
+	}
+	data, err := encodeCacheFile(key, res)
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		c.errs.Add(1)
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		c.errs.Add(1)
+		os.Remove(tmp.Name())
+	}
+}
+
+// errors reports the number of filesystem/validation failures so far.
+func (c *diskCache) errorCount() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.errs.Load()
+}
+
+// encodeCacheFile builds the on-disk bytes for (key, result).
+func encodeCacheFile(key string, res *SolveResult) ([]byte, error) {
+	payload, err := json.Marshal(cachePayload{Key: key, Result: res})
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(cacheFile{V: cacheFileVersion, Sum: hex.EncodeToString(sum[:]), Payload: payload})
+}
+
+// decodeCacheFile validates data as a persisted entry for wantKey and returns
+// the result. It is the whole trust boundary of the persistent cache — every
+// byte of data is attacker-controllable in principle (a shared directory), so
+// it must never panic and never accept an entry whose checksum or key does
+// not match (FuzzCacheFileDecode pins both).
+func decodeCacheFile(data []byte, wantKey string) (*SolveResult, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cf cacheFile
+	if err := dec.Decode(&cf); err != nil {
+		return nil, fmt.Errorf("cache file: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("cache file: trailing data")
+	}
+	if cf.V != cacheFileVersion {
+		return nil, fmt.Errorf("cache file: version %d, want %d", cf.V, cacheFileVersion)
+	}
+	if len(cf.Payload) == 0 {
+		return nil, errors.New("cache file: empty payload")
+	}
+	sum := sha256.Sum256(cf.Payload)
+	if cf.Sum != hex.EncodeToString(sum[:]) {
+		return nil, errors.New("cache file: checksum mismatch")
+	}
+	var p cachePayload
+	if err := json.Unmarshal(cf.Payload, &p); err != nil {
+		return nil, fmt.Errorf("cache payload: %w", err)
+	}
+	if p.Key != wantKey {
+		return nil, fmt.Errorf("cache file: key mismatch (stored entry belongs to a different request)")
+	}
+	if p.Result == nil {
+		return nil, errors.New("cache payload: missing result")
+	}
+	if p.Result.Cover == nil {
+		p.Result.Cover = []int{} // preserve the JSON [] contract through the disk tier
+	}
+	return p.Result, nil
+}

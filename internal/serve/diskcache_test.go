@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testResult() *SolveResult {
+	return &SolveResult{
+		Algorithm: "iter", Cover: []int{3, 1, 4, 1, 5}, CoverSize: 5,
+		Valid: true, Passes: 4, SpaceWords: 1234, BestK: 5, WallMillis: 6.25,
+	}
+}
+
+// Round trip: what put persists, get returns, across a fresh cache handle
+// (the restart story in miniature).
+func TestDiskCacheRoundTripSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult()
+	c.put("key-A", want)
+	reopened, err := newDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.get("key-A")
+	if !ok {
+		t.Fatal("persisted entry missed after reopen")
+	}
+	if got.CoverSize != want.CoverSize || len(got.Cover) != len(want.Cover) {
+		t.Fatalf("round trip mangled the result: %+v", got)
+	}
+	for i := range want.Cover {
+		if got.Cover[i] != want.Cover[i] {
+			t.Fatalf("cover[%d] = %d, want %d", i, got.Cover[i], want.Cover[i])
+		}
+	}
+	if got.Passes != want.Passes || got.SpaceWords != want.SpaceWords || !got.Valid {
+		t.Fatalf("stats mangled: %+v", got)
+	}
+	if _, ok := reopened.get("key-B"); ok {
+		t.Fatal("unknown key hit")
+	}
+}
+
+// The failure-injection matrix the issue pins: corrupt, truncated, and
+// wrong-key cache files must be REJECTED on load (a miss, so the solve
+// re-runs) and never served; rejected files are removed so they cannot trip
+// every future request.
+func TestDiskCacheRejectsCorruptEntries(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, c *diskCache, key string)
+	}{
+		{"bit-flip in payload", func(t *testing.T, c *diskCache, key string) {
+			p := c.path(key)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a byte inside the payload section (past the envelope head).
+			raw[len(raw)/2] ^= 0x01
+			if err := os.WriteFile(p, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated file", func(t *testing.T, c *diskCache, key string) {
+			p := c.path(key)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty file", func(t *testing.T, c *diskCache, key string) {
+			if err := os.WriteFile(c.path(key), nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"entry for a different key renamed into place", func(t *testing.T, c *diskCache, key string) {
+			// A VALID entry for another key, copied under this key's file
+			// name: checksum passes, the embedded key must not.
+			c.put("other-key", testResult())
+			if err := os.Rename(c.path("other-key"), c.path(key)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"checksum field zeroed", func(t *testing.T, c *diskCache, key string) {
+			p := c.path(key)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cf cacheFile
+			if err := json.Unmarshal(raw, &cf); err != nil {
+				t.Fatal(err)
+			}
+			cf.Sum = "0000"
+			out, err := json.Marshal(cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong version", func(t *testing.T, c *diskCache, key string) {
+			p := c.path(key)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cf cacheFile
+			if err := json.Unmarshal(raw, &cf); err != nil {
+				t.Fatal(err)
+			}
+			cf.V = 99
+			out, err := json.Marshal(cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := newDiskCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const key = "victim-key"
+			c.put(key, testResult())
+			if _, ok := c.get(key); !ok {
+				t.Fatal("healthy entry must hit before mangling")
+			}
+			tc.mangle(t, c, key)
+			if res, ok := c.get(key); ok {
+				t.Fatalf("mangled entry was SERVED: %+v", res)
+			}
+			if c.errorCount() == 0 {
+				t.Fatal("rejection not counted")
+			}
+			if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+				t.Fatalf("rejected entry not removed: %v", err)
+			}
+		})
+	}
+}
+
+// A nil cache (no -cache-dir) is inert, and an unwritable directory degrades
+// to counted errors, not panics or wrong answers.
+func TestDiskCacheDegradedModes(t *testing.T) {
+	var nilCache *diskCache
+	nilCache.put("k", testResult())
+	if _, ok := nilCache.get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if nilCache.errorCount() != 0 {
+		t.Fatal("nil cache counted errors")
+	}
+
+	dir := filepath.Join(t.TempDir(), "sub")
+	c, err := newDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.put("k", testResult()) // temp-file creation fails: counted, swallowed
+	if c.errorCount() == 0 {
+		t.Fatal("write into a missing dir not counted")
+	}
+}
+
+// The decoder is the persistent cache's whole trust boundary: arbitrary bytes
+// must never panic it, and anything it ACCEPTS must checksum-validate and
+// carry the requested key — the two properties corrupt/truncated/wrong-key
+// injection relies on. Valid encodings must keep round-tripping.
+func FuzzCacheFileDecode(f *testing.F) {
+	valid, err := encodeCacheFile("seed-key", testResult())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, "seed-key")
+	f.Add(valid, "other-key")
+	f.Add([]byte(`{"v":1,"sum":"","payload":{}}`), "k")
+	f.Add([]byte(`{"v":1}`), "k")
+	f.Add([]byte(``), "k")
+	f.Add([]byte(`[]`), "k")
+	f.Fuzz(func(t *testing.T, data []byte, key string) {
+		res, err := decodeCacheFile(data, key)
+		if err != nil {
+			return
+		}
+		// Accepted: the entry must re-encode to something that decodes to the
+		// same result under the same key (the round-trip the cache depends
+		// on), and must genuinely carry the requested key.
+		re, err := encodeCacheFile(key, res)
+		if err != nil {
+			t.Fatalf("accepted result does not re-encode: %v", err)
+		}
+		res2, err := decodeCacheFile(re, key)
+		if err != nil {
+			t.Fatalf("re-encoded entry rejected: %v", err)
+		}
+		if res2.CoverSize != res.CoverSize || len(res2.Cover) != len(res.Cover) {
+			t.Fatalf("round trip diverged: %+v vs %+v", res, res2)
+		}
+	})
+}

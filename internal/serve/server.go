@@ -38,6 +38,15 @@ type Config struct {
 	// JobHistory caps retained finished jobs (default 1024): beyond it the
 	// oldest finished jobs are forgotten and their ids return 404.
 	JobHistory int
+	// CacheDir, when non-empty, adds a PERSISTENT tier under the LRU result
+	// cache: finished solves are written to one validated file per cache key
+	// (atomic write-rename), and misses in the memory tier consult the
+	// directory before admitting a solve. Point several daemons at the same
+	// directory and the cache is shared fleet-wide — sound because the
+	// determinism contract makes any node's result valid for every node.
+	// Empty disables the tier. The directory should exist and be writable;
+	// failures degrade to counted misses, never errors.
+	CacheDir string
 }
 
 // DefaultMaxQueue is a reasonable queue depth for daemon deployments
@@ -96,8 +105,12 @@ type jobView struct {
 	Instance *Instance     `json:"instance"`
 	Request  *SolveRequest `json:"request,omitempty"`
 	Cached   bool          `json:"cached"`
-	Result   *SolveResult  `json:"result,omitempty"`
-	Error    *APIError     `json:"error,omitempty"`
+	// Coalesced marks a response that shared another request's in-flight
+	// solve (single-flight): the work ran once, this client got the same
+	// bytes. Only ever true alongside Cached=false.
+	Coalesced bool         `json:"coalesced,omitempty"`
+	Result    *SolveResult `json:"result,omitempty"`
+	Error     *APIError    `json:"error,omitempty"`
 }
 
 // Server is the HTTP solver service over a Catalog. Create with NewServer,
@@ -106,12 +119,14 @@ type Server struct {
 	cat   *Catalog
 	cfg   Config
 	cache *resultCache
+	disk  *diskCache // persistent tier; nil without Config.CacheDir
 	mux   *http.ServeMux
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	jobOrder []string // retention order for JobHistory eviction
-	admitted int      // queued + running, bounded by MaxConcurrent+MaxQueue
+	jobOrder []string        // retention order for JobHistory eviction
+	inflight map[string]*job // cache key → admitted non-terminal job (single-flight)
+	admitted int             // queued + running, bounded by MaxConcurrent+MaxQueue
 	nextID   int
 	closed   bool
 
@@ -122,7 +137,9 @@ type Server struct {
 	solvesTotal   atomic.Int64
 	solveFailures atomic.Int64
 	cacheHits     atomic.Int64
+	diskHits      atomic.Int64
 	cacheMisses   atomic.Int64
+	coalesced     atomic.Int64
 	rejected      atomic.Int64
 	running       atomic.Int64
 }
@@ -130,12 +147,19 @@ type Server struct {
 // NewServer builds a server over the catalog.
 func NewServer(cat *Catalog, cfg Config) *Server {
 	s := &Server{
-		cat:  cat,
-		cfg:  cfg.withDefaults(),
-		jobs: make(map[string]*job),
-		mux:  http.NewServeMux(),
+		cat:      cat,
+		cfg:      cfg.withDefaults(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		mux:      http.NewServeMux(),
 	}
 	s.cache = newResultCache(s.cfg.CacheSize)
+	if s.cfg.CacheDir != "" {
+		// An uncreatable directory disables the tier (callers that must fail
+		// fast — cmd/setcoverd — validate the directory before NewServer);
+		// per-operation failures afterwards degrade to counted misses.
+		s.disk, _ = newDiskCache(s.cfg.CacheDir)
+	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
@@ -243,11 +267,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Cache next: a hit spends no queue slot, so hot repeat requests are
-	// served even while the queue is saturated.
+	// served even while the queue is saturated. Memory tier first, then the
+	// persistent tier (another daemon — or a previous life of this one — may
+	// have solved it already); a disk hit is promoted into the memory LRU so
+	// the file is read once.
 	key := req.cacheKey(inst.Digest)
-	if res, ok := s.cache.get(key); ok {
+	res, hit := s.cache.get(key)
+	if !hit && s.disk != nil {
+		if res, hit = s.disk.get(key); hit {
+			s.diskHits.Add(1)
+			s.cache.put(key, res)
+		}
+	}
+	if hit {
 		s.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, jobView{
+		s.writeSolveOK(w, req, jobView{
 			Status: jobDone, Instance: inst, Request: req, Cached: true, Result: res,
 		})
 		return
@@ -256,11 +290,31 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Bounded admission: running + waiting ≤ MaxConcurrent + MaxQueue. The
 	// miss counter is bumped only for ADMITTED requests, so hits + misses
 	// reconciles with solves attempted rather than inflating during an
-	// overload (rejections have their own counter).
+	// overload (rejections have their own counter). Before admitting, an
+	// identical request already queued or running COALESCES onto that job
+	// (single-flight): N clients hammering one digest cost one backend solve,
+	// which is what makes the fleet's cache-hit fan-in exact rather than
+	// best-effort.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is draining")
+		return
+	}
+	if j, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		s.joinJob(w, req, j)
+		return
+	}
+	// Recheck the memory tier under the lock: the winning job may have
+	// finished (and left inflight) between the unlocked get and here.
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.cacheHits.Add(1)
+		s.writeSolveOK(w, req, jobView{
+			Status: jobDone, Instance: inst, Request: req, Cached: true, Result: res,
+		})
 		return
 	}
 	if s.admitted >= s.cfg.MaxConcurrent+s.cfg.MaxQueue {
@@ -282,6 +336,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
+	s.inflight[key] = j
 	s.evictJobsLocked()
 	s.wg.Add(1)
 	s.mu.Unlock()
@@ -304,7 +359,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorBody{Error: view.Error, JobID: j.id})
 		return
 	}
-	writeJSON(w, http.StatusOK, view)
+	s.writeSolveOK(w, req, view)
+}
+
+// joinJob attaches a coalesced request to another request's in-flight job:
+// async callers get the shared job's id to poll, synchronous callers block on
+// the same done channel the owner does and relay whatever it produced —
+// result or error — so every client of one solve sees one answer.
+func (s *Server) joinJob(w http.ResponseWriter, req *SolveRequest, j *job) {
+	if !req.wait() {
+		s.mu.Lock()
+		status := j.status
+		s.mu.Unlock()
+		if status == jobDone || status == jobFailed {
+			// Terminal already: answer inline like a cache hit would.
+			s.relayJob(w, req, j, true)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobView{ID: j.id, Status: status, Instance: j.inst, Request: req, Coalesced: true})
+		return
+	}
+	<-j.done
+	s.relayJob(w, req, j, true)
+}
+
+// relayJob writes job j's terminal outcome for req.
+func (s *Server) relayJob(w http.ResponseWriter, req *SolveRequest, j *job, coalesced bool) {
+	s.mu.Lock()
+	view := jobView{ID: j.id, Status: j.status, Instance: j.inst, Request: req,
+		Coalesced: coalesced, Result: j.result, Error: j.err}
+	code := j.errCode
+	s.mu.Unlock()
+	if view.Error != nil {
+		writeJSON(w, code, errorBody{Error: view.Error, JobID: j.id})
+		return
+	}
+	s.writeSolveOK(w, req, view)
 }
 
 // runJob executes one admitted job: wait for a concurrency token, solve,
@@ -327,6 +417,12 @@ func (s *Server) runJob(j *job, cacheKey string) {
 		DisableSegmented: engReq.DisableSegmented,
 	})
 
+	// Persist BEFORE publishing (and outside s.mu — it is file I/O): once
+	// waiters wake, a restarted sibling may already be asked for this key.
+	if err == nil && s.disk != nil {
+		s.disk.put(cacheKey, res)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
@@ -340,6 +436,9 @@ func (s *Server) runJob(j *job, cacheKey string) {
 		j.result = res
 		s.cache.put(cacheKey, res)
 		s.solvesTotal.Add(1)
+	}
+	if s.inflight[cacheKey] == j {
+		delete(s.inflight, cacheKey)
 	}
 	close(j.done)
 	// Decrement admitted only once the job is terminal: a queued-or-running
@@ -412,8 +511,69 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "setcoverd_cache_hits_total %d\n", s.cacheHits.Load())
 	fmt.Fprintf(w, "setcoverd_cache_misses_total %d\n", s.cacheMisses.Load())
 	fmt.Fprintf(w, "setcoverd_cache_entries %d\n", s.cache.len())
+	fmt.Fprintf(w, "setcoverd_disk_cache_hits_total %d\n", s.diskHits.Load())
+	fmt.Fprintf(w, "setcoverd_disk_cache_errors_total %d\n", s.disk.errorCount())
+	fmt.Fprintf(w, "setcoverd_solves_coalesced_total %d\n", s.coalesced.Load())
 	fmt.Fprintf(w, "setcoverd_rejected_total %d\n", s.rejected.Load())
 	fmt.Fprintf(w, "setcoverd_jobs_admitted %d\n", admitted)
 	fmt.Fprintf(w, "setcoverd_jobs_running %d\n", s.running.Load())
 	fmt.Fprintf(w, "setcoverd_instances %d\n", s.cat.Len())
+}
+
+// streamChunkSize is how many cover set IDs one NDJSON chunk line carries.
+const streamChunkSize = 4096
+
+// writeSolveOK writes a successful solve response: the buffered JSON envelope
+// by default, or — when the request asked to stream — an NDJSON sequence that
+// never materializes the cover as one JSON array in the response buffer:
+//
+//	{"status":"done","cached":...,"instance":{...},"result":{...sans cover}}
+//	{"cover":[...≤streamChunkSize ids...]}   (repeated)
+//	{"eof":true,"cover_size":N}
+//
+// Clients concatenate the cover lines in order; the trailing eof line (with
+// the expected total) is the signal that the stream is complete rather than
+// severed — a truncated connection can never silently pass off a prefix as
+// the whole cover. Each line is flushed, so a proxy (the fleet router) relays
+// chunks as they are produced.
+func (s *Server) writeSolveOK(w http.ResponseWriter, req *SolveRequest, view jobView) {
+	if !req.streaming() {
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	cover := view.Result.Cover
+	head := struct {
+		jobView
+		Result struct {
+			*SolveResult
+			Cover []int `json:"cover,omitempty"` // shadows the embedded field: omitted
+		} `json:"result"`
+	}{jobView: view}
+	head.jobView.Result = nil
+	head.Result.SolveResult = view.Result
+	_ = enc.Encode(head)
+	for start := 0; start < len(cover); start += streamChunkSize {
+		end := start + streamChunkSize
+		if end > len(cover) {
+			end = len(cover)
+		}
+		_ = enc.Encode(struct {
+			Cover []int `json:"cover"`
+		}{cover[start:end]})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(struct {
+		EOF       bool `json:"eof"`
+		CoverSize int  `json:"cover_size"`
+	}{true, len(cover)})
+	if flusher != nil {
+		flusher.Flush()
+	}
 }

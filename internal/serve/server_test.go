@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -255,13 +256,17 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
+	var registered atomic.Bool // AddGenerator samples the generator; arm the gate after
 	if _, err := cat.AddGenerator("blocking", 4, 4, "v1", func(id int) setcover.Set {
-		once.Do(func() { close(started) })
-		<-release
+		if registered.Load() {
+			once.Do(func() { close(started) })
+			<-release
+		}
 		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
 	}); err != nil {
 		t.Fatal(err)
 	}
+	registered.Store(true)
 	srv := NewServer(cat, Config{MaxConcurrent: 1, MaxQueue: 0})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -513,13 +518,17 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
+	var registered atomic.Bool // AddGenerator samples the generator; arm the gate after
 	if _, err := cat.AddGenerator("blocking", 4, 4, "v1", func(id int) setcover.Set {
-		once.Do(func() { close(started) })
-		<-release
+		if registered.Load() {
+			once.Do(func() { close(started) })
+			<-release
+		}
 		return setcover.Set{Elems: []setcover.Elem{setcover.Elem(id)}}
 	}); err != nil {
 		t.Fatal(err)
 	}
+	registered.Store(true)
 	srv := NewServer(cat, Config{MaxConcurrent: 1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -582,5 +591,263 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	resp.Body.Close()
 	if jv.Status != jobDone {
 		t.Fatalf("drained job status %s, want done", jv.Status)
+	}
+}
+
+// stream:true must deliver the identical cover as the buffered response, as
+// chunked NDJSON: envelope (stats, no cover), cover chunk lines, eof trailer
+// with the expected total. Cache hits stream the same way.
+func TestStreamedSolveMatchesBuffered(t *testing.T) {
+	cat, _ := testCatalog(t)
+	srv := NewServer(cat, Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Buffered reference.
+	_, buffered, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+
+	readStream := func(wantCached bool) []int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+			strings.NewReader(`{"instance":"planted","algo":"greedy1","stream":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("streamed solve: status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		dec := json.NewDecoder(resp.Body)
+		var head struct {
+			Status string `json:"status"`
+			Cached bool   `json:"cached"`
+			Result struct {
+				Cover     []int `json:"cover"`
+				CoverSize int   `json:"cover_size"`
+				Passes    int   `json:"passes"`
+			} `json:"result"`
+		}
+		if err := dec.Decode(&head); err != nil {
+			t.Fatal(err)
+		}
+		if head.Status != "done" || head.Cached != wantCached {
+			t.Fatalf("stream head: %+v (want cached=%v)", head, wantCached)
+		}
+		if head.Result.Cover != nil {
+			t.Fatalf("stream head carries an inline cover of %d ids", len(head.Result.Cover))
+		}
+		var cover []int
+		sawEOF := false
+		for {
+			var line struct {
+				Cover     []int `json:"cover"`
+				EOF       bool  `json:"eof"`
+				CoverSize int   `json:"cover_size"`
+			}
+			if err := dec.Decode(&line); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if line.EOF {
+				sawEOF = true
+				if line.CoverSize != len(cover) {
+					t.Fatalf("eof trailer says %d ids, reassembled %d", line.CoverSize, len(cover))
+				}
+				continue
+			}
+			cover = append(cover, line.Cover...)
+		}
+		if !sawEOF {
+			t.Fatal("stream ended without eof trailer")
+		}
+		if len(cover) != head.Result.CoverSize {
+			t.Fatalf("reassembled %d ids, envelope promised %d", len(cover), head.Result.CoverSize)
+		}
+		return cover
+	}
+
+	got := readStream(true) // the buffered warmup populated the cache
+	want := buffered.Result.Cover
+	if len(got) != len(want) {
+		t.Fatalf("streamed cover size %d, buffered %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("streamed cover[%d] = %d, buffered %d", i, got[i], want[i])
+		}
+	}
+
+	// stream with wait:false is a client error.
+	code, _, apiErr := postSolve(t, ts.URL, map[string]any{
+		"instance": "planted", "algo": "greedy1", "stream": true, "wait": false,
+	})
+	if code != 400 || apiErr == nil {
+		t.Fatalf("stream+nowait: status %d err %v, want 400", code, apiErr)
+	}
+}
+
+// Single-flight: N concurrent identical requests run ONE backend solve; the
+// rest coalesce onto it and relay the same result. This is what makes the
+// fleet smoke test's "exactly one backend solve" assertion exact.
+func TestIdenticalConcurrentSolvesCoalesce(t *testing.T) {
+	cat, _ := testCatalog(t)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var calls atomic.Int64
+	var registered atomic.Bool // AddGenerator samples the generator; arm the gate after
+	if _, err := cat.AddGenerator("slow", 64, 64, "v1", func(id int) setcover.Set {
+		if id == 0 && registered.Load() {
+			calls.Add(1)
+			once.Do(func() { close(started) })
+			<-release
+		}
+		elems := make([]setcover.Elem, 0, 2)
+		elems = append(elems, setcover.Elem(id))
+		return setcover.Set{ID: id, Elems: elems}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	registered.Store(true)
+	srv := NewServer(cat, Config{MaxConcurrent: 4, MaxQueue: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 6
+	type resp struct {
+		code int
+		view jobView
+		err  *APIError
+	}
+	results := make(chan resp, clients)
+	go func() {
+		code, view, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "slow", "algo": "greedy1"})
+		results <- resp{code, view, apiErr}
+	}()
+	<-started // the owner is provably inside the solve
+	for i := 1; i < clients; i++ {
+		go func() {
+			code, view, apiErr := postSolve(t, ts.URL, map[string]any{"instance": "slow", "algo": "greedy1"})
+			results <- resp{code, view, apiErr}
+		}()
+	}
+	// Wait until the followers have coalesced (visible on the counter), then
+	// let the one real solve finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.coalesced.Load() < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers coalesced", srv.coalesced.Load(), clients-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+
+	var firstCover []int
+	for i := 0; i < clients; i++ {
+		r := <-results
+		if r.err != nil || r.code != 200 {
+			t.Fatalf("client %d: status %d err %v", i, r.code, r.err)
+		}
+		if firstCover == nil {
+			firstCover = r.view.Result.Cover
+		} else if len(r.view.Result.Cover) != len(firstCover) {
+			t.Fatal("coalesced clients saw different covers")
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("backend solved %d times for %d identical clients, want 1", got, clients)
+	}
+	m := getMetrics(t, ts.URL)
+	if m["setcoverd_solves_total"] != 1 {
+		t.Fatalf("solves_total=%d, want 1", m["setcoverd_solves_total"])
+	}
+	if m["setcoverd_solves_coalesced_total"] != clients-1 {
+		t.Fatalf("coalesced=%d, want %d", m["setcoverd_solves_coalesced_total"], clients-1)
+	}
+}
+
+// The persistent tier end to end at the server level: a solve lands a cache
+// file; a FRESH server over the same directory (the restart) answers from it
+// without solving; a corrupted file is rejected and re-solved, never served.
+func TestPersistentCacheAcrossServerRestarts(t *testing.T) {
+	dir := t.TempDir()
+	cat, _ := testCatalog(t)
+
+	srv1 := NewServer(cat, Config{CacheDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	_, first, apiErr := postSolve(t, ts1.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	ts1.Close()
+
+	// Restart: new server, same directory. Must be a (disk) cache hit.
+	srv2 := NewServer(cat, Config{CacheDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	_, second, apiErr := postSolve(t, ts2.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if !second.Cached {
+		t.Fatal("restarted server did not serve from the persistent cache")
+	}
+	if len(second.Result.Cover) != len(first.Result.Cover) {
+		t.Fatal("persisted cover differs")
+	}
+	for i := range first.Result.Cover {
+		if second.Result.Cover[i] != first.Result.Cover[i] {
+			t.Fatalf("persisted cover[%d] differs", i)
+		}
+	}
+	m := getMetrics(t, ts2.URL)
+	if m["setcoverd_solves_total"] != 0 || m["setcoverd_disk_cache_hits_total"] != 1 {
+		t.Fatalf("restart metrics: solves=%d diskHits=%d, want 0/1",
+			m["setcoverd_solves_total"], m["setcoverd_disk_cache_hits_total"])
+	}
+
+	// Corrupt every cache file: a third fresh server must REJECT them and
+	// re-solve (solves_total goes to 1), with the rejection counted.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache files on disk: %v (%d)", err, len(entries))
+	}
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xFF
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv3 := NewServer(cat, Config{CacheDir: dir})
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	_, third, apiErr := postSolve(t, ts3.URL, map[string]any{"instance": "planted", "algo": "greedy1"})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if third.Cached {
+		t.Fatal("corrupt cache entry was served")
+	}
+	if len(third.Result.Cover) != len(first.Result.Cover) {
+		t.Fatal("re-solved cover differs (determinism broken)")
+	}
+	m = getMetrics(t, ts3.URL)
+	if m["setcoverd_solves_total"] != 1 {
+		t.Fatalf("corrupt entry not re-solved: solves=%d", m["setcoverd_solves_total"])
+	}
+	if m["setcoverd_disk_cache_errors_total"] == 0 {
+		t.Fatal("corrupt entry rejection not counted")
 	}
 }

@@ -53,6 +53,14 @@ type SolveRequest struct {
 	// inline even at wait:false — no job exists, so job_id is omitted;
 	// async clients must branch on status before polling.
 	Wait *bool `json:"wait,omitempty"`
+	// Stream: when true, a successful solve is answered as chunked NDJSON —
+	// an envelope line (status + stats, no cover), then the cover in chunk
+	// lines, then an eof trailer — instead of one buffered JSON body, so a
+	// multi-million-set cover streams to the client without the server
+	// materializing its JSON encoding. Errors keep their normal one-object
+	// envelope and status code. Requires wait (the default); stream with
+	// wait:false is a 400.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // normalize applies the CLI-matching defaults in place.
@@ -122,11 +130,17 @@ func (r *SolveRequest) validate() error {
 			return fmt.Errorf("engine.batch_size %d out of [0,%d]", e.BatchSize, maxEngineBatch)
 		}
 	}
+	if r.Stream && !r.wait() {
+		return errors.New("stream:true requires wait:true (a 202 job handle has no body to stream)")
+	}
 	return nil
 }
 
 // wait reports whether the request is synchronous (the default).
 func (r *SolveRequest) wait() bool { return r.Wait == nil || *r.Wait }
+
+// streaming reports whether a successful response should be chunked NDJSON.
+func (r *SolveRequest) streaming() bool { return r.Stream }
 
 // cacheKey is the result-cache key: everything that determines the solve's
 // RESULT — instance content, algorithm, δ, p, ε, seed — and nothing that only
