@@ -56,6 +56,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/maxcover"
 	"repro/internal/offline"
+	"repro/internal/pd"
 	"repro/internal/scdisk"
 	"repro/internal/serve"
 	"repro/internal/setcover"
@@ -233,8 +234,11 @@ var OptSize = offline.OptSize
 // Baselines (the upper-bound rows of Figure 1.1). Every baseline accepts an
 // optional trailing EngineOptions value configuring the pass executor for
 // that call alone — the form concurrent solves with different configurations
-// must use (internal/serve does). With no options the process-wide default
-// applies (see SetBaselineEngine).
+// must use (internal/serve does). With no options the engine defaults apply
+// (GOMAXPROCS workers). On repositories carrying per-set costs (see
+// OpenFile and InstanceWriter.SetWeights) every baseline generalizes its
+// pick rule from coverage to cost-effectiveness; unit weights reduce
+// byte-identically to the unweighted behavior.
 var (
 	// OnePassGreedy stores the input in one pass and runs greedy: O(mn) space.
 	OnePassGreedy = baseline.OnePassGreedy
@@ -254,15 +258,6 @@ var (
 	// optional trailing EngineOptions value for this call alone.
 	SahaGetoorSetCover = maxcover.SahaGetoorSetCover
 
-	// SetBaselineEngine reconfigures the DEFAULT pass executor used by
-	// baselines called without per-call options.
-	//
-	// Deprecated: pass EngineOptions directly to the baseline instead
-	// (OnePassGreedy(repo, opts) etc.) — a process-wide default cannot serve
-	// concurrent solves with different configurations. Kept as a thin shim
-	// for legacy CLI plumbing; results are identical at every setting.
-	SetBaselineEngine = baseline.SetEngine
-
 	// Partial (ε-Partial Set Cover) variants: cover at least a (1-ε)
 	// fraction of U.
 	EmekRosenPartial        = baseline.EmekRosenPartial
@@ -281,6 +276,57 @@ type MaxKCoverResult = maxcover.Result
 
 // DIMV14Options configures the DIMV14 baseline.
 type DIMV14Options = baseline.DIMV14Options
+
+// Weighted SetCover. Per-set costs enter the system in one of three ways — an
+// Instance.Weights vector, an SCWT weight section in an SCB1 file (written by
+// InstanceWriter.SetWeights, picked up transparently by OpenFile), or
+// FuncRepo.SetWeightFunc — and every algorithm consumes them through the same
+// repository capability (stream.Weighted): the baselines and IterSetCover
+// generalize greedy's pick rule to cost-effectiveness, and BatchedPrimalDual
+// scales its dual thresholds by cost. Repositories without weights behave as
+// all-ones, byte-identically to the unweighted code paths.
+type (
+	// PDOptions configures BatchedPrimalDual (mode, ε, element-batch size,
+	// engine).
+	PDOptions = pd.Options
+	// PDResult is BatchedPrimalDual's extended report (batches, dual-update
+	// rounds, max frequency, cover cost).
+	PDResult = pd.Result
+	// PDMode selects how the primal-dual reveals the universe: dedicated
+	// batches or one element at a time.
+	PDMode = pd.Mode
+)
+
+// Primal-dual modes and defaults.
+const (
+	PDModeDedicated = pd.ModeDedicated
+	PDModeTrivial   = pd.ModeTrivial
+)
+
+var (
+	// BatchedPrimalDual runs the batched primal-dual algorithm: per element
+	// batch, one repository pass gathers incidence, then duals rise
+	// simultaneously until the batch is fractionally covered; frequency
+	// rounding yields the integral cover. f-approximate on weighted and
+	// unweighted repositories alike.
+	BatchedPrimalDual = pd.BatchedPrimalDual
+	// ParsePDMode parses "dedicated" or "trivial" (the -pd-mode flag surface).
+	ParsePDMode = pd.ParseMode
+
+	// RepositoryHasWeights reports whether the repository carries per-set
+	// costs.
+	RepositoryHasWeights = stream.HasWeights
+	// WeightOf returns repo's cost for one set (1 on unweighted
+	// repositories).
+	WeightOf = stream.WeightOf
+	// CoverWeight sums repo's costs over a cover (its cardinality on
+	// unweighted repositories).
+	CoverWeight = stream.CoverWeight
+
+	// ValidateWeights rejects weight vectors with NaN, ±Inf, zero, or
+	// negative entries (the shared trust-boundary check).
+	ValidateWeights = setcover.ValidateWeights
+)
 
 // Geometric setting (Section 4).
 type (
@@ -323,7 +369,16 @@ func AlgGeomSC(repo ShapeStream, opts GeomOptions) (GeomResult, error) {
 }
 
 // Generators.
-type PlantedConfig = gen.PlantedConfig
+type (
+	PlantedConfig = gen.PlantedConfig
+	// WeightedConfig parameterizes WeightedFunc/WeightedSlice (cost
+	// distribution, bounds, seed).
+	WeightedConfig = gen.WeightedConfig
+	// WeightKind selects the cost distribution (unit, uniform, log-uniform).
+	WeightKind = gen.WeightKind
+	// VCWorstCaseConfig parameterizes VCWorstCase (stream length, VC dim).
+	VCWorstCaseConfig = gen.VCWorstCaseConfig
+)
 
 var (
 	// Planted builds an instance whose optimum is K by construction.
@@ -346,6 +401,16 @@ var (
 	PlantedTriangles = geom.PlantedTriangles
 	// Figure12 builds the paper's quadratic-rectangles construction.
 	Figure12 = geom.Figure12
+	// WeightedFunc returns a deterministic pure per-set cost function (the
+	// weight-side PlantedFunc); WeightedSlice materializes it as a vector.
+	WeightedFunc  = gen.WeightedFunc
+	WeightedSlice = gen.WeightedSlice
+	// ParseWeightSpec parses "unit", "uniform:LO:HI", or "loguniform:LO:HI"
+	// (the -weights flag surface; fill M and Seed on the result).
+	ParseWeightSpec = gen.ParseWeightSpec
+	// VCWorstCase builds the bounded-VC-dimension adversarial family with
+	// OPT = 1 (experiment E19's instance).
+	VCWorstCase = gen.VCWorstCase
 )
 
 // Instance serialization: a human-readable text format and a compact

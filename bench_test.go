@@ -174,6 +174,15 @@ func BenchmarkThm28_ScalingSeries(b *testing.B) {
 	reportRows(b)
 }
 
+// BenchmarkBatchedPrimalDual regenerates the weighted primal-dual table
+// over the VC worst-case families (E19).
+func BenchmarkBatchedPrimalDual(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSink = experiments.E19PrimalDual(int64(i)+1, false)
+	}
+	reportRows(b)
+}
+
 // BenchmarkEngineFanout measures the shared pass engine itself: one physical
 // pass over a Planted instance (n=50k, m=100k) fanned out to 16 observers,
 // each doing iterSetCover's per-set size-test work (an intersection count

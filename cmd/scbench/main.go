@@ -243,6 +243,17 @@ func runMatrix(quick bool, runs int, progress io.Writer) (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The weighted variant of the skewed family: same sets, log-skewed per-set
+	// costs in an SCWT section, so the solve case below times the weighted
+	// (cost-effectiveness) pick rule against the same byte stream.
+	ws, err := gen.WeightedSlice(gen.WeightedConfig{Kind: gen.WeightLogUniform, M: size.m, Lo: 0.05, Hi: 20, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	weightedPath, err := writeWeightedFamily(dir, "weighted-skewed", size.n, size.m, skewGen, ws)
+	if err != nil {
+		return nil, err
+	}
 
 	type backend struct {
 		name string
@@ -281,12 +292,36 @@ func runMatrix(quick bool, runs int, progress io.Writer) (*BenchReport, error) {
 			d.Close()
 		}
 	}
+
+	// One weighted solve case per backend: the greedy hot loop with the
+	// cost-effectiveness argmax (gain·w comparisons) instead of plain gain.
+	for _, be := range backends {
+		d, err := scdisk.Open(weightedPath, be.opts...)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("solve/greedy1/weighted-skewed/%s", be.name)
+		bc, err := measureSolve(name, d, runs)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		fmt.Fprintf(progress, "scbench: %-28s %8.2fms %8.1f MB/s  pool_locks=%d\n",
+			bc.Name, float64(bc.NsPerPass)/1e6, bc.MBPerSec, bc.PoolLocks)
+		rep.Cases = append(rep.Cases, bc)
+		d.Close()
+	}
 	sort.Slice(rep.Cases, func(i, j int) bool { return rep.Cases[i].Name < rep.Cases[j].Name })
 	return rep, nil
 }
 
 // writeFamily spills a generated family to an indexed SCB1 file.
 func writeFamily(dir, name string, n, m int, genSet func(int) setcover.Set) (string, error) {
+	return writeWeightedFamily(dir, name, n, m, genSet, nil)
+}
+
+// writeWeightedFamily is writeFamily plus an optional SCWT weight section.
+func writeWeightedFamily(dir, name string, n, m int, genSet func(int) setcover.Set, ws []float64) (string, error) {
 	path := filepath.Join(dir, name+".scb")
 	f, err := os.Create(path)
 	if err != nil {
@@ -296,6 +331,12 @@ func writeFamily(dir, name string, n, m int, genSet func(int) setcover.Set) (str
 	if err != nil {
 		f.Close()
 		return "", err
+	}
+	if ws != nil {
+		if err := w.SetWeights(ws); err != nil {
+			f.Close()
+			return "", err
+		}
 	}
 	for id := 0; id < m; id++ {
 		if err := w.WriteSet(genSet(id).Elems); err != nil {

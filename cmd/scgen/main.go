@@ -7,7 +7,16 @@
 //	scgen -kind uniform -n 500 -m 1000 -p 0.02 > uniform.txt
 //	scgen -kind sparse -n 1000 -m 4000 -s 8 > sparse.txt
 //	scgen -kind trap -levels 6 > trap.txt
+//	scgen -kind vcworst -m 40 -vcdim 3 > vcworst.txt
 //	scgen -kind planted -n 100000 -m 1000000 -k 500 -format binary -out big.scb
+//	scgen -kind planted -n 1000 -m 2000 -k 20 -format binary \
+//	    -weights loguniform:0.1:10 -out weighted.scb
+//
+// -weights attaches a per-set cost vector ("unit", "uniform:LO:HI", or
+// "loguniform:LO:HI", seeded by -seed) as an SCWT weight section of the
+// binary output; cmd/setcover and setcoverd then solve for minimum total cost
+// instead of cardinality. The section is part of the SCB1 file, so -weights
+// requires -format binary.
 //
 // With -format binary and -kind planted the family is generated and written
 // set by set (gen.PlantedFunc through the streaming SCB1 writer): scgen holds
@@ -39,16 +48,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		kind    = fs.String("kind", "planted", "instance kind: planted|uniform|sparse|trap")
+		kind    = fs.String("kind", "planted", "instance kind: planted|uniform|sparse|trap|vcworst")
 		n       = fs.Int("n", 1000, "universe size")
 		m       = fs.Int("m", 2000, "number of sets")
 		k       = fs.Int("k", 20, "planted optimal cover size (planted)")
 		s       = fs.Int("s", 8, "sparsity: max set size (sparse)")
 		p       = fs.Float64("p", 0.02, "element inclusion probability (uniform)")
 		levels  = fs.Int("levels", 6, "width exponent for the greedy trap")
+		vcdim   = fs.Int("vcdim", 3, "VC dimension of the adversarial family (vcworst)")
 		seed    = fs.Int64("seed", 1, "random seed")
 		format  = fs.String("format", "text", "output format: text | binary (indexed SCB1; planted streams set-by-set)")
 		outPath = fs.String("out", "-", "output file ('-' = stdout)")
+		weights = fs.String("weights", "", "per-set cost spec, written as an SCWT weight section (binary only): unit | uniform:LO:HI | loguniform:LO:HI")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,6 +70,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fatal := func(err error) int {
 		fmt.Fprintln(stderr, "scgen:", err)
 		return 2
+	}
+	if *weights != "" && *format != "binary" {
+		return fatal(fmt.Errorf("-weights requires -format binary (the SCWT weight section is part of the SCB1 file)"))
+	}
+	// weightsFor materializes the -weights spec for a family of m sets (nil
+	// when the flag is unset).
+	weightsFor := func(m int) ([]float64, error) {
+		if *weights == "" {
+			return nil, nil
+		}
+		cfg, err := ssc.ParseWeightSpec(*weights)
+		if err != nil {
+			return nil, err
+		}
+		cfg.M, cfg.Seed = m, *seed
+		return ssc.WeightedSlice(cfg)
 	}
 
 	out := io.Writer(stdout)
@@ -91,7 +118,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fatal(err)
 		}
-		if err := writeBinary(out, *n, *m, func(id int) []ssc.Elem { return genSet(id).Elems }); err != nil {
+		ws, err := weightsFor(*m)
+		if err != nil {
+			return fatal(err)
+		}
+		if err := writeBinary(out, *n, *m, func(id int) []ssc.Elem { return genSet(id).Elems }, ws); err != nil {
 			return fatal(err)
 		}
 		fmt.Fprintf(stderr, "# scgen -kind planted n=%d m=%d seed=%d (streamed), known optimum: %d\n",
@@ -113,6 +144,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		in, opt, err = ssc.Sparse(*n, *m, *s, *seed)
 	case "trap":
 		in, opt = ssc.GreedyTrap(*levels)
+	case "vcworst":
+		in, err = ssc.VCWorstCase(ssc.VCWorstCaseConfig{M: *m, VCDim: *vcdim})
+		opt = 1 // the last set covers the universe by construction
 	default:
 		err = fmt.Errorf("unknown kind %q", *kind)
 	}
@@ -122,7 +156,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch *format {
 	case "binary":
-		if err := writeBinary(out, in.N, in.M(), func(id int) []ssc.Elem { return in.Sets[id].Elems }); err != nil {
+		ws, err := weightsFor(in.M())
+		if err != nil {
+			return fatal(err)
+		}
+		if err := writeBinary(out, in.N, in.M(), func(id int) []ssc.Elem { return in.Sets[id].Elems }, ws); err != nil {
 			return fatal(err)
 		}
 		if opt >= 0 {
@@ -146,12 +184,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return finish()
 }
 
-// writeBinary streams m sets to out in the indexed SCB1 format. The
-// InstanceWriter buffers internally, so out is used directly.
-func writeBinary(out io.Writer, n, m int, elems func(id int) []ssc.Elem) error {
+// writeBinary streams m sets to out in the indexed SCB1 format, appending an
+// SCWT weight section when ws is non-nil. The InstanceWriter buffers
+// internally, so out is used directly.
+func writeBinary(out io.Writer, n, m int, elems func(id int) []ssc.Elem, ws []float64) error {
 	w, err := ssc.NewInstanceWriter(out, n, m)
 	if err != nil {
 		return err
+	}
+	if ws != nil {
+		if err := w.SetWeights(ws); err != nil {
+			return err
+		}
 	}
 	for id := 0; id < m; id++ {
 		if err := w.WriteSet(elems(id)); err != nil {

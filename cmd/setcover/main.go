@@ -12,7 +12,12 @@
 // Algorithms: iter (the paper's iterSetCover), greedy1 (one-pass greedy),
 // greedyn (n-pass greedy), threshold (SG09-style thresholding), sg09
 // (repeated max-k-cover, the faithful SG09 loop), er14 (Emek–Rosén), cw16
-// (Chakrabarti–Wirth), dimv14 (element sampling).
+// (Chakrabarti–Wirth), dimv14 (element sampling), pd (batched primal-dual;
+// tune with -pd-mode, -pd-eps, -pd-batch).
+//
+// On weighted instances (-format disk files carrying an SCWT weight section,
+// written by scgen -weights) every algorithm minimizes total cost instead of
+// cardinality, and the report adds a "cover cost" line.
 //
 // -eps switches iter/er14/cw16/threshold/greedyn to the ε-Partial Set Cover
 // problem (cover at least a 1-ε fraction).
@@ -50,7 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("setcover", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		algo       = fs.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14")
+		algo       = fs.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14|pd")
 		inPath     = fs.String("in", "-", "instance file ('-' = stdin)")
 		format     = fs.String("format", "text", "instance access: text|binary (in-memory) | disk (stream the SCB1 file out-of-core)")
 		delta      = fs.Float64("delta", 0.5, "delta for iter/dimv14 (passes 2/delta, space ~ m*n^delta)")
@@ -64,6 +69,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		mmap       = fs.Bool("mmap", false, "with -format disk, memory-map the file and decode from the mapping (results identical; falls back to positional reads where unsupported)")
 		reduce     = fs.Bool("reduce", false, "apply OPT-preserving dominance reductions before solving (text/binary only)")
 		printCover = fs.Bool("print-cover", false, "print the chosen set IDs")
+		pdMode     = fs.String("pd-mode", "dedicated", "pd reveal mode: dedicated (element batches) | trivial (one element per pass)")
+		pdEps      = fs.Float64("pd-eps", 0, "pd dual increment (0 = default)")
+		pdBatch    = fs.Int("pd-batch", 0, "pd elements revealed per batch in dedicated mode (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -154,6 +162,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		st, err = ssc.ChakrabartiWirthPartial(repo, *passes, *eps, engOpts)
 	case "dimv14":
 		st, err = ssc.DIMV14(repo, ssc.DIMV14Options{Delta: *delta, Seed: *seed}, engOpts)
+	case "pd":
+		var mode ssc.PDMode
+		if mode, err = ssc.ParsePDMode(*pdMode); err == nil {
+			var res ssc.PDResult
+			res, err = ssc.BatchedPrimalDual(repo, ssc.PDOptions{
+				Mode: mode, Epsilon: *pdEps, ElemBatch: *pdBatch, Engine: engOpts,
+			})
+			if err == nil {
+				st = res.Stats
+				fmt.Fprintf(stdout, "pd: %d batches, %d dual rounds, max frequency %d\n",
+					res.Batches, res.Rounds, res.MaxFrequency)
+			}
+		}
 	default:
 		err = fmt.Errorf("unknown algorithm %q", *algo)
 	}
@@ -194,6 +215,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "instance:    n=%d m=%d\n", n, m)
 	fmt.Fprintf(stdout, "cover size:  %d (coverage=%.3f, goal>=%.3f, valid=%v)\n",
 		len(st.Cover), coverage, 1-*eps, valid)
+	if ssc.RepositoryHasWeights(repo) {
+		fmt.Fprintf(stdout, "cover cost:  %.6g (weighted instance)\n", ssc.CoverWeight(repo, st.Cover))
+	}
 	fmt.Fprintf(stdout, "passes:      %d\n", st.Passes)
 	fmt.Fprintf(stdout, "space:       %d words\n", st.SpaceWords)
 	if *printCover {

@@ -277,31 +277,35 @@ func TestConcurrentSolvesWithDistinctEngineOptions(t *testing.T) {
 	}
 }
 
-// The deprecated SetEngine shim must keep steering baselines that pass no
-// per-call options (legacy CLI plumbing), without affecting results.
-func TestSetEngineShimStillApplies(t *testing.T) {
+// Removal note: the deprecated process-wide engine shims — baseline.SetEngine
+// (an atomic.Pointer default), the streamsetcover.SetBaselineEngine alias,
+// and experiments.SetEngine — were retired once the last callers (legacy CLI
+// plumbing, removed in PRs 5–6) migrated to per-call engine.Options. A
+// mutable global default could not serve concurrent solves with different
+// configurations (the property TestConcurrentSolvesWithDistinctEngineOptions
+// pins); per-call options can, and results are identical at every setting by
+// the engine's determinism contract. This test exists so a grep for SetEngine
+// finds the story instead of silence, and pins the replacement default path:
+// a baseline called WITHOUT options must match the per-call reference.
+func TestSetEngineRemoved(t *testing.T) {
 	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 200, M: 400, K: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer SetEngine(engine.Options{})
 	ref, err := EmekRosen(stream.NewSliceRepo(in), engine.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, w := range []int{1, 2} {
-		SetEngine(engine.Options{Workers: w, BatchSize: 32})
-		st, err := EmekRosen(stream.NewSliceRepo(in))
-		if err != nil {
-			t.Fatalf("workers=%d: %v", w, err)
-		}
-		if len(st.Cover) != len(ref.Cover) || st.Passes != ref.Passes {
-			t.Fatalf("workers=%d: shim run diverged from reference", w)
-		}
-		for i := range ref.Cover {
-			if st.Cover[i] != ref.Cover[i] {
-				t.Fatalf("workers=%d: cover[%d] differs", w, i)
-			}
+	st, err := EmekRosen(stream.NewSliceRepo(in)) // no options: immutable default engine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cover) != len(ref.Cover) || st.Passes != ref.Passes {
+		t.Fatal("default-engine run diverged from per-call reference")
+	}
+	for i := range ref.Cover {
+		if st.Cover[i] != ref.Cover[i] {
+			t.Fatalf("cover[%d] differs", i)
 		}
 	}
 }

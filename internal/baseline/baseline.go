@@ -33,7 +33,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/engine"
@@ -53,33 +52,41 @@ var ErrInfeasible = setcover.ErrInfeasible
 // pass still parallelizes: with the default GOMAXPROCS workers, a segmentable
 // repository (an indexed SCB1 file, or any in-memory backend) is decoded by
 // several goroutines and reassembled in stream order, so results are
-// identical and only wall-clock changes. An atomic pointer so the deprecated
-// SetEngine shim stays readable from concurrent solves.
-var defaultEng atomic.Pointer[engine.Engine]
-
-func init() { defaultEng.Store(engine.New(engine.Options{})) }
-
-// SetEngine replaces the DEFAULT pass executor used by baselines called
-// without per-call options.
+// identical and only wall-clock changes.
 //
-// Deprecated: pass engine.Options directly to the baseline instead
-// (OnePassGreedy(repo, opts) etc.) — a process-wide default cannot serve
-// concurrent solves with different configurations. The shim remains for
-// legacy CLI plumbing; results are identical at every setting, per the
-// engine's determinism contract.
-func SetEngine(opts engine.Options) { defaultEng.Store(engine.New(opts)) }
+// The deprecated process-wide SetEngine mutator was removed: per-call
+// engine.Options (OnePassGreedy(repo, opts) etc.) is the only way to
+// configure a solve, so concurrent solves can no longer race on a global
+// default. See backends_test.go's removal note.
+var defaultEng = engine.New(engine.Options{})
 
 // engineFor resolves the executor for one solve: the caller's per-call
 // options when given (at most one, validated by engine.PerCall), the
-// process default otherwise. Per-call engines are constructed fresh, so
-// concurrent solves with different configurations never share mutable
-// executor state.
+// immutable process default otherwise. Per-call engines are constructed
+// fresh, so concurrent solves with different configurations never share
+// mutable executor state.
 func engineFor(engOpts []engine.Options) *engine.Engine {
 	opts, ok := engine.PerCall("baseline", engOpts)
 	if !ok {
-		return defaultEng.Load()
+		return defaultEng
 	}
 	return engine.New(opts)
+}
+
+// weightFn resolves the per-set cost accessor for one solve: the
+// repository's Weighted capability when present and populated, nil
+// otherwise. Every baseline threads it the same way: nil leaves the
+// unweighted hot path (and every reported number) untouched, non-nil
+// generalizes the pick rule from coverage to cost-effectiveness
+// (coverage per unit cost). All-ones weights reduce byte-identically to
+// the unweighted behavior: thresholds are multiplied by exactly 1.0 and
+// argmax comparisons cross-multiply integer gains that are exact in
+// float64.
+func weightFn(repo stream.Repository) func(int) float64 {
+	if w, ok := repo.(stream.Weighted); ok && w.HasWeights() {
+		return w.Weight
+	}
+	return nil
 }
 
 // failPass closes out a Stats whose physical pass failed mid-stream: the
@@ -104,19 +111,26 @@ func allowedLeftovers(n int, eps float64) (int, error) {
 // algorithm is measured against.
 //
 // engOpts (at most one, like every baseline here) configures the pass
-// executor for THIS call; omitted, the process default applies (SetEngine).
+// executor for THIS call; omitted, the immutable process default applies.
 func OnePassGreedy(repo stream.Repository, engOpts ...engine.Options) (setcover.Stats, error) {
 	eng := engineFor(engOpts)
 	st := setcover.Stats{Algorithm: "greedy-1pass"}
 	tracker := stream.NewTracker()
 
+	weight := weightFn(repo)
 	stored := &setcover.Instance{N: repo.UniverseSize()}
 	if err := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 		for _, s := range batch {
 			cp := make([]setcover.Elem, len(s.Elems))
 			copy(cp, s.Elems)
 			stored.Sets = append(stored.Sets, setcover.Set{ID: s.ID, Elems: cp})
-			tracker.Grow(stream.WordsForElems(len(cp)) + 1)
+			w := stream.WordsForElems(len(cp)) + 1
+			if weight != nil {
+				// Storing the input includes storing its costs: one word each.
+				stored.Weights = append(stored.Weights, weight(s.ID))
+				w++
+			}
+			tracker.Grow(w)
 		}
 	})); err != nil {
 		return failPass(st, repo, tracker, err)
@@ -164,7 +178,7 @@ func multiPassGreedy(repo stream.Repository, eps float64, eng *engine.Engine) (s
 	tracker.Grow(stream.WordsForElems(n))
 
 	var cover []int
-	best := &bestSetObserver{uncovered: uncovered}
+	best := &bestSetObserver{uncovered: uncovered, weight: weightFn(repo)}
 	for uncovered.Count() > allowed {
 		if len(cover) > n {
 			return st, fmt.Errorf("baseline: greedy-npass exceeded %d passes", n)
@@ -189,21 +203,40 @@ func multiPassGreedy(repo stream.Repository, eps float64, eng *engine.Engine) (s
 }
 
 // bestSetObserver is MultiPassGreedy's per-pass primitive: find the set with
-// maximum gain against uncovered, ties broken by stream position. BeginPass
-// (an engine lifecycle hook) resets the argmax so one observer serves every
-// pick's pass.
+// maximum gain — maximum gain/weight on weighted repositories — against
+// uncovered, ties broken by stream position. BeginPass (an engine lifecycle
+// hook) resets the argmax so one observer serves every pick's pass.
 type bestSetObserver struct {
 	uncovered *bitset.Bitset
+	weight    func(int) float64 // nil on unweighted repositories
 	gain, id  int
+	w         float64 // incumbent's weight (1 until a pick is found)
 	elems     []setcover.Elem
 }
 
-func (o *bestSetObserver) BeginPass() { o.gain, o.id = 0, -1 }
+func (o *bestSetObserver) BeginPass() { o.gain, o.id, o.w = 0, -1, 1 }
 func (o *bestSetObserver) EndPass()   {}
 func (o *bestSetObserver) Observe(batch []setcover.Set) {
+	if o.weight == nil {
+		for _, s := range batch {
+			if g := o.uncovered.IntersectionWithSlice(s.Elems); g > o.gain {
+				o.gain, o.id = g, s.ID
+				o.elems = append(o.elems[:0], s.Elems...)
+			}
+		}
+		return
+	}
 	for _, s := range batch {
-		if g := o.uncovered.IntersectionWithSlice(s.Elems); g > o.gain {
-			o.gain, o.id = g, s.ID
+		g := o.uncovered.IntersectionWithSlice(s.Elems)
+		if g == 0 {
+			continue
+		}
+		// Candidate wins on strictly better cost-effectiveness:
+		// g/w > gain/o.w, compared by cross-multiplication (exact for unit
+		// weights; division-free otherwise). The strict > keeps the earliest
+		// stream position on ties, exactly like the unweighted argmax.
+		if w := o.weight(s.ID); float64(g)*o.w > float64(o.gain)*w {
+			o.gain, o.id, o.w = g, s.ID, w
 			o.elems = append(o.elems[:0], s.Elems...)
 		}
 	}
@@ -237,17 +270,34 @@ func thresholdGreedy(repo stream.Repository, eps float64, eng *engine.Engine) (s
 
 	var cover []int
 	tau := float64(n)
+	weight := weightFn(repo)
 	// Once the fractional goal is reached mid-pass the observer stops
 	// accepting but the engine still drains the stream: a begun pass always
 	// costs a full scan in this model (the seed's mid-pass break was cheaper
 	// only by violating that), so results are identical and only wall-clock
 	// differs.
+	//
+	// Weighted repositories threshold on cost-effectiveness: pass j accepts
+	// any set covering at least τ_j new elements PER UNIT COST (g ≥ τ_j·w).
+	// The final pass (τ = 1) additionally accepts any positive gain — on
+	// unit weights that is the same g ≥ 1 rule as before, while on weighted
+	// families it preserves completeness for sets whose cost exceeds their
+	// remaining gain (nothing below cost-effectiveness 1/w would otherwise
+	// ever clear a τ ≥ 1 bar).
 	accept := engine.Func(func(batch []setcover.Set) {
 		for _, s := range batch {
 			if uncovered.Count() <= allowed {
 				return // fractional goal reached: stop accepting
 			}
-			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
+			g := uncovered.IntersectionWithSlice(s.Elems)
+			if g == 0 {
+				continue
+			}
+			thr := tau
+			if weight != nil {
+				thr *= weight(s.ID)
+			}
+			if float64(g) >= thr || tau <= 1 {
 				cover = append(cover, s.ID)
 				tracker.Grow(1)
 				uncovered.SubtractSlice(s.Elems)
@@ -323,6 +373,12 @@ func emekRosen(repo stream.Repository, eps float64, eng *engine.Engine) (setcove
 	}
 	tracker.Grow(stream.WordsForElems(n)) // int32 per element
 
+	// Weighted repositories take a set when it covers ≥ √n yet-uncovered
+	// elements per unit cost (g ≥ √n·w); the firstCover patch is
+	// weight-oblivious either way — it buys completeness, not quality, and
+	// remembering the first set containing an element is exactly [ER14]'s
+	// rule.
+	weight := weightFn(repo)
 	var cover []int
 	if err := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 		for _, s := range batch {
@@ -331,7 +387,11 @@ func emekRosen(repo stream.Repository, eps float64, eng *engine.Engine) (setcove
 					firstCover[e] = int32(s.ID)
 				}
 			}
-			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= threshold {
+			thr := threshold
+			if weight != nil {
+				thr *= weight(s.ID)
+			}
+			if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= thr {
 				cover = append(cover, s.ID)
 				tracker.Grow(1)
 				uncovered.SubtractSlice(s.Elems)
@@ -395,6 +455,9 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64, eng *engi
 	}
 	tracker.Grow(stream.WordsForElems(n))
 
+	// Weighted repositories accept on cost-effectiveness (g ≥ τ_j·w), like
+	// ThresholdGreedy; the leftover patch stays weight-oblivious.
+	weight := weightFn(repo)
 	var cover []int
 	p := float64(passes)
 	for j := 1; j <= passes; j++ {
@@ -411,7 +474,11 @@ func chakrabartiWirth(repo stream.Repository, passes int, eps float64, eng *engi
 						}
 					}
 				}
-				if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= tau {
+				thr := tau
+				if weight != nil {
+					thr *= weight(s.ID)
+				}
+				if g := uncovered.IntersectionWithSlice(s.Elems); float64(g) >= thr {
 					cover = append(cover, s.ID)
 					tracker.Grow(1)
 					uncovered.SubtractSlice(s.Elems)
@@ -495,6 +562,7 @@ type DIMV14Options struct {
 // that Theorem 2.8 eliminates.
 func DIMV14(repo stream.Repository, opts DIMV14Options, engOpts ...engine.Options) (setcover.Stats, error) {
 	eng := engineFor(engOpts)
+	weight := weightFn(repo)
 	st := setcover.Stats{Algorithm: "dimv14-sampling", Extra: opts.Delta}
 	n, m := repo.UniverseSize(), repo.NumSets()
 	if opts.Delta <= 0 || opts.Delta > 1 {
@@ -529,10 +597,13 @@ func DIMV14(repo stream.Repository, opts DIMV14Options, engOpts ...engine.Option
 		s := sample.UniformFromBitset(rng, uncovered, sampleSize)
 		tracker.Grow(stream.WordsForBitset(n))
 
-		// Pass A: store every set's projection onto the sample.
+		// Pass A: store every set's projection onto the sample (plus its
+		// cost, one word, on weighted repositories — the offline solve below
+		// needs it).
 		var projWords int64
 		var projIDs []int
 		var projElems [][]setcover.Elem
+		var projWs []float64
 		errA := eng.Run(repo, engine.Func(func(batch []setcover.Set) {
 			for _, set := range batch {
 				inS := s.IntersectionWithSlice(set.Elems)
@@ -548,6 +619,10 @@ func DIMV14(repo stream.Repository, opts DIMV14Options, engOpts ...engine.Option
 				projElems = append(projElems, proj)
 				projIDs = append(projIDs, set.ID)
 				w := stream.WordsForElems(len(proj)) + 1
+				if weight != nil {
+					projWs = append(projWs, weight(set.ID))
+					w++
+				}
 				projWords += w
 				tracker.Grow(w)
 			}
@@ -565,12 +640,15 @@ func DIMV14(repo stream.Repository, opts DIMV14Options, engOpts ...engine.Option
 			return true
 		})
 		sub := &setcover.Instance{N: int(next)}
-		for _, proj := range projElems {
+		for i, proj := range projElems {
 			elems := make([]setcover.Elem, 0, len(proj))
 			for _, e := range proj {
 				elems = append(elems, newIdx[e])
 			}
 			sub.Sets = append(sub.Sets, setcover.Set{ID: len(sub.Sets), Elems: elems})
+			if projWs != nil {
+				sub.Weights = append(sub.Weights, projWs[i])
+			}
 		}
 		sub.Normalize()
 		subCover, err := (offline.Greedy{}).Solve(sub)

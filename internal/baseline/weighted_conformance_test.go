@@ -1,0 +1,227 @@
+package baseline
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/pd"
+	"repro/internal/scdisk"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// weightedConformanceRepos builds every storage backend over one WEIGHTED
+// instance: SliceRepo reads Instance.Weights, FuncRepo gets a weight
+// function, and the two disk variants (positional reads and mmap) decode the
+// SCWT section. Algorithms must be unable to tell them apart.
+func weightedConformanceRepos(t testing.TB, in *setcover.Instance) []struct {
+	name string
+	mk   func() stream.Repository
+} {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "weighted.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	ws := in.Weights
+	openDisk := func(opts ...scdisk.OpenOption) stream.Repository {
+		d, err := scdisk.Open(path, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.HasWeights() {
+			t.Fatal("disk backend lost the weight section")
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	return []struct {
+		name string
+		mk   func() stream.Repository
+	}{
+		{"slice", func() stream.Repository { return stream.NewSliceRepo(in) }},
+		{"func", func() stream.Repository {
+			fr := stream.NewFuncRepo(in.N, in.M(), func(id int) setcover.Set {
+				es := make([]setcover.Elem, len(in.Sets[id].Elems))
+				copy(es, in.Sets[id].Elems)
+				return setcover.Set{ID: id, Elems: es}
+			})
+			fr.SetWeightFunc(func(id int) float64 { return ws[id] })
+			return fr
+		}},
+		{"disk", func() stream.Repository { return openDisk() }},
+		{"disk-mmap", func() stream.Repository { return openDisk(scdisk.ReadOnlyMmap()) }},
+	}
+}
+
+// weightedAlgos is every weight-aware streaming algorithm under one signature:
+// the six baselines plus the batched primal-dual.
+func weightedAlgos() []struct {
+	name string
+	run  func(stream.Repository, engine.Options) (setcover.Stats, error)
+} {
+	return []struct {
+		name string
+		run  func(stream.Repository, engine.Options) (setcover.Stats, error)
+	}{
+		{"greedy-1pass", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			return OnePassGreedy(r, eo)
+		}},
+		{"greedy-npass", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			return MultiPassGreedy(r, eo)
+		}},
+		{"threshold-greedy", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			return ThresholdGreedy(r, eo)
+		}},
+		{"emek-rosen", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			return EmekRosen(r, eo)
+		}},
+		{"chakrabarti-wirth", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			return ChakrabartiWirth(r, 3, eo)
+		}},
+		{"dimv14", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			return DIMV14(r, DIMV14Options{Delta: 0.5, Seed: 5}, eo)
+		}},
+		{"primal-dual", func(r stream.Repository, eo engine.Options) (setcover.Stats, error) {
+			res, err := pd.BatchedPrimalDual(r, pd.Options{ElemBatch: 64, Engine: eo})
+			return res.Stats, err
+		}},
+	}
+}
+
+// weightedTestInstance is a planted family with log-skewed per-set costs —
+// skewed enough that cost-effectiveness and pure coverage genuinely disagree.
+func weightedTestInstance(t testing.TB) *setcover.Instance {
+	t.Helper()
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 350, M: 800, K: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := gen.WeightedSlice(gen.WeightedConfig{
+		Kind: gen.WeightLogUniform, M: in.M(), Lo: 0.05, Hi: 20, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Weights = ws
+	return in
+}
+
+// Every weight-aware algorithm must produce byte-identical covers, pass
+// counts, and space charges on every weighted backend (slice, func, disk,
+// disk-mmap) at Workers ∈ {1, 2, GOMAXPROCS} and with segmented decode
+// force-disabled — the weighted extension of TestBaselineBackendConformance,
+// and the conformance pin the weighted cost model ships under.
+func TestWeightedBaselineBackendConformance(t *testing.T) {
+	in := weightedTestInstance(t)
+	backends := weightedConformanceRepos(t, in)
+	engines := []engine.Options{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: runtime.GOMAXPROCS(0)},
+		{Workers: 2, DisableSegmented: true},
+	}
+	for _, algo := range weightedAlgos() {
+		ref, err := algo.run(stream.NewSliceRepo(in), engine.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", algo.name, err)
+		}
+		if !ref.Valid || !in.IsCover(ref.Cover) {
+			t.Fatalf("%s: reference cover invalid", algo.name)
+		}
+		refCost := in.CoverWeight(ref.Cover)
+		for _, engOpts := range engines {
+			for _, b := range backends {
+				label := fmt.Sprintf("%s/%s/workers=%d/noseg=%v",
+					algo.name, b.name, engOpts.Workers, engOpts.DisableSegmented)
+				repo := b.mk()
+				st, err := algo.run(repo, engOpts)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if st.Passes != ref.Passes || st.SpaceWords != ref.SpaceWords {
+					t.Errorf("%s: passes/space %d/%d, want %d/%d",
+						label, st.Passes, st.SpaceWords, ref.Passes, ref.SpaceWords)
+				}
+				if len(st.Cover) != len(ref.Cover) {
+					t.Fatalf("%s: cover size %d, want %d", label, len(st.Cover), len(ref.Cover))
+				}
+				for i := range ref.Cover {
+					if st.Cover[i] != ref.Cover[i] {
+						t.Fatalf("%s: cover[%d] = %d, want %d", label, i, st.Cover[i], ref.Cover[i])
+					}
+				}
+				if got := stream.CoverWeight(repo, st.Cover); got != refCost {
+					t.Errorf("%s: cover cost %v, want %v", label, got, refCost)
+				}
+			}
+		}
+	}
+}
+
+// Unit weights must be indistinguishable from no weights: same covers, same
+// pass counts, on every algorithm. (Space may differ — storing a projected
+// set's weight costs a word — so the pin is on the RESULT, not the charge.)
+func TestUnitWeightsByteIdenticalToUnweighted(t *testing.T) {
+	plain, _, _, err := gen.Planted(gen.PlantedConfig{N: 350, M: 800, K: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, _, _, err := gen.Planted(gen.PlantedConfig{N: 350, M: 800, K: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit.Weights = make([]float64, unit.M())
+	for i := range unit.Weights {
+		unit.Weights[i] = 1
+	}
+	for _, workers := range []int{1, 2} {
+		eo := engine.Options{Workers: workers}
+		for _, algo := range weightedAlgos() {
+			want, err := algo.run(stream.NewSliceRepo(plain), eo)
+			if err != nil {
+				t.Fatalf("%s: unweighted: %v", algo.name, err)
+			}
+			got, err := algo.run(stream.NewSliceRepo(unit), eo)
+			if err != nil {
+				t.Fatalf("%s: unit-weighted: %v", algo.name, err)
+			}
+			label := fmt.Sprintf("%s/workers=%d", algo.name, workers)
+			if got.Passes != want.Passes || len(got.Cover) != len(want.Cover) {
+				t.Fatalf("%s: unit weights changed the solve: passes %d/%d cover %d/%d",
+					label, got.Passes, want.Passes, len(got.Cover), len(want.Cover))
+			}
+			for i := range want.Cover {
+				if got.Cover[i] != want.Cover[i] {
+					t.Fatalf("%s: cover[%d] = %d, want %d", label, i, got.Cover[i], want.Cover[i])
+				}
+			}
+		}
+	}
+}
+
+// On skewed costs the weighted greedy must actually exploit them: its cover
+// must be strictly cheaper than what the same algorithm picks when blinded to
+// the weights (solving the unweighted projection of the same family).
+func TestWeightedGreedyBeatsBlindGreedy(t *testing.T) {
+	in := weightedTestInstance(t)
+	blind := &setcover.Instance{N: in.N, Sets: in.Sets} // same family, no weights
+	seeing, err := MultiPassGreedy(stream.NewSliceRepo(in), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blindSt, err := MultiPassGreedy(stream.NewSliceRepo(blind), engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeingCost := in.CoverWeight(seeing.Cover)
+	blindCost := in.CoverWeight(blindSt.Cover)
+	if seeingCost >= blindCost {
+		t.Fatalf("weighted greedy cost %v not below blind greedy cost %v on log-skewed weights",
+			seeingCost, blindCost)
+	}
+}

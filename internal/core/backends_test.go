@@ -167,3 +167,104 @@ func TestIterSetCoverPartialBackendConformance(t *testing.T) {
 		sameStats(t, backend, ref.Stats, res.Stats)
 	}
 }
+
+// IterSetCover on a WEIGHTED instance must conform across every backend that
+// can carry costs — SliceRepo (Instance.Weights), FuncRepo (a weight
+// function), and the two disk variants (the SCWT section, positional reads
+// and mmap) — at several worker counts and with segmented decode disabled.
+// Unit weights must reproduce the unweighted cover exactly.
+func TestIterSetCoverWeightedConformance(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 400, M: 900, K: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := gen.WeightedSlice(gen.WeightedConfig{
+		Kind: gen.WeightLogUniform, M: in.M(), Lo: 0.05, Hi: 20, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Weights = ws
+	path := filepath.Join(t.TempDir(), "weighted.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	openDisk := func(opts ...scdisk.OpenOption) stream.Repository {
+		d, err := scdisk.Open(path, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	}
+	backends := map[string]func() stream.Repository{
+		"slice": func() stream.Repository { return stream.NewSliceRepo(in) },
+		"func": func() stream.Repository {
+			fr := stream.NewFuncRepo(in.N, in.M(), func(id int) setcover.Set {
+				es := make([]setcover.Elem, len(in.Sets[id].Elems))
+				copy(es, in.Sets[id].Elems)
+				return setcover.Set{ID: id, Elems: es}
+			})
+			fr.SetWeightFunc(func(id int) float64 { return ws[id] })
+			return fr
+		},
+		"disk":      func() stream.Repository { return openDisk() },
+		"disk-mmap": func() stream.Repository { return openDisk(scdisk.ReadOnlyMmap()) },
+	}
+	mkOpts := func(eng engine.Options) Options {
+		return Options{Delta: 0.5, Seed: 7, FinalPatch: true, Engine: eng}
+	}
+	ref, err := IterSetCover(stream.NewSliceRepo(in), mkOpts(engine.Options{Workers: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Valid || !in.IsCover(ref.Cover) {
+		t.Fatal("weighted reference cover invalid")
+	}
+	for _, eng := range []engine.Options{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: runtime.GOMAXPROCS(0)},
+		{Workers: 2, DisableSegmented: true},
+	} {
+		for backend, mk := range backends {
+			label := fmt.Sprintf("weighted/%s/workers=%d/noseg=%v", backend, eng.Workers, eng.DisableSegmented)
+			res, err := IterSetCover(mk(), mkOpts(eng))
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			sameStats(t, label, ref.Stats, res.Stats)
+		}
+	}
+
+	// Unit weights: same cover and passes as no weights at all.
+	plain, _, _, err := gen.Planted(gen.PlantedConfig{N: 400, M: 900, K: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, _, _, err := gen.Planted(gen.PlantedConfig{N: 400, M: 900, K: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit.Weights = make([]float64, unit.M())
+	for i := range unit.Weights {
+		unit.Weights[i] = 1
+	}
+	want, err := IterSetCover(stream.NewSliceRepo(plain), mkOpts(engine.Options{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := IterSetCover(stream.NewSliceRepo(unit), mkOpts(engine.Options{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Passes != want.Passes || len(got.Cover) != len(want.Cover) {
+		t.Fatalf("unit weights changed the solve: passes %d/%d cover %d/%d",
+			got.Passes, want.Passes, len(got.Cover), len(want.Cover))
+	}
+	for i := range want.Cover {
+		if got.Cover[i] != want.Cover[i] {
+			t.Fatalf("unit weights changed cover[%d]: %d vs %d", i, got.Cover[i], want.Cover[i])
+		}
+	}
+}

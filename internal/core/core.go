@@ -173,6 +173,7 @@ type guessRun struct {
 	left       *bitset.Bitset    // L: uncovered sampled elements
 	projElems  [][]setcover.Elem // stored projections r∩L
 	projIDs    []int             // original stream IDs of stored projections
+	projWs     []float64         // stored weights (weighted repos only; nil otherwise)
 	newPicks   *bitset.Bitset    // over the m stream IDs: sets picked this iteration (heavy + offline)
 	iterWords  int64             // space charged for this iteration's state
 }
@@ -207,6 +208,15 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 	runs := makeRuns(n, opts, tracker)
 	eng := engine.New(opts.Engine)
 
+	// Weighted repositories generalize the Size Test to cost-effectiveness
+	// (see guessRun.observe) and hand per-set costs to the offline solver.
+	// weightOf stays nil on unweighted repositories so the hot path — and
+	// every number the unweighted algorithm reports — is untouched.
+	var weightOf func(int) float64
+	if w, ok := repo.(stream.Weighted); ok && w.HasWeights() {
+		weightOf = w.Weight
+	}
+
 	iterations := int(math.Ceil(1 / opts.Delta))
 	maxIter := iterations
 	if opts.AdaptiveIterations {
@@ -236,7 +246,7 @@ func IterSetCover(repo stream.Repository, opts Options) (Result, error) {
 		// is its own observer, so the engine runs them on parallel workers
 		// over disjoint state.
 		if err := eng.Run(repo, liveObservers(runs, func(g *guessRun) engine.Observer {
-			return &sizeTestObserver{g: g, opts: &opts, tracker: tracker}
+			return &sizeTestObserver{g: g, opts: &opts, weight: weightOf, tracker: tracker}
 		})...); err != nil {
 			return res.failPass(repo, tracker, err)
 		}
@@ -330,16 +340,18 @@ func liveObservers(runs []*guessRun, mk func(*guessRun) engine.Observer) []engin
 }
 
 // sizeTestObserver runs pass 1 of an iteration (Figure 1.3's Size Test +
-// projection storage) for one guess.
+// projection storage) for one guess. weight is nil on unweighted
+// repositories.
 type sizeTestObserver struct {
 	g       *guessRun
 	opts    *Options
+	weight  func(int) float64
 	tracker *stream.Tracker
 }
 
 func (o *sizeTestObserver) Observe(batch []setcover.Set) {
 	for _, s := range batch {
-		o.g.observe(s, *o.opts, o.tracker)
+		o.g.observe(s, *o.opts, o.weight, o.tracker)
 	}
 }
 
@@ -444,6 +456,7 @@ func (g *guessRun) beginIteration(rng *rand.Rand, n, m int, opts Options, tracke
 	g.sampleSize = g.left.Count() // clamp when uncovered < requested
 	g.projElems = g.projElems[:0]
 	g.projIDs = g.projIDs[:0]
+	g.projWs = g.projWs[:0]
 	// newPicks is a bitset over the m stream IDs rather than a map: pass 2
 	// probes it once per streamed set, and a word-indexed bit test beats a
 	// map lookup in that loop. The space METER is unchanged — it still
@@ -461,13 +474,22 @@ func (g *guessRun) beginIteration(rng *rand.Rand, n, m int, opts Options, tracke
 	tracker.Grow(g.iterWords)
 }
 
-// observe processes one streamed set during pass 1 (the Size Test).
-func (g *guessRun) observe(s setcover.Set, opts Options, tracker *stream.Tracker) {
+// observe processes one streamed set during pass 1 (the Size Test). weight
+// is nil on unweighted repositories; when present, the Size Test generalizes
+// from coverage to cost-effectiveness — a set is heavy when it covers at
+// least (|S|/k)·cost(r) sampled leftovers, i.e. when its coverage per unit
+// cost clears the same |S|/k bar the unweighted test sets. A unit-weight
+// vector multiplies the threshold by exactly 1.0, so the weighted path is
+// byte-identical to the unweighted one on all-ones weights.
+func (g *guessRun) observe(s setcover.Set, opts Options, weight func(int) float64, tracker *stream.Tracker) {
 	inL := g.left.IntersectionWithSlice(s.Elems)
 	if inL == 0 {
 		return
 	}
 	threshold := float64(g.sampleSize) / float64(g.k)
+	if weight != nil {
+		threshold *= weight(s.ID)
+	}
 	if !opts.DisableSizeTest && float64(inL) >= threshold {
 		// Heavy: take it now, no storage needed beyond its ID.
 		g.sol = append(g.sol, s.ID)
@@ -488,6 +510,12 @@ func (g *guessRun) observe(s setcover.Set, opts Options, tracker *stream.Tracker
 	g.projElems = append(g.projElems, proj)
 	g.projIDs = append(g.projIDs, s.ID)
 	w := stream.WordsForElems(len(proj)) + 1 // projection + its stream ID
+	if weight != nil {
+		// The stored copy of the set's cost is working memory like the
+		// projection itself: one word. Unweighted runs never pay it.
+		g.projWs = append(g.projWs, weight(s.ID))
+		w++
+	}
 	g.iterWords += w
 	tracker.Grow(w)
 }
@@ -518,6 +546,9 @@ func (g *guessRun) solveOffline(opts Options, tracker *stream.Tracker) {
 		if len(elems) > 0 {
 			sub.Sets = append(sub.Sets, setcover.Set{ID: len(sub.Sets), Elems: elems})
 			origIDs = append(origIDs, g.projIDs[i])
+			if g.projWs != nil {
+				sub.Weights = append(sub.Weights, g.projWs[i])
+			}
 		}
 	}
 	sub.Normalize()
@@ -552,6 +583,7 @@ func (g *guessRun) endIteration(tracker *stream.Tracker) {
 	g.left = nil
 	g.projElems = g.projElems[:0]
 	g.projIDs = g.projIDs[:0]
+	g.projWs = g.projWs[:0]
 	if g.newPicks != nil {
 		g.newPicks.Reset() // keep the allocation; next iteration reuses it
 	}

@@ -10,7 +10,6 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/baseline"
 	"repro/internal/engine"
 )
 
@@ -92,38 +91,20 @@ func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// defaultEngineOpts is the pass-engine configuration for experiments built
-// without per-call options, kept only for the deprecated SetEngine shim. The
-// zero value means engine defaults: GOMAXPROCS workers, which on multicore
-// hosts also turns on segmented parallel decode for segmentable
-// repositories.
-var defaultEngineOpts engine.Options
-
-// SetEngine replaces the DEFAULT pass-engine configuration used by
-// experiments built without per-call options.
-//
-// Deprecated: pass engine.Options to the experiment builder instead
-// (Spec.Build(seed, quick, opts) / E1Figure11(seed, quick, opts) etc.) —
-// cmd/experiments threads its -workers flag per call now, and a process-wide
-// default cannot serve concurrent builds with different configurations.
-// Results are identical at every setting, per the engine's determinism
-// contract. Not safe to call concurrently with running experiments.
-func SetEngine(opts engine.Options) {
-	defaultEngineOpts = opts
-	baseline.SetEngine(opts)
-}
-
 // engineFor resolves the pass-engine configuration for one experiment build:
 // the caller's per-call options when given (at most one, validated by
-// engine.PerCall), the process default otherwise (see SetEngine). Every
-// experiment threads the result into each algorithm call it makes —
-// IterSetCover and AlgGeomSC through their Options.Engine, baselines and
-// maxcover through their per-call trailing argument — so a build never
-// depends on process-global executor state.
+// engine.PerCall), the engine defaults otherwise (GOMAXPROCS workers, which
+// on multicore hosts also turns on segmented parallel decode for segmentable
+// repositories). Every experiment threads the result into each algorithm
+// call it makes — IterSetCover and AlgGeomSC through their Options.Engine,
+// baselines and maxcover through their per-call trailing argument — so a
+// build never depends on process-global executor state. The deprecated
+// process-wide SetEngine mutator was removed (see experiments_test.go's
+// removal note).
 func engineFor(engOpts []engine.Options) engine.Options {
 	opts, ok := engine.PerCall("experiments", engOpts)
 	if !ok {
-		return defaultEngineOpts
+		return engine.Options{}
 	}
 	return opts
 }
@@ -159,6 +140,7 @@ func Registry() []Spec {
 		{"E16", E16MaxKCover},
 		{"E17", E17Tightness},
 		{"E18", E18Scaling},
+		{"E19", E19PrimalDual},
 	}
 }
 

@@ -12,8 +12,8 @@ import (
 // Every experiment must build (quick mode) and produce a well-formed table.
 func TestAllExperimentsQuick(t *testing.T) {
 	tables := All(1, true)
-	if len(tables) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {
@@ -123,11 +123,12 @@ func TestRunAll(t *testing.T) {
 }
 
 // Per-call engine options must leave tables byte-identical (the engine's
-// determinism contract is what makes -workers a pure wall-clock knob), and
-// the deprecated SetEngine shim must keep steering builds that pass no
-// per-call options — cmd/experiments migrated off it, legacy callers have
-// not.
-func TestPerCallEngineOptionsAndShim(t *testing.T) {
+// determinism contract is what makes -workers a pure wall-clock knob).
+// The deprecated experiments.SetEngine process-wide shim was removed along
+// with baseline.SetEngine (see internal/baseline's TestSetEngineRemoved for
+// the full removal note); a build with no per-call options now always uses
+// the engine defaults, which the last comparison pins.
+func TestPerCallEngineOptions(t *testing.T) {
 	same := func(a, b Table) {
 		t.Helper()
 		if len(a.Rows) != len(b.Rows) {
@@ -144,8 +145,5 @@ func TestPerCallEngineOptionsAndShim(t *testing.T) {
 	ref := E16MaxKCover(3, true, engine.Options{Workers: 1})
 	same(ref, E16MaxKCover(3, true, engine.Options{Workers: 2, BatchSize: 64}))
 	same(ref, E16MaxKCover(3, true, engine.Options{Workers: 2, DisableSegmented: true}))
-
-	defer SetEngine(engine.Options{})
-	SetEngine(engine.Options{Workers: 2, BatchSize: 32})
-	same(ref, E16MaxKCover(3, true)) // no per-call options: the shim steers
+	same(ref, E16MaxKCover(3, true)) // no per-call options: engine defaults
 }

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/setcover"
+)
+
+// VCWorstCaseConfig parameterizes VCWorstCase. VCDim is the VC dimension d
+// of the induced set system; M is the stream length (number of sets).
+type VCWorstCaseConfig struct {
+	M     int
+	VCDim int
+}
+
+// VCWorstCase builds the bounded-VC-dimension worst-case family for
+// element-arrival (primal-dual/online) set cover: the adversarial instance
+// on which any algorithm that commits to sets as element batches arrive
+// pays a factor ≈ d per batch while OPT = 1.
+//
+// Construction (for d = VCDim, P = 2^d − 1 nonempty bit patterns,
+// B = max(0, M − P) batches): the universe is B × P elements, element (b, p)
+// — batch b, nonempty pattern p — belonging to
+//
+//   - the "pattern" sets b+j for every proper submask j of the full mask
+//     with j ⊆ p (these are the traps: each covers only the patterns
+//     containing it, so buying them early is cheap per batch but never
+//     finishes), and
+//   - every "tail" set with ID ≥ P + b (each tail set contains ALL elements
+//     of every batch it reaches; the last set, ID M−1, reaches every batch).
+//
+// Hence OPT = 1 (the last set alone covers the universe), any single batch
+// restricted to its pattern sets realizes every subset of a d-point ground
+// set (VC dimension exactly d), and an algorithm answering batch b without
+// knowledge of later batches is drawn toward the cheap pattern sets near b.
+// Experiment E19 runs the batched primal-dual in both reveal modes against
+// this family.
+//
+// The instance is materialized (B·P·2^{d-1}-ish elements across sets), so
+// keep d small — d ≤ 6 and M ≤ a few hundred is the experiment regime, and
+// the config is validated against d > 16 outright.
+func VCWorstCase(cfg VCWorstCaseConfig) (*setcover.Instance, error) {
+	if cfg.VCDim < 1 || cfg.VCDim > 16 {
+		return nil, fmt.Errorf("gen: VC dimension %d out of [1, 16]", cfg.VCDim)
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("gen: need M >= 1, got %d", cfg.M)
+	}
+	patterns := 1<<cfg.VCDim - 1 // nonempty bit patterns over d points
+	numBatches := cfg.M - patterns
+	if numBatches < 0 {
+		numBatches = 0
+	}
+	in := &setcover.Instance{N: numBatches * patterns, Sets: make([]setcover.Set, cfg.M)}
+	elem := func(b, p int) setcover.Elem {
+		// p is a 1-based nonempty pattern; element index is batch-major.
+		return setcover.Elem(b*patterns + p - 1)
+	}
+	for s := 0; s < cfg.M; s++ {
+		var elems []setcover.Elem
+		// Tail reach: set s contains every element of batches b <= s - P.
+		for b := 0; b <= s-patterns && b < numBatches; b++ {
+			for p := 1; p <= patterns; p++ {
+				elems = append(elems, elem(b, p))
+			}
+		}
+		// Pattern role: in batch b = s - j (for each proper submask j of the
+		// full mask), set s covers exactly the patterns containing j.
+		for j := 0; j < patterns; j++ {
+			b := s - j
+			if b < 0 || b >= numBatches {
+				continue
+			}
+			for p := 1; p <= patterns; p++ {
+				if p&j == j {
+					elems = append(elems, elem(b, p))
+				}
+			}
+		}
+		in.Sets[s] = setcover.Set{ID: s, Elems: elems}
+	}
+	in.Normalize()
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("gen: vc worst case: %w", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// WeightKind selects the per-set cost distribution of WeightedFunc.
+type WeightKind int
+
+const (
+	// WeightUnit makes every set cost exactly 1 — a populated weight vector
+	// that must reduce byte-identically to the unweighted problem (the
+	// conformance suites pin this).
+	WeightUnit WeightKind = iota
+	// WeightUniform draws costs uniformly from [Lo, Hi].
+	WeightUniform
+	// WeightLogUniform draws costs log-uniformly from [Lo, Hi]: orders of
+	// magnitude are equally likely, so most sets are cheap and a few are
+	// expensive — the skew that separates cost-effectiveness greedy from
+	// pure coverage greedy.
+	WeightLogUniform
+)
+
+func (k WeightKind) String() string {
+	switch k {
+	case WeightUnit:
+		return "unit"
+	case WeightUniform:
+		return "uniform"
+	case WeightLogUniform:
+		return "loguniform"
+	default:
+		return fmt.Sprintf("gen.WeightKind(%d)", int(k))
+	}
+}
+
+// WeightedConfig parameterizes WeightedFunc. Lo/Hi bound the costs (ignored
+// by WeightUnit); Seed drives the per-id pseudo-randomness.
+type WeightedConfig struct {
+	Kind   WeightKind
+	M      int
+	Lo, Hi float64
+	Seed   int64
+}
+
+// WeightedFunc returns a deterministic pure per-set cost function — the
+// weight-side sibling of PlantedFunc, and the model citizen for
+// stream.FuncRepo.SetWeightFunc: weight(id) may be called in any order,
+// repeatedly, and from multiple goroutines, and always returns the same
+// finite positive cost for the same id. Costs are derived from a per-id
+// seeded generator (the same splitmix-style mixing the set generators use),
+// so a weight vector can be streamed alongside a family of any size without
+// materializing either.
+func WeightedFunc(cfg WeightedConfig) (func(id int) float64, error) {
+	if cfg.M < 0 {
+		return nil, fmt.Errorf("gen: negative M %d", cfg.M)
+	}
+	switch cfg.Kind {
+	case WeightUnit:
+		return func(id int) float64 { return 1 }, nil
+	case WeightUniform, WeightLogUniform:
+	default:
+		return nil, fmt.Errorf("gen: unknown weight kind %d", int(cfg.Kind))
+	}
+	if !(cfg.Lo > 0) || !(cfg.Hi >= cfg.Lo) || cfg.Hi > math.MaxFloat64 {
+		return nil, fmt.Errorf("gen: weight bounds [%v, %v] want finite 0 < Lo <= Hi", cfg.Lo, cfg.Hi)
+	}
+	lo, hi, kind, seed := cfg.Lo, cfg.Hi, cfg.Kind, cfg.Seed
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	return func(id int) float64 {
+		r := rand.New(rand.NewSource(seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15)))
+		u := r.Float64()
+		var w float64
+		if kind == WeightUniform {
+			w = lo + u*(hi-lo)
+		} else {
+			w = math.Exp(logLo + u*(logHi-logLo))
+		}
+		// Clamp float rounding back into the validated range.
+		if w < lo {
+			w = lo
+		}
+		if w > hi {
+			w = hi
+		}
+		return w
+	}, nil
+}
+
+// WeightedSlice materializes WeightedFunc as a cfg.M-entry cost vector,
+// ready for setcover.Instance.Weights or scdisk's Writer.SetWeights.
+func WeightedSlice(cfg WeightedConfig) ([]float64, error) {
+	f, err := WeightedFunc(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ws := make([]float64, cfg.M)
+	for i := range ws {
+		ws[i] = f(i)
+	}
+	return ws, nil
+}
+
+// ParseWeightSpec parses the CLI surface for weight vectors:
+//
+//	unit                 every set costs 1
+//	uniform:LO:HI        uniform costs in [LO, HI]
+//	loguniform:LO:HI     log-uniform costs in [LO, HI]
+//
+// M and Seed on the returned config are zero; callers fill them in
+// (cmd/scgen threads its -m and -seed flags).
+func ParseWeightSpec(s string) (WeightedConfig, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "unit":
+		if len(parts) != 1 {
+			return WeightedConfig{}, fmt.Errorf("gen: weight spec %q: unit takes no bounds", s)
+		}
+		return WeightedConfig{Kind: WeightUnit}, nil
+	case "uniform", "loguniform":
+		if len(parts) != 3 {
+			return WeightedConfig{}, fmt.Errorf("gen: weight spec %q: want %s:LO:HI", s, parts[0])
+		}
+		lo, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return WeightedConfig{}, fmt.Errorf("gen: weight spec %q: bad LO: %v", s, err)
+		}
+		hi, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return WeightedConfig{}, fmt.Errorf("gen: weight spec %q: bad HI: %v", s, err)
+		}
+		kind := WeightUniform
+		if parts[0] == "loguniform" {
+			kind = WeightLogUniform
+		}
+		return WeightedConfig{Kind: kind, Lo: lo, Hi: hi}, nil
+	}
+	return WeightedConfig{}, fmt.Errorf("gen: weight spec %q: want unit, uniform:LO:HI, or loguniform:LO:HI", s)
+}

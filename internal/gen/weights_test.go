@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/offline"
+	"repro/internal/setcover"
+)
+
+func TestWeightedFuncDeterministicAndValid(t *testing.T) {
+	for _, cfg := range []WeightedConfig{
+		{Kind: WeightUnit, M: 50},
+		{Kind: WeightUniform, M: 50, Lo: 0.5, Hi: 4, Seed: 1},
+		{Kind: WeightLogUniform, M: 50, Lo: 0.01, Hi: 100, Seed: 2},
+	} {
+		f, err := WeightedFunc(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Kind, err)
+		}
+		ws, err := WeightedSlice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := setcover.ValidateWeights(ws, cfg.M); err != nil {
+			t.Fatalf("%v: invalid weights: %v", cfg.Kind, err)
+		}
+		for i, w := range ws {
+			if f(i) != w || f(i) != f(i) {
+				t.Fatalf("%v: weight(%d) not deterministic", cfg.Kind, i)
+			}
+			if cfg.Kind == WeightUnit && w != 1 {
+				t.Fatalf("unit weight %d is %v", i, w)
+			}
+			if cfg.Kind != WeightUnit && (w < cfg.Lo || w > cfg.Hi) {
+				t.Fatalf("%v: weight %d = %v out of [%v, %v]", cfg.Kind, i, w, cfg.Lo, cfg.Hi)
+			}
+		}
+	}
+}
+
+func TestWeightedFuncRejectsBadConfig(t *testing.T) {
+	bad := []WeightedConfig{
+		{Kind: WeightUniform, M: 5, Lo: 0, Hi: 1},
+		{Kind: WeightUniform, M: 5, Lo: 2, Hi: 1},
+		{Kind: WeightLogUniform, M: 5, Lo: -1, Hi: 1},
+		{Kind: WeightKind(99), M: 5, Lo: 1, Hi: 2},
+		{Kind: WeightUniform, M: -1, Lo: 1, Hi: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := WeightedFunc(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestParseWeightSpec(t *testing.T) {
+	cfg, err := ParseWeightSpec("uniform:0.5:4")
+	if err != nil || cfg.Kind != WeightUniform || cfg.Lo != 0.5 || cfg.Hi != 4 {
+		t.Fatalf("uniform spec: %+v, %v", cfg, err)
+	}
+	cfg, err = ParseWeightSpec("loguniform:0.01:10")
+	if err != nil || cfg.Kind != WeightLogUniform {
+		t.Fatalf("loguniform spec: %+v, %v", cfg, err)
+	}
+	if cfg, err = ParseWeightSpec("unit"); err != nil || cfg.Kind != WeightUnit {
+		t.Fatalf("unit spec: %+v, %v", cfg, err)
+	}
+	for _, s := range []string{"", "unit:1", "uniform:1", "uniform:x:2", "zipf:1:2"} {
+		if _, err := ParseWeightSpec(s); err == nil {
+			t.Fatalf("spec %q accepted", s)
+		}
+	}
+}
+
+func TestVCWorstCase(t *testing.T) {
+	in, err := VCWorstCase(VCWorstCaseConfig{M: 40, VCDim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := 1<<3 - 1
+	if in.N != (40-patterns)*patterns {
+		t.Fatalf("n = %d, want %d", in.N, (40-patterns)*patterns)
+	}
+	if !in.Coverable() {
+		t.Fatal("vc worst case not coverable")
+	}
+	// OPT = 1: the last set alone covers the universe.
+	if !in.IsCover([]int{39}) {
+		t.Fatal("last set does not cover the universe")
+	}
+	if opt, err := offline.OptSize(in); err != nil || opt != 1 {
+		t.Fatalf("opt = %d, %v; want 1", opt, err)
+	}
+	// The family must punish early commitment: greedy on the stream prefix
+	// restricted view is not what we pin here, but the instance must be
+	// non-trivial — many sets, none empty in the pattern range.
+	for s := 0; s < patterns; s++ {
+		if in.Sets[s].Size() == 0 {
+			t.Fatalf("pattern set %d empty", s)
+		}
+	}
+	if _, err := VCWorstCase(VCWorstCaseConfig{M: 0, VCDim: 3}); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	if _, err := VCWorstCase(VCWorstCaseConfig{M: 10, VCDim: 0}); err == nil {
+		t.Fatal("VCDim=0 accepted")
+	}
+}

@@ -48,29 +48,40 @@ func (Greedy) Rho(n int) float64 {
 }
 
 // Solve implements Solver. It runs a lazy-decrement greedy: candidates are
-// kept sorted by stale gain (an upper bound, since gains only shrink) and
-// refreshed on demand. Ties are broken toward the smallest set ID, which
-// makes the trajectory identical to a streaming greedy that scans sets in
-// stream order and keeps the first strict maximum.
+// kept sorted by stale cost-effectiveness (gain/weight — an upper bound,
+// since gains only shrink while weights are constant) and refreshed on
+// demand. Ties are broken toward the smallest set ID, which makes the
+// trajectory identical to a streaming greedy that scans sets in stream order
+// and keeps the first strict maximum.
+//
+// On weighted instances the pick rule is max cost-effectiveness (the classic
+// weighted greedy, ρ = H(n)); on unweighted instances every weight is 1 and
+// every comparison below collapses to the pure-gain integer comparison, so
+// the trajectory is byte-identical to the historical unweighted solver
+// (gains fit in int32, hence are exact in float64). All ratio comparisons
+// are done by cross-multiplication — gain·weight products, never divisions —
+// so there is no rounding in the unit-weight reduction.
 func (Greedy) Solve(in *setcover.Instance) ([]int, error) {
 	uncovered := bitset.New(in.N)
 	uncovered.Fill()
 	remaining := in.N
 
-	// Entries sorted by (stale gain desc, ID asc), lazily re-evaluated.
+	// Entries sorted by (stale gain/weight desc, ID asc), lazily re-evaluated.
 	type entry struct {
 		gain int
 		id   int
+		w    float64
 	}
 	cands := make([]entry, 0, len(in.Sets))
 	for _, s := range in.Sets {
 		if len(s.Elems) > 0 {
-			cands = append(cands, entry{gain: len(s.Elems), id: s.ID})
+			cands = append(cands, entry{gain: len(s.Elems), id: s.ID, w: in.Weight(s.ID)})
 		}
 	}
 	less := func(i, j int) bool {
-		if cands[i].gain != cands[j].gain {
-			return cands[i].gain > cands[j].gain
+		gi, gj := float64(cands[i].gain)*cands[j].w, float64(cands[j].gain)*cands[i].w
+		if gi != gj {
+			return gi > gj
 		}
 		return cands[i].id < cands[j].id
 	}
@@ -79,22 +90,28 @@ func (Greedy) Solve(in *setcover.Instance) ([]int, error) {
 	var cover []int
 	for remaining > 0 {
 		// Find the fresh maximum (smallest ID on ties), refreshing stale
-		// gains as we go. A stale gain strictly below the incumbent ends the
-		// scan: gains only decrease, so no later entry can win. Stale gains
-		// equal to the incumbent must still be refreshed for ID tie-breaking.
+		// ratios as we go. A stale ratio strictly below the incumbent ends
+		// the scan: gains only decrease, so no later entry can win. Stale
+		// ratios equal to the incumbent must still be refreshed for ID
+		// tie-breaking. bestW starts at 1 so the first productive candidate
+		// beats the empty incumbent (gain·1 > 0·w).
 		best, bestGain := -1, 0
+		bestW := 1.0
 		for i := 0; i < len(cands); i++ {
 			e := &cands[i]
-			if e.gain < bestGain || (e.gain == bestGain && best >= 0 && e.id > cands[best].id) {
-				if e.gain < bestGain {
+			stale, incumbent := float64(e.gain)*bestW, float64(bestGain)*e.w
+			if stale < incumbent || (stale == incumbent && best >= 0 && e.id > cands[best].id) {
+				if stale < incumbent {
 					break
 				}
 				continue
 			}
 			fresh := uncovered.IntersectionWithSlice(in.Sets[e.id].Elems)
 			e.gain = fresh
-			if fresh > bestGain || (fresh == bestGain && best >= 0 && fresh > 0 && e.id < cands[best].id) {
+			fr, inc := float64(fresh)*bestW, float64(bestGain)*e.w
+			if fr > inc || (fr == inc && best >= 0 && fresh > 0 && e.id < cands[best].id) {
 				bestGain = fresh
+				bestW = e.w
 				best = i
 			}
 		}
@@ -113,6 +130,12 @@ func (Greedy) Solve(in *setcover.Instance) ([]int, error) {
 // Exact is an optimal branch-and-bound solver (ρ = 1). Worst case is
 // exponential; in practice the instances it sees here (offline sub-problems
 // of iterSetCover, reduction gadgets of Sections 5–6) solve in milliseconds.
+//
+// Exact minimizes CARDINALITY and ignores Instance.Weights: it is the
+// paper's unit-cost OPT oracle (Section 2.1), and the reductions it relies
+// on (dominance, the counting lower bound) are cardinality arguments. On a
+// weighted instance it still returns a valid cover — just the fewest-sets
+// one, not the cheapest. Use Greedy for weighted sub-instances.
 //
 // Strategy: first apply the OPT-preserving dominance reductions of Reduce,
 // then branch on the uncovered element contained in the fewest sets

@@ -276,3 +276,43 @@ func BenchmarkExactSmall(b *testing.B) {
 		}
 	}
 }
+
+// Weighted greedy must pick by cost-effectiveness (gain per unit cost), not
+// raw coverage: here the big set is priced so that two cheap halves beat it.
+func TestGreedyWeightedPicksCostEffective(t *testing.T) {
+	in := &setcover.Instance{N: 6, Sets: []setcover.Set{
+		{ID: 0, Elems: []setcover.Elem{0, 1, 2, 3, 4, 5}}, // covers all, cost 10
+		{ID: 1, Elems: []setcover.Elem{0, 1, 2}},          // cost 1
+		{ID: 2, Elems: []setcover.Elem{3, 4, 5}},          // cost 1
+	}, Weights: []float64{10, 1, 1}}
+	cover, err := Greedy{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 || !in.IsCover(cover) {
+		t.Fatalf("weighted greedy cover %v, want the two cheap halves", cover)
+	}
+	if w := in.CoverWeight(cover); w != 2 {
+		t.Fatalf("cover weight %v, want 2", w)
+	}
+
+	// Unit weights: identical to no weights (same instance, all-ones costs).
+	unit := &setcover.Instance{N: in.N, Sets: in.Sets, Weights: []float64{1, 1, 1}}
+	plain := &setcover.Instance{N: in.N, Sets: in.Sets}
+	su, err := Greedy{}.Solve(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Greedy{}.Solve(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(su) != len(sp) {
+		t.Fatalf("unit weights changed greedy: %v vs %v", su, sp)
+	}
+	for i := range sp {
+		if su[i] != sp[i] {
+			t.Fatalf("unit weights changed greedy pick %d: %v vs %v", i, su, sp)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package pd
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+func plantedRepo(t *testing.T, n, m, k int, seed int64) (*setcover.Instance, *stream.SliceRepo) {
+	t.Helper()
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: n, M: m, K: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, stream.NewSliceRepo(in)
+}
+
+func TestBatchedPrimalDualCovers(t *testing.T) {
+	in, repo := plantedRepo(t, 300, 600, 10, 1)
+	res, err := BatchedPrimalDual(repo, Options{ElemBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid || !in.IsCover(res.Cover) {
+		t.Fatal("pd cover does not cover the universe")
+	}
+	wantPasses := res.Batches + 1
+	if res.Passes != wantPasses {
+		t.Fatalf("passes = %d, want batches+1 = %d", res.Passes, wantPasses)
+	}
+	if res.Batches != (300+63)/64 {
+		t.Fatalf("batches = %d, want %d", res.Batches, (300+63)/64)
+	}
+	if res.MaxFrequency < 1 || res.Rounds < 1 || res.SpaceWords < int64(2*600) {
+		t.Fatalf("implausible diagnostics: f=%d rounds=%d space=%d",
+			res.MaxFrequency, res.Rounds, res.SpaceWords)
+	}
+	if res.CoverWeight != float64(len(res.Cover)) {
+		t.Fatalf("unweighted CoverWeight %v != |cover| %d", res.CoverWeight, len(res.Cover))
+	}
+}
+
+func TestBatchedPrimalDualWeighted(t *testing.T) {
+	in, _ := plantedRepo(t, 200, 400, 8, 2)
+	ws, err := gen.WeightedSlice(gen.WeightedConfig{Kind: gen.WeightUniform, M: 400, Lo: 0.5, Hi: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Weights = ws
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	repo := stream.NewSliceRepo(in)
+	res, err := BatchedPrimalDual(repo, Options{ElemBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(res.Cover) {
+		t.Fatal("weighted pd cover does not cover the universe")
+	}
+	want := in.CoverWeight(res.Cover)
+	if math.Abs(res.CoverWeight-want) > 1e-9 {
+		t.Fatalf("CoverWeight %v != instance CoverWeight %v", res.CoverWeight, want)
+	}
+}
+
+// The trivial mode must also produce a full cover, at one pass per element
+// (plus verification), and generally along a different trajectory.
+func TestTrivialMode(t *testing.T) {
+	in, repo := plantedRepo(t, 60, 120, 5, 3)
+	res, err := BatchedPrimalDual(repo, Options{Mode: ModeTrivial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(res.Cover) {
+		t.Fatal("trivial-mode cover does not cover the universe")
+	}
+	if res.Batches != 60 || res.Passes != 61 {
+		t.Fatalf("trivial mode: batches=%d passes=%d, want 60/61", res.Batches, res.Passes)
+	}
+}
+
+// One sequential observer per pass means results must be identical at every
+// engine configuration.
+func TestDeterministicAcrossEngineConfigs(t *testing.T) {
+	_, repo := plantedRepo(t, 250, 500, 9, 4)
+	ref, err := BatchedPrimalDual(repo, Options{ElemBatch: 50, Engine: engine.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eo := range []engine.Options{
+		{Workers: 2},
+		{Workers: runtime.GOMAXPROCS(0), BatchSize: 16},
+		{Workers: 2, DisableSegmented: true},
+	} {
+		in2, repo2 := plantedRepo(t, 250, 500, 9, 4)
+		res, err := BatchedPrimalDual(repo2, Options{ElemBatch: 50, Engine: eo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cover) != len(ref.Cover) || res.Rounds != ref.Rounds || res.SpaceWords != ref.SpaceWords {
+			t.Fatalf("config %+v diverged: cover %d/%d rounds %d/%d space %d/%d",
+				eo, len(res.Cover), len(ref.Cover), res.Rounds, ref.Rounds, res.SpaceWords, ref.SpaceWords)
+		}
+		for i := range ref.Cover {
+			if res.Cover[i] != ref.Cover[i] {
+				t.Fatalf("config %+v: cover[%d] differs", eo, i)
+			}
+		}
+		if !in2.IsCover(res.Cover) {
+			t.Fatal("cover invalid")
+		}
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	in := &setcover.Instance{N: 4, Sets: []setcover.Set{{ID: 0, Elems: []setcover.Elem{0, 1}}}}
+	_, err := BatchedPrimalDual(stream.NewSliceRepo(in), Options{})
+	if !errors.Is(err, setcover.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	_, err = BatchedPrimalDual(stream.NewSliceRepo(&setcover.Instance{N: 3}), Options{})
+	if !errors.Is(err, setcover.ErrInfeasible) {
+		t.Fatalf("empty family: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	_, repo := plantedRepo(t, 20, 40, 3, 5)
+	for _, eps := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := BatchedPrimalDual(repo, Options{Epsilon: eps}); err == nil {
+			t.Fatalf("epsilon %v accepted", eps)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"dedicated": ModeDedicated, "trivial": ModeTrivial} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted bogus")
+	}
+}

@@ -73,6 +73,9 @@ type Repo struct {
 	cards []int32
 	// indexOff is the absolute offset of the SCIX footer when offs != nil.
 	indexOff int64
+	// weights is the decoded SCWT per-set cost vector; nil when the file
+	// carries no weight section (the unweighted problem).
+	weights []float64
 
 	passes atomic.Int64
 	free   elemPool
@@ -181,37 +184,48 @@ func (d *Repo) readFull(buf []byte, off int64) error {
 	return err
 }
 
-// loadIndex detects and parses the optional index footer. A file without the
-// trailer magic is a plain SCB1 stream: no error, just no seek index. The
-// trailer magic alone cannot prove a footer exists — a plain file's set data
-// may coincidentally end in those four bytes — so when the bytes before it do
-// not validate as an index, the file degrades to plain sequential mode
-// (HasIndex reports false, BeginAt/SetSpan are unavailable) instead of being
-// rejected: sequential decoding is self-delimiting and stays correct either
-// way, and genuinely corrupt set data still surfaces through Err mid-pass.
+// loadIndex detects and parses the optional trailing sections: the SCWT
+// weight section first (it is outermost — appended after the index; see
+// weights.go), then the SCIX index footer at the end of what remains. A file
+// without either trailer magic is a plain SCB1 stream: no error, just no
+// seek index and unit weights. The index trailer magic alone cannot prove a
+// footer exists — a plain file's set data may coincidentally end in those
+// four bytes — so when the bytes before it do not validate as an index, the
+// file degrades to plain sequential mode (HasIndex reports false,
+// BeginAt/SetSpan are unavailable) instead of being rejected: sequential
+// decoding is self-delimiting and stays correct either way, and genuinely
+// corrupt set data still surfaces through Err mid-pass. The WEIGHT trailer
+// gets the opposite treatment — a detected-but-invalid weight section is an
+// open error — because weights change covers, not wall-clock (weights.go).
 func (d *Repo) loadIndex() error {
-	if d.size < d.dataOff+trailerLen {
+	end, err := d.loadWeights()
+	if err != nil {
+		return err
+	}
+	if end < d.dataOff+trailerLen {
 		return nil
 	}
 	var tr [trailerLen]byte
-	if err := d.readFull(tr[:], d.size-trailerLen); err != nil {
+	if err := d.readFull(tr[:], end-trailerLen); err != nil {
 		return fmt.Errorf("scdisk: trailer: %w", err)
 	}
 	if !bytes.Equal(tr[8:], trailerMagic[:]) {
 		return nil
 	}
-	if err := d.parseIndex(int64(binary.LittleEndian.Uint64(tr[:8]))); err != nil {
+	if err := d.parseIndex(int64(binary.LittleEndian.Uint64(tr[:8])), end); err != nil {
 		d.offs, d.cards = nil, nil
 	}
 	return nil
 }
 
 // parseIndex validates and loads the index claimed to start at indexOff.
-func (d *Repo) parseIndex(indexOff int64) error {
-	if indexOff < d.dataOff || indexOff > d.size-trailerLen {
+// end is where the index block (footer + trailer) must stop: the end of the
+// file, or the start of the weight section when one follows.
+func (d *Repo) parseIndex(indexOff, end int64) error {
+	if indexOff < d.dataOff || indexOff > end-trailerLen {
 		return fmt.Errorf("scdisk: index offset %d out of file bounds", indexOff)
 	}
-	ir := bufio.NewReaderSize(io.NewSectionReader(d.r, indexOff, d.size-trailerLen-indexOff), 1<<16)
+	ir := bufio.NewReaderSize(io.NewSectionReader(d.r, indexOff, end-trailerLen-indexOff), 1<<16)
 	var magic [4]byte
 	if _, err := io.ReadFull(ir, magic[:]); err != nil {
 		return fmt.Errorf("scdisk: index: %w", err)
@@ -280,6 +294,13 @@ const digestSampleLen = 64 << 10
 // hashed. The two schemes are domain-separated, so an indexed and a plain
 // encoding of the same family get different digests — a digest identifies
 // the FILE's content, not the abstract family.
+//
+// Both schemes bind the SCWT weight section when one is present: the indexed
+// scheme hashes everything from the index footer to end of file — which is
+// exactly where the weight section lives — and the plain scheme hashes the
+// whole file. The same family with and without weights (or with edited
+// weights) therefore digests differently, so result caches and fleet routing
+// keyed by digest can never serve an unweighted cover for a weighted solve.
 func (d *Repo) Digest() (string, error) {
 	h := sha256.New()
 	if d.offs == nil {

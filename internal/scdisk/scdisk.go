@@ -15,12 +15,18 @@
 //	  "SCIX" varint(m) then per set: varint(byteLen) varint(cardinality)
 //	trailer (12 bytes, fixed):
 //	  uint64 LE absolute offset of "SCIX" | magic "SCX1"
+//	optional weight section (weights.go):
+//	  "SCWT" varint(m) then m × float64 LE, then a 12-byte trailer:
+//	  uint64 LE absolute offset of "SCWT" | magic "SCW1"
 //
 // The footer is strictly additive: setcover.ReadBinary stops after the m-th
 // set and ignores it, and Repo reads plain SCB1 files (no trailer) just as
 // well — it only loses BeginAt (seek-start passes) and SetSpan. Writer always
 // emits the footer; byte lengths and cardinalities are accumulated while
-// streaming, so writing needs O(m) words of state, not the instance.
+// streaming, so writing needs O(m) words of state, not the instance. The
+// weight section is emitted only when SetWeights was called, and is additive
+// the same way — except that a present-but-corrupt weight section fails the
+// open (weights change covers, so they are never silently dropped).
 package scdisk
 
 import (
@@ -49,8 +55,9 @@ type Writer struct {
 	bw      *bufio.Writer
 	n, m    int
 	written int
-	lens    []int64 // encoded byte length of each set
-	cards   []int32 // cardinality of each set
+	lens    []int64   // encoded byte length of each set
+	cards   []int32   // cardinality of each set
+	weights []float64 // per-set costs; SCWT section emitted on Close when set
 	scratch []byte
 	err     error
 }
@@ -101,8 +108,32 @@ func (w *Writer) WriteSet(elems []setcover.Elem) error {
 	return nil
 }
 
+// SetWeights attaches a per-set cost vector to the file being written: Close
+// appends the SCWT weight section (see weights.go) after the index footer.
+// weights must carry exactly m entries, each finite and strictly positive
+// (setcover.ValidateWeights) — the same trust-boundary check the reader
+// applies, so a writer can never produce a file its own reader rejects. The
+// slice is retained, not copied; the caller must not mutate it before Close.
+// Passing nil clears a previously set vector. A validation failure leaves
+// the writer usable (the file is not poisoned — no bytes were written).
+func (w *Writer) SetWeights(weights []float64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if weights == nil {
+		w.weights = nil
+		return nil
+	}
+	if err := setcover.ValidateWeights(weights, w.m); err != nil {
+		return fmt.Errorf("scdisk: %w", err)
+	}
+	w.weights = weights
+	return nil
+}
+
 // Close verifies all m sets were written, appends the index footer and
-// trailer, and flushes. It does not close the underlying writer.
+// trailer (plus the SCWT weight section when SetWeights was called), and
+// flushes. It does not close the underlying writer.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
@@ -125,6 +156,15 @@ func (w *Writer) Close() error {
 	if _, err := w.bw.Write(buf); err != nil {
 		return w.fail(err)
 	}
+	if w.weights != nil {
+		// The weight section is outermost: its absolute offset is where the
+		// index block just ended.
+		weightOff := indexOff + int64(len(buf))
+		buf = appendWeightSection(buf[:0], weightOff, w.weights)
+		if _, err := w.bw.Write(buf); err != nil {
+			return w.fail(err)
+		}
+	}
 	if err := w.bw.Flush(); err != nil {
 		return w.fail(err)
 	}
@@ -139,6 +179,7 @@ func (w *Writer) fail(err error) error {
 
 // Write streams a materialized instance to w in the indexed SCB1 format.
 // The sets must be normalized (sorted-unique elements, sequential IDs).
+// Instances carrying a weight vector get the SCWT weight section appended.
 func Write(w io.Writer, in *setcover.Instance) error {
 	if err := in.Validate(); err != nil {
 		return err
@@ -146,6 +187,11 @@ func Write(w io.Writer, in *setcover.Instance) error {
 	sw, err := NewWriter(w, in.N, len(in.Sets))
 	if err != nil {
 		return err
+	}
+	if in.Weights != nil {
+		if err := sw.SetWeights(in.Weights); err != nil {
+			return err
+		}
 	}
 	for _, s := range in.Sets {
 		if err := sw.WriteSet(s.Elems); err != nil {

@@ -35,6 +35,12 @@ type Instance struct {
 	Kind string `json:"kind"`
 	// Path is the backing file for disk instances ("" for generators).
 	Path string `json:"path,omitempty"`
+	// Weighted reports whether the instance carries per-set costs (an SCWT
+	// section on disk instances); WeightMin/WeightMax are the cost extremes
+	// when it does. Requests assert against these via their weights block.
+	Weighted  bool    `json:"weighted,omitempty"`
+	WeightMin float64 `json:"weight_min,omitempty"`
+	WeightMax float64 `json:"weight_max,omitempty"`
 
 	open func() (stream.Repository, func() error, error)
 	// closePool releases pooled repository handles (disk instances only).
@@ -194,6 +200,9 @@ func (c *Catalog) AddFile(name, path string) (*Instance, error) {
 			return r, func() error { return pool.put(r) }, nil
 		},
 		closePool: pool.close,
+	}
+	if lo, hi, ok := d.WeightRange(); ok {
+		inst.Weighted, inst.WeightMin, inst.WeightMax = true, lo, hi
 	}
 	if err := c.add(inst); err != nil {
 		inst.closePool()

@@ -66,6 +66,7 @@ const (
 	CodeInfeasible      = "infeasible"       // 422: the instance has no (partial) cover
 	CodeSolveFailed     = "solve_failed"     // 500: solver error
 	CodePassFailed      = "pass_failed"      // 502: a pass died mid-stream (bad storage)
+	CodeWeightMismatch  = "weight_mismatch"  // 400: the weights assertion block does not match the instance
 	CodeShuttingDown    = "shutting_down"    // 503: server is draining
 )
 

@@ -254,6 +254,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeUnknownInstance, "instance %q not registered", req.Instance)
 		return
 	}
+	if err := req.checkWeights(inst); err != nil {
+		writeError(w, http.StatusBadRequest, CodeWeightMismatch, "%v", err)
+		return
+	}
 
 	// A draining server answers NO new solve — cached or not — so clients
 	// and load balancers get the structured 503 retry signal instead of a

@@ -3,12 +3,14 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/maxcover"
+	"repro/internal/pd"
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
@@ -16,7 +18,14 @@ import (
 // Algorithms the service dispatches, by wire name — the same names
 // cmd/setcover's -algo flag accepts, with the same parameter defaults, so a
 // service solve is byte-identical to a CLI solve of the same request.
-var algoNames = []string{"iter", "greedy1", "greedyn", "threshold", "sg09", "er14", "cw16", "dimv14"}
+var algoNames = []string{"iter", "greedy1", "greedyn", "threshold", "sg09", "er14", "cw16", "dimv14", "pd"}
+
+// pdElemBatch is the element-batch size of algo=pd solves. It is PINNED, not a
+// request knob: the batch size changes the primal-dual's result, but the
+// result-cache key carries only digest|algo|δ|p|ε|seed — a tunable batch would
+// let two requests with the same key disagree. The CLI's -pd-batch stays free
+// because the CLI has no cache. Same reasoning pins the mode to dedicated.
+const pdElemBatch = 256
 
 // EngineRequest is the optional per-request engine override: the solve-local
 // counterpart of cmd/setcover's -workers/-batch/-no-segmented flags. All
@@ -28,11 +37,28 @@ type EngineRequest struct {
 	DisableSegmented bool `json:"disable_segmented,omitempty"`
 }
 
+// WeightsRequest is the optional per-request weight assertion block: the
+// client states what cost model it believes the instance carries, and a
+// mismatch is a structured 400 before any queue slot is spent. It never
+// changes the solve — the content digest already binds the weight section, so
+// the result-cache key is untouched — it exists so a client that PRICED a
+// request against one weight vector cannot silently solve against another
+// (a re-registered file, a name pointing at new content).
+type WeightsRequest struct {
+	// Require asserts the instance carries per-set weights (true) or is
+	// unweighted (false, only meaningful when the field is present).
+	Require *bool `json:"require,omitempty"`
+	// Min/Max assert bounds that every per-set weight must satisfy. Setting
+	// either implies the instance must be weighted.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+}
+
 // SolveRequest is the body of POST /v1/solve.
 type SolveRequest struct {
 	// Instance names a catalog entry, by registration name or content digest.
 	Instance string `json:"instance"`
-	// Algo is one of iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14
+	// Algo is one of iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14|pd
 	// (default iter).
 	Algo string `json:"algo,omitempty"`
 	// Delta is the paper's δ for iter/dimv14 (default 0.5): 2/δ passes,
@@ -40,8 +66,14 @@ type SolveRequest struct {
 	Delta float64 `json:"delta,omitempty"`
 	// Passes is the pass budget for cw16 (default 2).
 	Passes int `json:"passes,omitempty"`
-	// Eps switches the supporting algorithms to ε-Partial Set Cover.
+	// Eps switches the supporting algorithms to ε-Partial Set Cover. For
+	// algo=pd it is the dual increment instead (0 means pd's default): both
+	// readings live in [0,1) and both change the result, so one wire field
+	// and one cache-key slot cover both.
 	Eps float64 `json:"eps,omitempty"`
+	// Weights optionally asserts the instance's cost model (see
+	// WeightsRequest); a mismatch is a 400.
+	Weights *WeightsRequest `json:"weights,omitempty"`
 	// Seed drives all randomness (default 1); solves are deterministic
 	// given the seed, which is what makes result caching sound.
 	Seed *int64 `json:"seed,omitempty"`
@@ -133,6 +165,47 @@ func (r *SolveRequest) validate() error {
 	if r.Stream && !r.wait() {
 		return errors.New("stream:true requires wait:true (a 202 job handle has no body to stream)")
 	}
+	if wr := r.Weights; wr != nil {
+		if wr.Min != nil && (!(*wr.Min > 0) || *wr.Min > math.MaxFloat64) {
+			return fmt.Errorf("weights.min %v not a finite positive cost", *wr.Min)
+		}
+		if wr.Max != nil && (!(*wr.Max > 0) || *wr.Max > math.MaxFloat64) {
+			return fmt.Errorf("weights.max %v not a finite positive cost", *wr.Max)
+		}
+		if wr.Min != nil && wr.Max != nil && *wr.Min > *wr.Max {
+			return fmt.Errorf("weights.min %v > weights.max %v", *wr.Min, *wr.Max)
+		}
+		if wr.Require != nil && !*wr.Require && (wr.Min != nil || wr.Max != nil) {
+			return errors.New("weights.require:false contradicts weights.min/max (bounds assert a weighted instance)")
+		}
+	}
+	return nil
+}
+
+// checkWeights enforces the request's weight assertion block against the
+// instance's registered weight metadata. Runs after catalog resolution (it
+// needs the instance) but still before admission: a mismatch is a client
+// error, answered 400 with no queue slot spent.
+func (r *SolveRequest) checkWeights(inst *Instance) error {
+	wr := r.Weights
+	if wr == nil {
+		return nil
+	}
+	mustWeighted := wr.Min != nil || wr.Max != nil || (wr.Require != nil && *wr.Require)
+	if wr.Require != nil && !*wr.Require && inst.Weighted {
+		return fmt.Errorf("instance %q carries per-set weights but the request asserts weights.require:false", inst.Name)
+	}
+	if mustWeighted && !inst.Weighted {
+		return fmt.Errorf("instance %q is unweighted but the request asserts a weighted cost model", inst.Name)
+	}
+	if wr.Min != nil && inst.WeightMin < *wr.Min {
+		return fmt.Errorf("instance %q has a weight %v below the asserted weights.min %v",
+			inst.Name, inst.WeightMin, *wr.Min)
+	}
+	if wr.Max != nil && inst.WeightMax > *wr.Max {
+		return fmt.Errorf("instance %q has a weight %v above the asserted weights.max %v",
+			inst.Name, inst.WeightMax, *wr.Max)
+	}
 	return nil
 }
 
@@ -170,6 +243,10 @@ type SolveResult struct {
 	// WallMillis is the wall time of the ORIGINAL solve; cache hits return
 	// the original's value (the response envelope marks them cached).
 	WallMillis float64 `json:"wall_ms"`
+	// CoverWeight is the total per-set cost of the cover on weighted
+	// instances; omitted (zero) on unweighted ones, where cover_size is the
+	// cost.
+	CoverWeight float64 `json:"cover_weight,omitempty"`
 }
 
 // runSolve executes one admitted solve: fresh repository, dispatch, snapshot.
@@ -189,15 +266,20 @@ func runSolve(inst *Instance, req *SolveRequest, engOpts engine.Options) (*Solve
 	if cover == nil {
 		cover = []int{} // JSON: [] rather than null
 	}
+	var coverWeight float64
+	if stream.HasWeights(repo) {
+		coverWeight = stream.CoverWeight(repo, st.Cover)
+	}
 	return &SolveResult{
-		Algorithm:  st.Algorithm,
-		Cover:      cover,
-		CoverSize:  len(st.Cover),
-		Valid:      st.Valid,
-		Passes:     st.Passes,
-		SpaceWords: st.SpaceWords,
-		BestK:      bestK,
-		WallMillis: float64(time.Since(start).Microseconds()) / 1000,
+		Algorithm:   st.Algorithm,
+		Cover:       cover,
+		CoverSize:   len(st.Cover),
+		Valid:       st.Valid,
+		Passes:      st.Passes,
+		SpaceWords:  st.SpaceWords,
+		BestK:       bestK,
+		WallMillis:  float64(time.Since(start).Microseconds()) / 1000,
+		CoverWeight: coverWeight,
 	}, nil
 }
 
@@ -232,6 +314,13 @@ func dispatch(repo stream.Repository, req *SolveRequest, engOpts engine.Options)
 	case "dimv14":
 		st, err := baseline.DIMV14(repo, baseline.DIMV14Options{Delta: req.Delta, Seed: seed}, engOpts)
 		return st, 0, err
+	case "pd":
+		// Dedicated mode and pdElemBatch are pinned (see the const); eps is
+		// the dual increment here, with 0 meaning pd's own default.
+		res, err := pd.BatchedPrimalDual(repo, pd.Options{
+			Epsilon: req.Eps, ElemBatch: pdElemBatch, Engine: engOpts,
+		})
+		return res.Stats, 0, err
 	}
 	return setcover.Stats{}, 0, fmt.Errorf("unknown algo %q", req.Algo) // unreachable after validate
 }

@@ -11,6 +11,7 @@ package setcover
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bitset"
@@ -39,13 +40,66 @@ func (s Set) Contains(e Elem) bool {
 }
 
 // Instance is a SetCover input: N elements and a family of sets.
+//
+// Weights optionally assigns a positive cost to each set (Weights[i] is the
+// cost of Sets[i]). nil means the unweighted problem — every set costs 1 —
+// and every algorithm in this repository reduces byte-identically to its
+// unweighted behavior on a nil (or all-ones) weight vector. When present,
+// Weights must satisfy ValidateWeights (finite, strictly positive, length m).
 type Instance struct {
-	N    int
-	Sets []Set
+	N       int
+	Sets    []Set
+	Weights []float64
 }
 
 // M returns the number of sets in the family.
 func (in *Instance) M() int { return len(in.Sets) }
+
+// Weighted reports whether the instance carries a per-set cost vector.
+func (in *Instance) Weighted() bool { return in.Weights != nil }
+
+// Weight returns the cost of set id: Weights[id] when weights are present,
+// 1 otherwise (the unweighted problem).
+func (in *Instance) Weight(id int) float64 {
+	if in.Weights == nil {
+		return 1
+	}
+	return in.Weights[id]
+}
+
+// CoverWeight returns the total cost of the sets whose IDs are listed in
+// cover (out-of-range IDs are ignored, matching CoverageOf). On unweighted
+// instances it equals the number of in-range IDs.
+func (in *Instance) CoverWeight(cover []int) float64 {
+	total := 0.0
+	for _, id := range cover {
+		if id < 0 || id >= len(in.Sets) {
+			continue
+		}
+		total += in.Weight(id)
+	}
+	return total
+}
+
+// ValidateWeights is the trust-boundary check for a per-set cost vector:
+// every weight must be a finite, strictly positive float64. NaN and ±Inf
+// poison every cost-effectiveness comparison, a zero or negative cost makes
+// "cheapest cover" degenerate (take everything free), so all are rejected
+// here — at decode and request validation time — rather than surfacing as
+// solver misbehavior. m < 0 skips the length check.
+func ValidateWeights(weights []float64, m int) error {
+	if m >= 0 && len(weights) != m {
+		return fmt.Errorf("setcover: %d weights for %d sets", len(weights), m)
+	}
+	for i, w := range weights {
+		// A single comparison covers NaN (all comparisons false), zero, and
+		// negatives; +Inf needs its own check.
+		if !(w > 0) || w > math.MaxFloat64 {
+			return fmt.Errorf("setcover: weight %d is %v (want finite > 0)", i, w)
+		}
+	}
+	return nil
+}
 
 // Normalize sorts and deduplicates every set's element list and assigns
 // sequential IDs. Generators call it so the rest of the code can rely on the
@@ -82,6 +136,11 @@ func (in *Instance) Validate() error {
 			if j > 0 && e <= s.Elems[j-1] {
 				return fmt.Errorf("setcover: set %d: elements not sorted-unique at position %d", i, j)
 			}
+		}
+	}
+	if in.Weights != nil {
+		if err := ValidateWeights(in.Weights, len(in.Sets)); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -192,6 +251,9 @@ func (in *Instance) Restrict(mask *bitset.Bitset) (proj Instance, origIDs []int)
 		if len(elems) > 0 {
 			proj.Sets = append(proj.Sets, Set{ID: len(proj.Sets), Elems: elems})
 			origIDs = append(origIDs, s.ID)
+			if in.Weights != nil {
+				proj.Weights = append(proj.Weights, in.Weights[s.ID])
+			}
 		}
 	}
 	return proj, origIDs

@@ -145,6 +145,51 @@ type Recycler interface {
 	Recycle(sets []setcover.Set)
 }
 
+// Weighted is the optional per-set cost capability a Repository may
+// implement when its family carries weights (the weighted set cover
+// problem). Weight(id) returns the positive cost of set id; HasWeights
+// reports whether a cost vector is actually present — a repository may
+// implement the interface but hold no weights (a plain SCB1 file opened by
+// scdisk.Repo), in which case every set costs 1. Weights are part of the
+// repository contents and, like the sets themselves, are never charged to a
+// Tracker; only what an algorithm copies into working memory is.
+//
+// Weight must be safe for concurrent calls (the pass engine's observers may
+// consult it from the observer goroutine while segment decoders run) and
+// must be a pure function of id for the life of the repository.
+type Weighted interface {
+	HasWeights() bool
+	Weight(id int) float64
+}
+
+// HasWeights reports whether r carries a per-set cost vector.
+func HasWeights(r Repository) bool {
+	w, ok := r.(Weighted)
+	return ok && w.HasWeights()
+}
+
+// WeightOf returns the cost of set id in r: its Weighted weight when the
+// capability is present and populated, 1 otherwise (the unweighted problem).
+func WeightOf(r Repository, id int) float64 {
+	if w, ok := r.(Weighted); ok && w.HasWeights() {
+		return w.Weight(id)
+	}
+	return 1
+}
+
+// CoverWeight returns the total cost of the sets whose IDs are listed in
+// cover. On unweighted repositories it equals len(cover).
+func CoverWeight(r Repository, cover []int) float64 {
+	if w, ok := r.(Weighted); ok && w.HasWeights() {
+		total := 0.0
+		for _, id := range cover {
+			total += w.Weight(id)
+		}
+		return total
+	}
+	return float64(len(cover))
+}
+
 // Repository is a read-only, sequentially scannable set family.
 type Repository interface {
 	// UniverseSize returns n = |U|.
@@ -188,6 +233,13 @@ func (r *SliceRepo) ResetPasses() { r.passes.Store(0) }
 // validity checks). Streaming algorithms must not call this; tests enforce
 // the discipline by construction.
 func (r *SliceRepo) Instance() *setcover.Instance { return r.inst }
+
+// HasWeights implements Weighted: true when the backing instance carries a
+// per-set cost vector.
+func (r *SliceRepo) HasWeights() bool { return r.inst.Weighted() }
+
+// Weight implements Weighted: the cost of set id (1 on unweighted instances).
+func (r *SliceRepo) Weight(id int) float64 { return r.inst.Weight(id) }
 
 // Begin starts a new pass.
 func (r *SliceRepo) Begin() Reader {
@@ -242,6 +294,7 @@ func (it *sliceReader) NextBatch(dst []setcover.Set) int {
 type FuncRepo struct {
 	n, m   int
 	gen    func(id int) setcover.Set
+	weight func(id int) float64 // optional per-set cost (SetWeightFunc)
 	passes atomic.Int64
 	// sequential opts this repository out of segmented decode (see
 	// NewSequentialFuncRepo): BeginSegmented reports false, so the pass
@@ -289,6 +342,28 @@ func NewSequentialFuncRepo(n, m int, gen func(id int) setcover.Set) *FuncRepo {
 		return gen(id)
 	}
 	return r
+}
+
+// SetWeightFunc attaches a per-set cost function, turning the repository
+// into a weighted family: weight(id) must return a finite, strictly positive
+// cost and obey the same purity/concurrency contract as gen (it may be
+// called from several goroutines, for any id, any number of times —
+// gen.WeightedFunc is the model citizen). nil detaches. Call before starting
+// passes; swapping weights mid-algorithm yields nonsense.
+func (r *FuncRepo) SetWeightFunc(weight func(id int) float64) {
+	r.weight = weight
+}
+
+// HasWeights implements Weighted: true when a weight function is attached.
+func (r *FuncRepo) HasWeights() bool { return r.weight != nil }
+
+// Weight implements Weighted: the cost of set id (1 when no weight function
+// is attached).
+func (r *FuncRepo) Weight(id int) float64 {
+	if r.weight == nil {
+		return 1
+	}
+	return r.weight(id)
 }
 
 // UniverseSize returns n.

@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/setcover"
+)
+
+func TestWeightedCapability(t *testing.T) {
+	in := &setcover.Instance{N: 5, Sets: []setcover.Set{
+		{ID: 0, Elems: []setcover.Elem{0, 1}},
+		{ID: 1, Elems: []setcover.Elem{2, 3, 4}},
+	}}
+
+	// Unweighted SliceRepo: capability absent, helpers default to 1.
+	r := NewSliceRepo(in)
+	if HasWeights(r) {
+		t.Fatal("unweighted SliceRepo claims weights")
+	}
+	if WeightOf(r, 1) != 1 || CoverWeight(r, []int{0, 1}) != 2 {
+		t.Fatal("unweighted helpers must behave as all-ones")
+	}
+
+	// Weighted SliceRepo reads Instance.Weights.
+	in.Weights = []float64{0.25, 4}
+	wr := NewSliceRepo(in)
+	if !HasWeights(wr) || WeightOf(wr, 0) != 0.25 || WeightOf(wr, 1) != 4 {
+		t.Fatal("weighted SliceRepo does not expose Instance.Weights")
+	}
+	if got := CoverWeight(wr, []int{0, 1}); got != 4.25 {
+		t.Fatalf("CoverWeight = %v, want 4.25", got)
+	}
+
+	// FuncRepo: unweighted until SetWeightFunc, then pure per-id costs.
+	fr := NewFuncRepo(5, 2, func(id int) setcover.Set {
+		es := make([]setcover.Elem, len(in.Sets[id].Elems))
+		copy(es, in.Sets[id].Elems)
+		return setcover.Set{ID: id, Elems: es}
+	})
+	if HasWeights(fr) || WeightOf(fr, 0) != 1 {
+		t.Fatal("FuncRepo weighted before SetWeightFunc")
+	}
+	fr.SetWeightFunc(func(id int) float64 { return float64(id) + 0.5 })
+	if !HasWeights(fr) || WeightOf(fr, 1) != 1.5 {
+		t.Fatal("FuncRepo weight function not exposed")
+	}
+	if got := CoverWeight(fr, []int{0, 1}); got != 2 {
+		t.Fatalf("CoverWeight = %v, want 2", got)
+	}
+}
