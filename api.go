@@ -55,6 +55,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/maxcover"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/pd"
 	"repro/internal/scdisk"
@@ -490,3 +491,33 @@ const DefaultFleetAttemptTimeout = fleet.DefaultAttemptTimeout
 // FleetNodeHeader is the response header naming the backend node that
 // produced a routed response.
 const FleetNodeHeader = fleet.NodeHeader
+
+// Observability (internal/obs, DESIGN.md §10): read-only pass tracing for
+// the engine, and the request-correlation header the serving and fleet
+// layers propagate. Set EngineOptions.Tracer to receive one PassTrace per
+// completed pass — tracing never alters covers, pass counts, or space (the
+// conformance suites pin traced and untraced solves byte-identical).
+type (
+	// PassTrace is one completed engine pass: what ran, how much data it
+	// touched, how long it took.
+	PassTrace = obs.PassTrace
+	// Tracer receives a PassTrace after each pass. Implementations must be
+	// safe for concurrent use when an engine is shared.
+	Tracer = obs.Tracer
+	// TracerFunc adapts a function to the Tracer interface.
+	TracerFunc = obs.TracerFunc
+	// TraceRecorder is a Tracer that appends every PassTrace to a slice —
+	// the test and benchmark workhorse.
+	TraceRecorder = obs.Recorder
+	// SolveTrace is the phase-timing breakdown a {"trace":true} solve
+	// request gets back in its response envelope (never cached).
+	SolveTrace = serve.SolveTrace
+)
+
+// RequestIDHeader is the correlation header ("X-Request-ID") honored and
+// echoed by setcoverd and minted/propagated by setcoverrt, so one id joins
+// client, router, backend log line, and job view.
+const RequestIDHeader = obs.RequestIDHeader
+
+// NewRequestID mints a 16-hex-digit correlation id.
+var NewRequestID = obs.NewRequestID

@@ -37,6 +37,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/engine"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/scdisk"
 	"repro/internal/setcover"
 )
@@ -57,6 +58,20 @@ type BenchCase struct {
 	// best run — the contention signal the sharded pool is meant to keep low.
 	PoolLocks int64 `json:"pool_locks"`
 	Runs      int   `json:"runs"`
+	// The trace fields below come from one UNTIMED run with an engine tracer
+	// (internal/obs) attached after measurement, so the timed runs stay
+	// tracer-free. All omitempty: baselines recorded before tracing existed
+	// still parse and compare.
+	//
+	// Passes is how many engine passes one workload iteration takes (1 for
+	// scans; the greedy solve's pass count for solve cases).
+	Passes int `json:"passes,omitempty"`
+	// Segmented reports whether the first pass used the byte-balanced
+	// segmented decode planner (false = sequential single-reader path).
+	Segmented bool `json:"segmented,omitempty"`
+	// TraceBytes is the per-pass byte count the tracer observed — a
+	// cross-check against Bytes computed from the set-span index.
+	TraceBytes int64 `json:"trace_bytes,omitempty"`
 }
 
 // BenchReport is the BENCH_scan.json schema.
@@ -416,6 +431,19 @@ func measure(bc *BenchCase, d *scdisk.Repo, runs int, fn func() error) error {
 	return nil
 }
 
+// traceFill runs one traced, untimed workload iteration and fills bc's
+// trace fields from the recorded passes. Tracing is read-only by the engine's
+// conformance contract, so this run sees the same decode decisions (segmented
+// vs sequential, bytes) the timed runs took.
+func traceFill(bc *BenchCase, rec *obs.Recorder) {
+	passes := rec.Passes()
+	bc.Passes = len(passes)
+	if len(passes) > 0 {
+		bc.Segmented = passes[0].Segmented
+		bc.TraceBytes = passes[0].Bytes
+	}
+}
+
 func measureScan(name string, d *scdisk.Repo, workers, runs int) (BenchCase, error) {
 	bc := BenchCase{Name: name, Sets: d.NumSets(), Bytes: dataBytes(d), Runs: runs}
 	eng := engine.New(engine.Options{Workers: workers})
@@ -435,7 +463,16 @@ func measureScan(name string, d *scdisk.Repo, workers, runs int) (BenchCase, err
 		}
 		return nil
 	})
-	return bc, err
+	if err != nil {
+		return bc, err
+	}
+	rec := &obs.Recorder{}
+	traced := engine.New(engine.Options{Workers: workers, Tracer: rec})
+	if err := traced.Run(d, &countObserver{}); err != nil {
+		return bc, fmt.Errorf("%s: traced run: %w", name, err)
+	}
+	traceFill(&bc, rec)
+	return bc, nil
 }
 
 func measureSolve(name string, d *scdisk.Repo, runs int) (BenchCase, error) {
@@ -453,5 +490,13 @@ func measureSolve(name string, d *scdisk.Repo, runs int) (BenchCase, error) {
 		}
 		return nil
 	})
-	return bc, err
+	if err != nil {
+		return bc, err
+	}
+	rec := &obs.Recorder{}
+	if _, err := baseline.OnePassGreedy(d, engine.Options{Tracer: rec}); err != nil {
+		return bc, fmt.Errorf("%s: traced run: %w", name, err)
+	}
+	traceFill(&bc, rec)
+	return bc, nil
 }

@@ -35,8 +35,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux, served only behind -pprof-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight solves")
 		cacheDir      = fs.String("cache-dir", "", "directory for the persistent result cache (shared fleet-wide when several daemons point at one directory; empty disables)")
 		verifyDigest  = fs.Bool("verify-digest", false, "register -instance files under the FULL-content digest (reads each file whole at registration; every fleet node must agree on this flag)")
+		logLevel      = fs.String("log-level", "info", "structured-log threshold (debug, info, warn, error)")
+		logJSON       = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	)
 	var instances, gens []string
 	fs.Func("instance", "register an SCB1 file as name=path (repeatable; bare path uses the filename as name)", func(v string) error {
@@ -127,6 +132,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		fmt.Fprintln(stderr, "setcoverd: warning: empty catalog (register with -instance or -gen); every solve will 404")
 	}
 
+	logger, err := newLogger(stderr, *logLevel, *logJSON)
+	if err != nil {
+		return fatal(err)
+	}
+
 	srv := ssc.NewServer(cat, ssc.ServerConfig{
 		MaxConcurrent: *maxConcurrent,
 		MaxQueue:      *maxQueue,
@@ -134,7 +144,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		JobHistory:    *jobHistory,
 		CacheDir:      *cacheDir,
 		Engine:        ssc.SolveEngineRequest{Workers: *workers, BatchSize: *batch, DisableSegmented: *noSeg},
+		Logger:        logger,
 	})
+
+	// pprof rides its OWN listener so profiling never shares a port (or an
+	// exposure surface) with the solve API; importing net/http/pprof registers
+	// the handlers on http.DefaultServeMux, which nothing else here uses.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fatal(fmt.Errorf("-pprof-addr: %w", err))
+		}
+		fmt.Fprintf(stdout, "setcoverd: pprof on http://%s/debug/pprof/\n", pln.Addr().String())
+		go func() { _ = http.Serve(pln, nil) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -171,6 +194,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 	fmt.Fprintln(stdout, "setcoverd: drained, bye")
 	return 0
+}
+
+// newLogger builds the daemon's structured logger: text or JSON lines on
+// stderr, gated at level (debug, info, warn, error — slog's spellings).
+func newLogger(stderr io.Writer, level string, jsonFmt bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if jsonFmt {
+		return slog.New(slog.NewJSONHandler(stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(stderr, opts)), nil
 }
 
 // shortDigest abbreviates a digest for log lines.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -357,5 +358,122 @@ func TestDaemonVerifyDigestFlag(t *testing.T) {
 	status, body := solve(t, fullURL, `{"instance":"`+full+`","algo":"greedy1"}`)
 	if status != 200 {
 		t.Fatalf("solve by full digest: %d: %v", status, body)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write (log
+// lines) while the test goroutine reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// The observability flags end to end: -pprof-addr serves a live
+// /debug/pprof/ index on its own listener, -log-json emits the solve's
+// structured log line carrying the client's X-Request-ID, and a bad
+// -log-level is a startup error, not a silent default.
+func TestDaemonObservabilityFlags(t *testing.T) {
+	out := &syncBuffer{}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-gen", "g:n=60,m=120,k=6,seed=2",
+			"-log-json", "-pprof-addr", "127.0.0.1:0"}, out, out, ready, stop)
+	}()
+	var url string
+	select {
+	case url = <-ready:
+	case c := <-code:
+		t.Fatalf("daemon exited with %d before listening:\n%s", c, out)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	defer func() {
+		close(stop)
+		if c := <-code; c != 0 {
+			t.Errorf("daemon exit code %d:\n%s", c, out)
+		}
+	}()
+
+	// pprof: the printed line names the listener; its index must answer 200.
+	var pprofURL string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if _, rest, ok := strings.Cut(line, "pprof on "); ok {
+			pprofURL = strings.TrimSpace(rest)
+		}
+	}
+	if pprofURL == "" {
+		t.Fatalf("no pprof line in output:\n%s", out)
+	}
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+
+	// A traced solve with a fixed request id: echoed on the wire AND in the
+	// JSON log line.
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/solve",
+		strings.NewReader(`{"instance":"g","algo":"greedy1","trace":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ssc.RequestIDHeader, "daemon-test-req-7")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != 200 {
+		t.Fatalf("solve: %d", sresp.StatusCode)
+	}
+	if got := sresp.Header.Get(ssc.RequestIDHeader); got != "daemon-test-req-7" {
+		t.Fatalf("request id echo %q", got)
+	}
+	var view struct {
+		Trace *struct {
+			RequestID string `json:"request_id"`
+			Passes    []any  `json:"passes"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Trace == nil || len(view.Trace.Passes) == 0 {
+		t.Fatalf("trace:true solve returned no breakdown: %+v", view.Trace)
+	}
+	logged := out.String()
+	if !strings.Contains(logged, `"request_id":"daemon-test-req-7"`) {
+		t.Fatalf("JSON log missing request id:\n%s", logged)
+	}
+	if !strings.Contains(logged, `"msg":"solve finished"`) {
+		t.Fatalf("JSON log missing solve line:\n%s", logged)
+	}
+}
+
+func TestDaemonBadLogLevel(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-log-level", "chatty"}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("bad -log-level: exit %d, want 2\n%s", code, &out)
+	}
+	if !strings.Contains(out.String(), "log-level") {
+		t.Fatalf("unhelpful error:\n%s", &out)
 	}
 }

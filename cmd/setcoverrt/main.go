@@ -36,8 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux, served only behind -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		attemptTimeout = fs.Duration("attempt-timeout", ssc.DefaultFleetAttemptTimeout, "per-node attempt budget until response headers arrive (must exceed the slowest expected solve)")
 		maxAttempts    = fs.Int("max-attempts", 0, "nodes to try per request (0 = every node once)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight relays")
+		logLevel       = fs.String("log-level", "info", "structured-log threshold (debug, info, warn, error)")
+		logJSON        = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+		pprofAddr      = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	)
 	var nodes []string
 	fs.Func("node", "backend setcoverd base URL (repeatable; order is irrelevant, membership must match other routers)", func(v string) error {
@@ -78,13 +83,30 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return 2
 	}
 
+	logger, err := newLogger(stderr, *logLevel, *logJSON)
+	if err != nil {
+		return fatal(err)
+	}
+
 	rt, err := ssc.NewFleetRouter(ssc.FleetConfig{
 		Nodes:          nodes,
 		MaxAttempts:    *maxAttempts,
 		AttemptTimeout: *attemptTimeout,
+		Logger:         logger,
 	})
 	if err != nil {
 		return fatal(err)
+	}
+
+	// pprof on its own listener, same rationale as setcoverd: profiling never
+	// shares a port with routed traffic.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fatal(fmt.Errorf("-pprof-addr: %w", err))
+		}
+		fmt.Fprintf(stdout, "setcoverrt: pprof on http://%s/debug/pprof/\n", pln.Addr().String())
+		go func() { _ = http.Serve(pln, nil) }()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -122,6 +144,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 	fmt.Fprintln(stdout, "setcoverrt: drained, bye")
 	return 0
+}
+
+// newLogger builds the router's structured logger: text or JSON lines on
+// stderr, gated at level (debug, info, warn, error — slog's spellings).
+func newLogger(stderr io.Writer, level string, jsonFmt bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if jsonFmt {
+		return slog.New(slog.NewJSONHandler(stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(stderr, opts)), nil
 }
 
 // stopChan normalizes a possibly-nil stop channel (nil blocks forever).

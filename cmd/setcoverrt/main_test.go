@@ -177,3 +177,51 @@ func TestRouterDaemonBadFlags(t *testing.T) {
 		t.Fatalf("duplicate node: exit %d, want 2\n%s", code, &out)
 	}
 }
+
+// The router's observability flags: a bad -log-level is a startup error, and
+// -pprof-addr serves a live /debug/pprof/ index on its own listener.
+func TestRouterDaemonObservabilityFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-node", "http://127.0.0.1:1", "-log-level", "loud"}, &out, &out, nil, nil); code != 2 {
+		t.Fatalf("bad -log-level: exit %d, want 2\n%s", code, &out)
+	}
+
+	buf := &bytes.Buffer{}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-node", "http://127.0.0.1:1",
+			"-pprof-addr", "127.0.0.1:0"}, buf, buf, ready, stop)
+	}()
+	select {
+	case <-ready:
+	case c := <-code:
+		t.Fatalf("router exited with %d before listening:\n%s", c, buf)
+	case <-time.After(10 * time.Second):
+		t.Fatal("router never became ready")
+	}
+	defer func() {
+		close(stop)
+		if c := <-code; c != 0 {
+			t.Errorf("router exit code %d:\n%s", c, buf)
+		}
+	}()
+	var pprofURL string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if _, rest, ok := strings.Cut(line, "pprof on "); ok {
+			pprofURL = strings.TrimSpace(rest)
+		}
+	}
+	if pprofURL == "" {
+		t.Fatalf("no pprof line in output:\n%s", buf)
+	}
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+}

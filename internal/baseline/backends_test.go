@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/maxcover"
+	"repro/internal/obs"
 	"repro/internal/scdisk"
 	"repro/internal/setcover"
 	"repro/internal/stream"
@@ -273,6 +274,95 @@ func TestConcurrentSolvesWithDistinctEngineOptions(t *testing.T) {
 	for _, err := range errs {
 		if err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// Tracer injection is read-only: a solve with an obs.Recorder installed must
+// produce byte-identical covers, pass counts, and space charges to the same
+// solve without one, on every backend — the acceptance pin for the
+// observability layer. The trace itself must be coherent: one record per
+// engine pass, solve-locally numbered, each delivering the full family.
+func TestTracerInjectionConformance(t *testing.T) {
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 350, M: 800, K: 14, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "traced.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		mk   func() stream.Repository
+	}{
+		{"slice", func() stream.Repository { return stream.NewSliceRepo(in) }},
+		{"func", func() stream.Repository {
+			return stream.NewFuncRepo(in.N, in.M(), func(id int) setcover.Set {
+				es := make([]setcover.Elem, len(in.Sets[id].Elems))
+				copy(es, in.Sets[id].Elems)
+				return setcover.Set{ID: id, Elems: es}
+			})
+		}},
+		{"disk", func() stream.Repository {
+			d, err := scdisk.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		}},
+	}
+	algos := []struct {
+		name string
+		run  func(stream.Repository, ...engine.Options) (setcover.Stats, error)
+	}{
+		{"greedy-1pass", OnePassGreedy},
+		{"greedy-npass", MultiPassGreedy},
+		{"threshold-greedy", ThresholdGreedy},
+	}
+	for _, algo := range algos {
+		for _, b := range backends {
+			for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+				label := fmt.Sprintf("%s/%s/workers=%d", algo.name, b.name, workers)
+				ref, err := algo.run(b.mk(), engine.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: untraced run: %v", label, err)
+				}
+				rec := &obs.Recorder{}
+				st, err := algo.run(b.mk(), engine.Options{Workers: workers, Tracer: rec})
+				if err != nil {
+					t.Fatalf("%s: traced run: %v", label, err)
+				}
+				if st.Passes != ref.Passes || st.SpaceWords != ref.SpaceWords {
+					t.Errorf("%s: traced stats diverge: passes %d/%d space %d/%d",
+						label, st.Passes, ref.Passes, st.SpaceWords, ref.SpaceWords)
+				}
+				if len(st.Cover) != len(ref.Cover) {
+					t.Fatalf("%s: traced cover size %d, want %d", label, len(st.Cover), len(ref.Cover))
+				}
+				for i := range ref.Cover {
+					if st.Cover[i] != ref.Cover[i] {
+						t.Fatalf("%s: traced cover[%d] = %d, want %d", label, i, st.Cover[i], ref.Cover[i])
+					}
+				}
+				passes := rec.Passes()
+				if len(passes) == 0 {
+					t.Fatalf("%s: tracer saw no passes", label)
+				}
+				for i, p := range passes {
+					if p.Index != i+1 {
+						t.Fatalf("%s: pass %d has index %d", label, i, p.Index)
+					}
+					if p.Kind != "sets" || p.Items != in.M() {
+						t.Fatalf("%s: pass %d delivered %d %q items, want %d sets",
+							label, i, p.Items, p.Kind, in.M())
+					}
+					if p.Err != nil {
+						t.Fatalf("%s: pass %d carries error %v", label, i, p.Err)
+					}
+				}
+			}
 		}
 	}
 }

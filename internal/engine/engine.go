@@ -78,7 +78,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
@@ -133,6 +135,14 @@ type Options struct {
 	// identical either way (that is the engine's determinism contract); this
 	// is a debugging and benchmarking knob, threaded from the CLIs.
 	DisableSegmented bool
+	// Tracer, when non-nil, receives one obs.PassTrace per pass executed by
+	// this engine (Run and RunOver alike, in both decode modes), after the
+	// pass completes. Tracing is strictly read-only: it never changes what a
+	// pass yields, what it counts, or what it charges — covers, pass counts,
+	// and space words are byte-identical with and without a tracer (the
+	// conformance suites pin this). Per-pass overhead when nil is a single
+	// pointer comparison.
+	Tracer obs.Tracer
 }
 
 // PerCall validates a variadic per-call option list — the trailing
@@ -172,6 +182,11 @@ func (o Options) normalized() Options {
 type Engine struct {
 	opts Options
 	pool sync.Pool
+	// passSeq numbers this engine's traced passes (obs.PassTrace.Index).
+	// Incremented only when a tracer is installed; engines are constructed
+	// per solve wherever per-call options (and thus tracers) thread in, so
+	// traced indices are solve-local.
+	passSeq atomic.Int64
 }
 
 // New returns an engine with the given options (zero value: see Options).
@@ -201,10 +216,38 @@ func (e *Engine) BatchSize() int { return e.opts.BatchSize }
 // discipline cuts both ways — a pass that cannot finish must not pass for
 // one that did.
 func (e *Engine) Run(repo stream.Repository, observers ...Observer) error {
-	return runPass(func() Cursor[setcover.Set] { return e.beginPass(repo) },
-		repo.NumSets(), observers, e.opts.Workers,
+	tr := e.newTrace(traceKindSets, repo)
+	return runPass(func() Cursor[setcover.Set] {
+		r, segmented := e.beginPass(repo)
+		if tr != nil {
+			tr.rec.Segmented = segmented
+		}
+		return r
+	}, repo.NumSets(), observers, e.opts.Workers,
 		func() *batchOf[setcover.Set] { return e.pool.Get().(*batchOf[setcover.Set]) },
-		func(b *batchOf[setcover.Set]) { e.pool.Put(b) })
+		func(b *batchOf[setcover.Set]) { e.pool.Put(b) },
+		tr)
+}
+
+// newTrace prepares the partially-filled trace record for one pass, or nil
+// when no tracer is installed (the untraced fast path: every trace touch
+// downstream is behind a nil check). src is the stream source, probed for
+// the optional stream.ByteSized measurement capability.
+func (e *Engine) newTrace(kind string, src any) *passTrace {
+	if e.opts.Tracer == nil {
+		return nil
+	}
+	tr := &passTrace{tracer: e.opts.Tracer}
+	tr.rec = obs.PassTrace{
+		Index:     int(e.passSeq.Add(1)),
+		Kind:      kind,
+		Workers:   e.opts.Workers,
+		BatchSize: e.opts.BatchSize,
+	}
+	if bs, ok := src.(stream.ByteSized); ok {
+		tr.rec.Bytes = bs.DataBytes()
+	}
+	return tr
 }
 
 // beginPass starts the pass, choosing the decode mode: segmented
@@ -214,17 +257,18 @@ func (e *Engine) Run(repo stream.Repository, observers ...Observer) error {
 // segmentation exists for; a header-memcpy source like SliceRepo's gains
 // nothing from chunk fan-out and is driven as one sequential segment of the
 // same counted pass instead). The plain single reader otherwise. Exactly one
-// pass is counted in every mode.
-func (e *Engine) beginPass(repo stream.Repository) stream.Reader {
+// pass is counted in every mode. segmented reports which mode was chosen —
+// true only for the chunk-parallel decode path — and feeds the pass trace.
+func (e *Engine) beginPass(repo stream.Repository) (r stream.Reader, segmented bool) {
 	if e.opts.Workers > 1 && !e.opts.DisableSegmented {
 		if sr, ok := repo.(stream.SegmentedRepository); ok {
 			if src, ok := sr.BeginSegmented(); ok {
 				if dc, ok := src.(stream.DecodeCoster); ok && dc.DecodeCost() == stream.DecodeCostTrivial {
-					return src.Segment(0, repo.NumSets())
+					return src.Segment(0, repo.NumSets()), false
 				}
-				return newSegmentedReader(src, repo.NumSets(), e.opts.Workers, e.opts.BatchSize)
+				return newSegmentedReader(src, repo.NumSets(), e.opts.Workers, e.opts.BatchSize), true
 			}
 		}
 	}
-	return repo.Begin()
+	return repo.Begin(), false
 }

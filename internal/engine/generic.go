@@ -12,9 +12,43 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
+	"repro/internal/setcover"
 	"repro/internal/stream"
 )
+
+// Trace kinds: the delivery shape stamped into obs.PassTrace.Kind.
+const (
+	traceKindSets  = "sets"  // set-system passes (Run)
+	traceKindItems = "items" // generic element streams (RunOver)
+)
+
+// passTrace carries the in-flight trace record for one pass. nil everywhere
+// a tracer is absent — the untraced path pays one pointer comparison per
+// touch point. Items/Elems are accumulated on the single filler goroutine
+// (fillBatch call sites), Wall/Err at pass completion, so no field is ever
+// written concurrently.
+type passTrace struct {
+	tracer obs.Tracer
+	rec    obs.PassTrace
+}
+
+// countElems accumulates element counts for set batches. For any other
+// element type the engine cannot see inside the items and reports 0 — the
+// trace field is a set-system measurement.
+func countElems[T any](items []T) int64 {
+	sets, ok := any(items).([]setcover.Set)
+	if !ok {
+		return 0
+	}
+	var n int64
+	for i := range sets {
+		n += int64(len(sets[i].Elems))
+	}
+	return n
+}
 
 // Cursor yields the items of one pass, in stream order — the generic
 // analogue of stream.Reader. A cursor whose pass can fail mid-stream
@@ -89,15 +123,23 @@ func RunOver[T any](e *Engine, src Source[T], observers ...ObserverOf[T]) error 
 	}
 	return runPass(src.Begin, src.NumItems(), observers, e.opts.Workers,
 		func() *batchOf[T] { return pool.Get().(*batchOf[T]) },
-		func(b *batchOf[T]) { pool.Put(b) })
+		func(b *batchOf[T]) { pool.Put(b) },
+		e.newTrace(traceKindItems, src))
 }
 
 // runPass is the one body behind Run and RunOver: lifecycle brackets around
 // the delivery loop, the failure-surface probe, and the full-drain check
 // against the expected stream length. begin opens the (pass-counting)
 // cursor after the BeginPass hooks, mirroring the original loop order.
+// tr, when non-nil, is completed (items, wall time, outcome) and emitted
+// after the pass — including failed passes, whose record carries the error
+// and the delivered prefix length.
 func runPass[T any](begin func() Cursor[T], want int, observers []ObserverOf[T], workers int,
-	get func() *batchOf[T], put func(*batchOf[T])) error {
+	get func() *batchOf[T], put func(*batchOf[T]), tr *passTrace) error {
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
 	for _, o := range observers {
 		if l, ok := o.(PassLifecycle); ok {
 			l.BeginPass()
@@ -105,7 +147,7 @@ func runPass[T any](begin func() Cursor[T], want int, observers []ObserverOf[T],
 	}
 
 	it := begin()
-	n := drain(it, observers, workers, get, put)
+	n := drain(it, observers, workers, get, put, tr)
 	err := cursorErr(it)
 
 	for _, o := range observers {
@@ -113,13 +155,19 @@ func runPass[T any](begin func() Cursor[T], want int, observers []ObserverOf[T],
 			l.EndPass()
 		}
 	}
-	if err != nil {
-		return fmt.Errorf("engine: %w: %w", ErrPassFailed, err)
+	switch {
+	case err != nil:
+		err = fmt.Errorf("engine: %w: %w", ErrPassFailed, err)
+	case n != want:
+		err = fmt.Errorf("engine: %w: stream ended after %d of %d items", ErrPassFailed, n, want)
 	}
-	if n != want {
-		return fmt.Errorf("engine: %w: stream ended after %d of %d items", ErrPassFailed, n, want)
+	if tr != nil {
+		tr.rec.Items = n
+		tr.rec.Wall = time.Since(start)
+		tr.rec.Err = err
+		tr.tracer.TracePass(tr.rec)
 	}
-	return nil
+	return err
 }
 
 // cursorErr probes a cursor's optional mid-pass failure surface. The shape
@@ -162,14 +210,14 @@ func fillBatch[T any](it Cursor[T], buf []T) []T {
 // otherwise. It returns the number of items read from the cursor — every
 // observer saw exactly that prefix of the stream.
 func drain[T any](it Cursor[T], observers []ObserverOf[T], workers int,
-	get func() *batchOf[T], put func(*batchOf[T])) int {
+	get func() *batchOf[T], put func(*batchOf[T]), tr *passTrace) int {
 	if workers > len(observers) {
 		workers = len(observers)
 	}
 	if workers <= 1 {
-		return drainSequential(it, observers, get, put)
+		return drainSequential(it, observers, get, put, tr)
 	}
-	return drainParallel(it, observers, workers, get, put)
+	return drainParallel(it, observers, workers, get, put, tr)
 }
 
 // drainSequential drains the pass on the calling goroutine, reusing a single
@@ -177,7 +225,7 @@ func drain[T any](it Cursor[T], observers []ObserverOf[T], workers int,
 // scan, it just feeds no one. When the cursor recycles (RecyclerOf), each
 // batch is handed back as soon as the observers are done with it.
 func drainSequential[T any](it Cursor[T], observers []ObserverOf[T],
-	get func() *batchOf[T], put func(*batchOf[T])) int {
+	get func() *batchOf[T], put func(*batchOf[T]), tr *passTrace) int {
 	rec, _ := it.(RecyclerOf[T])
 	b := get()
 	defer put(b)
@@ -188,6 +236,9 @@ func drainSequential[T any](it Cursor[T], observers []ObserverOf[T],
 			return total
 		}
 		total += len(items)
+		if tr != nil {
+			tr.rec.Elems += countElems(items)
+		}
 		for _, o := range observers {
 			o.Observe(items)
 		}
@@ -201,7 +252,7 @@ func drainSequential[T any](it Cursor[T], observers []ObserverOf[T],
 // worker i % workers) and streams ref-counted batches to all of them.
 // Channel FIFO order per worker preserves stream order per observer.
 func drainParallel[T any](it Cursor[T], observers []ObserverOf[T], workers int,
-	get func() *batchOf[T], put func(*batchOf[T])) int {
+	get func() *batchOf[T], put func(*batchOf[T]), tr *passTrace) int {
 	rec, _ := it.(RecyclerOf[T])
 	chans := make([]chan *batchOf[T], workers)
 	for w := range chans {
@@ -236,6 +287,11 @@ func drainParallel[T any](it Cursor[T], observers []ObserverOf[T], workers int,
 			break
 		}
 		total += len(b.items)
+		if tr != nil {
+			// Counted on the single filler goroutine, before fan-out, so the
+			// field is never written concurrently.
+			tr.rec.Elems += countElems(b.items)
+		}
 		b.refs.Store(int32(workers))
 		for _, ch := range chans {
 			ch <- b

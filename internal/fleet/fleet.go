@@ -34,6 +34,7 @@
 package fleet
 
 import (
+	"log/slog"
 	"net/http"
 	"time"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	// (tests inject httptest clients). Its Timeout should stay zero — the
 	// router applies per-attempt timeouts itself.
 	Client *http.Client
+	// Logger receives one structured line per relayed solve (request id,
+	// winning node, attempts, latency) and one per node probe-state
+	// transition (up→down, down→up). nil discards; cmd/setcoverrt wires
+	// -log-level/-log-json here.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {

@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Error codes the router adds to the serve API's vocabulary.
@@ -53,6 +56,10 @@ type Router struct {
 	mu      sync.Mutex
 	closed  bool
 	digests map[string]string // instance name or digest → digest
+	// probeState tracks each node's last observed health so state
+	// TRANSITIONS (up→down, down→up) log exactly once, not once per probe.
+	// Guarded by mu; values: probeUnknown until first observed.
+	probeState map[string]int
 
 	wg sync.WaitGroup
 
@@ -60,7 +67,23 @@ type Router struct {
 	retries   atomic.Int64
 	exhausted atomic.Int64
 	perNode   map[string]*atomic.Int64 // node → responses relayed from it
+
+	// Latency histograms (fixed log-spaced buckets, internal/obs): one
+	// attempt histogram per node — failed attempts included, so failover
+	// cost is visible per node — plus the end-to-end relayed-solve family.
+	// Maps are fixed at construction; the histograms themselves are atomic.
+	histAttempt map[string]*obs.Histogram
+	histSolve   *obs.Histogram
+	start       time.Time
+	log         *slog.Logger
 }
+
+// Probe-state values for probeState.
+const (
+	probeUnknown = iota
+	probeUp
+	probeDown
+)
 
 // NewRouter builds a router over cfg.Nodes.
 func NewRouter(cfg Config) (*Router, error) {
@@ -78,13 +101,22 @@ func NewRouter(cfg Config) (*Router, error) {
 		seen[n] = true
 	}
 	rt := &Router{
-		cfg:     cfg.withDefaults(),
-		mux:     http.NewServeMux(),
-		digests: make(map[string]string),
-		perNode: make(map[string]*atomic.Int64, len(cfg.Nodes)),
+		cfg:         cfg.withDefaults(),
+		mux:         http.NewServeMux(),
+		digests:     make(map[string]string),
+		probeState:  make(map[string]int, len(cfg.Nodes)),
+		perNode:     make(map[string]*atomic.Int64, len(cfg.Nodes)),
+		histAttempt: make(map[string]*obs.Histogram, len(cfg.Nodes)),
+		histSolve:   obs.NewHistogram(),
+		start:       time.Now(),
 	}
 	for _, n := range rt.cfg.Nodes {
 		rt.perNode[n] = &atomic.Int64{}
+		rt.histAttempt[n] = obs.NewHistogram()
+	}
+	rt.log = rt.cfg.Logger
+	if rt.log == nil {
+		rt.log = slog.New(slog.DiscardHandler)
 	}
 	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
@@ -140,6 +172,16 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rt.wg.Done()
 	rt.requests.Add(1)
+	solveStart := time.Now()
+
+	// Correlation id: honor the client's, mint one otherwise, echo it back,
+	// and stamp it on every backend attempt — so one id joins client, router,
+	// backend solve log, and job view.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
@@ -163,16 +205,29 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		if i > 0 {
 			rt.retries.Add(1)
 		}
-		resp, err := rt.attempt(r.Context(), node, body)
+		attemptStart := time.Now()
+		resp, err := rt.attempt(r.Context(), node, body, reqID)
+		// Failed attempts are observed too: the per-node histogram is the
+		// failover-latency surface (how long a dead node costs before the
+		// router moves on), not just the happy path.
+		rt.histAttempt[node].Observe(time.Since(attemptStart))
 		if err != nil {
+			rt.log.Warn("attempt failed",
+				"request_id", reqID, "node", node, "attempt", i+1, "error", err.Error())
 			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
 			continue
 		}
 		rt.perNode[node].Add(1)
 		rt.relay(w, node, resp)
+		rt.histSolve.Observe(time.Since(solveStart))
+		rt.log.Info("solve relayed",
+			"request_id", reqID, "node", node, "attempts", i+1,
+			"status", resp.StatusCode,
+			"total_ms", float64(time.Since(solveStart).Microseconds())/1000)
 		return
 	}
 	rt.exhausted.Add(1)
+	rt.log.Warn("fleet exhausted", "request_id", reqID, "attempts", len(order))
 	writeError(w, http.StatusServiceUnavailable, CodeFleetExhausted,
 		"all %d eligible nodes failed: %s", len(order), strings.Join(failures, "; "))
 }
@@ -185,7 +240,7 @@ var errNodeDraining = errors.New("node draining (503)")
 // (body unread) when err is nil; any error — transport or a 503 drain signal —
 // means "try the next node". The attempt timeout covers dial through response
 // HEADERS; relay of the body is unbounded by design (see DefaultAttemptTimeout).
-func (rt *Router) attempt(parent context.Context, node string, body []byte) (*http.Response, error) {
+func (rt *Router) attempt(parent context.Context, node string, body []byte, reqID string) (*http.Response, error) {
 	ctx, cancel := context.WithCancel(parent)
 	timer := time.AfterFunc(rt.cfg.AttemptTimeout, cancel)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/v1/solve", bytes.NewReader(body))
@@ -195,6 +250,7 @@ func (rt *Router) attempt(parent context.Context, node string, body []byte) (*ht
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, reqID)
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		timer.Stop()
@@ -395,8 +451,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	type probe struct {
-		node   string
-		status string
+		node    string
+		status  string
+		latency time.Duration
 	}
 	results := make(chan probe, len(rt.cfg.Nodes))
 	for _, node := range rt.cfg.Nodes {
@@ -404,22 +461,32 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			var v struct {
 				Status string `json:"status"`
 			}
+			probeStart := time.Now()
 			err := rt.probeJSON(r.Context(), node+"/healthz", &v)
+			latency := time.Since(probeStart)
 			switch {
 			case err == nil && v.Status == "ok":
-				results <- probe{node, "ok"}
+				results <- probe{node, "ok", latency}
 			case err == nil:
-				results <- probe{node, "unhealthy"}
+				results <- probe{node, "unhealthy", latency}
 			default:
-				results <- probe{node, "down"}
+				results <- probe{node, "down", latency}
 			}
 		}(node)
 	}
-	nodes := make(map[string]string, len(rt.cfg.Nodes))
+	// nodeHealth is the per-node breakdown: the probe outcome plus how long
+	// the probe took (a slow-but-alive node shows up here before it shows up
+	// as failed attempts).
+	type nodeHealth struct {
+		Status      string  `json:"status"`
+		ProbeMillis float64 `json:"probe_ms"`
+	}
+	nodes := make(map[string]nodeHealth, len(rt.cfg.Nodes))
 	healthy := 0
 	for range rt.cfg.Nodes {
 		p := <-results
-		nodes[p.node] = p.status
+		nodes[p.node] = nodeHealth{Status: p.status, ProbeMillis: float64(p.latency.Microseconds()) / 1000}
+		rt.noteProbe(p.node, p.status == "ok")
 		if p.status == "ok" {
 			healthy++
 		}
@@ -428,17 +495,48 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if healthy == 0 {
 		status, code = "down", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"status": status, "healthy": healthy, "nodes": nodes})
+	writeJSON(w, code, map[string]any{
+		"status": status, "healthy": healthy, "nodes": nodes,
+		"uptime_seconds": time.Since(rt.start).Seconds(),
+	})
 }
 
-// handleMetrics serves the router's own counters (node metrics live on the
-// nodes).
+// noteProbe records a node's probed health and logs the state TRANSITION —
+// up→down or down→up — exactly once per transition (the first observation
+// logs too, establishing the baseline); repeat probes of an unchanged state
+// are silent. The comparison and update are one critical section, so
+// concurrent healthz requests cannot double-log a transition.
+func (rt *Router) noteProbe(node string, up bool) {
+	state := probeDown
+	if up {
+		state = probeUp
+	}
+	rt.mu.Lock()
+	prev := rt.probeState[node]
+	changed := prev != state
+	rt.probeState[node] = state
+	rt.mu.Unlock()
+	if !changed {
+		return
+	}
+	if up {
+		rt.log.Info("node up", "node", node, "was_down", prev == probeDown)
+	} else {
+		rt.log.Warn("node down", "node", node, "was_up", prev == probeUp)
+	}
+}
+
+// handleMetrics serves the router's own counters and latency histograms (node
+// metrics live on the nodes). Emission order is deterministic: counters in
+// declaration order, per-node families sorted by node URL, then the two
+// histogram families — so scrapes diff cleanly.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "setcoverrt_requests_total %d\n", rt.requests.Load())
 	fmt.Fprintf(w, "setcoverrt_retries_total %d\n", rt.retries.Load())
 	fmt.Fprintf(w, "setcoverrt_exhausted_total %d\n", rt.exhausted.Load())
 	fmt.Fprintf(w, "setcoverrt_nodes %d\n", len(rt.cfg.Nodes))
+	fmt.Fprintf(w, "setcoverrt_uptime_seconds %.3f\n", time.Since(rt.start).Seconds())
 	nodes := make([]string, 0, len(rt.perNode))
 	for n := range rt.perNode {
 		nodes = append(nodes, n)
@@ -446,6 +544,16 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(nodes)
 	for _, n := range nodes {
 		fmt.Fprintf(w, "setcoverrt_routed_total{node=%q} %d\n", n, rt.perNode[n].Load())
+	}
+	rt.histSolve.Write(w, "setcoverrt_solve_seconds",
+		"End-to-end relayed solve latency through the router (successful relays).")
+	// One labeled family for per-node attempt latency: HELP/TYPE once, then
+	// each node's buckets. Failed attempts are in here too — this family is
+	// how failover cost (time burned on a dead node) is measured.
+	obs.WriteHeader(w, "setcoverrt_attempt_seconds",
+		"Per-node backend attempt latency, including failed attempts.")
+	for _, n := range nodes {
+		rt.histAttempt[n].WriteBuckets(w, "setcoverrt_attempt_seconds", fmt.Sprintf("node=%q", n))
 	}
 }
 

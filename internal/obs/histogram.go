@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket scheme (DESIGN.md §10): fixed log-spaced bounds
+// 100µs·2^i for i ∈ [0, 20], i.e. 100µs … ~105s, plus the implicit +Inf
+// bucket. Fixed bounds keep the exposition deterministic (no adaptive
+// resizing, no per-process variation), log spacing gives ~constant
+// relative error across five decades of latency — a cache hit (~100µs)
+// and a multi-pass disk solve (~minutes) land in well-separated buckets
+// of the same histogram. 22 atomic counters per histogram; Observe is a
+// single atomic add on the hot path.
+const numBuckets = 21 // finite buckets; bucket[numBuckets] is +Inf
+
+var (
+	bucketBounds [numBuckets]float64 // seconds
+	bucketLabels [numBuckets + 1]string
+)
+
+func init() {
+	for i := 0; i < numBuckets; i++ {
+		bucketBounds[i] = 100e-6 * math.Pow(2, float64(i))
+		bucketLabels[i] = strconv.FormatFloat(bucketBounds[i], 'g', -1, 64)
+	}
+	bucketLabels[numBuckets] = "+Inf"
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe and Write. Counters are monotone; Write emits a consistent-
+// enough snapshot for scraping (buckets are read once each, cumulated at
+// write time, and the count is derived from the same reads so
+// sum-of-buckets always equals count).
+type Histogram struct {
+	buckets [numBuckets + 1]atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < numBuckets && s > bucketBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// snapshot reads the per-bucket counters once and returns cumulative
+// bucket counts, the total count, and the sum in seconds.
+func (h *Histogram) snapshot() (cum [numBuckets + 1]int64, count int64, sum float64) {
+	for i := range h.buckets {
+		count += h.buckets[i].Load()
+		cum[i] = count
+	}
+	return cum, count, float64(h.sumNs.Load()) / 1e9
+}
+
+// WriteHeader emits the # HELP and # TYPE lines for a histogram family.
+// Split from WriteBuckets so a labeled family (one Histogram per node)
+// emits its header exactly once.
+func WriteHeader(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+// WriteBuckets emits the _bucket/_sum/_count series for one histogram in
+// Prometheus text exposition format. labels is the inner label list
+// without braces (e.g. `node="a"`), or "" for an unlabeled family.
+func (h *Histogram) WriteBuckets(w io.Writer, name, labels string) {
+	cum, count, sum := h.snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, le := range bucketLabels {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum[i])
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, count)
+}
+
+// Write emits a complete unlabeled histogram family: header plus series.
+func (h *Histogram) Write(w io.Writer, name, help string) {
+	WriteHeader(w, name, help)
+	h.WriteBuckets(w, name, "")
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderCollects(t *testing.T) {
+	var r Recorder
+	r.TracePass(PassTrace{Index: 1, Kind: "sets", Items: 3})
+	r.TracePass(PassTrace{Index: 2, Kind: "sets", Items: 3, Err: errors.New("boom")})
+	got := r.Passes()
+	if len(got) != 2 {
+		t.Fatalf("got %d passes, want 2", len(got))
+	}
+	if got[0].Index != 1 || got[1].Index != 2 {
+		t.Fatalf("indices = %d,%d, want 1,2", got[0].Index, got[1].Index)
+	}
+	if got[1].Err == nil {
+		t.Fatalf("second pass lost its error")
+	}
+	// Passes returns a copy: mutating it must not affect the recorder.
+	got[0].Index = 99
+	if r.Passes()[0].Index != 1 {
+		t.Fatalf("Passes returned aliased storage")
+	}
+	r.Reset()
+	if len(r.Passes()) != 0 {
+		t.Fatalf("Reset did not clear")
+	}
+}
+
+func TestTracerFunc(t *testing.T) {
+	var got PassTrace
+	var tr Tracer = TracerFunc(func(p PassTrace) { got = p })
+	tr.TracePass(PassTrace{Index: 7, Kind: "items"})
+	if got.Index != 7 || got.Kind != "items" {
+		t.Fatalf("TracerFunc did not deliver: %+v", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two ids collided: %q", a)
+	}
+	if len(a) != 16 {
+		t.Fatalf("id %q: len %d, want 16", a, len(a))
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(a) {
+		t.Fatalf("id %q is not lowercase hex", a)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	gv, rev := BuildInfo()
+	if !strings.HasPrefix(gv, "go") {
+		t.Fatalf("go version %q", gv)
+	}
+	if rev == "" {
+		t.Fatalf("revision must never be empty")
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	if bucketBounds[0] != 100e-6 {
+		t.Fatalf("first bound = %g, want 100e-6", bucketBounds[0])
+	}
+	for i := 1; i < numBuckets; i++ {
+		if bucketBounds[i] != bucketBounds[i-1]*2 {
+			t.Fatalf("bound[%d] = %g, want double of %g", i, bucketBounds[i], bucketBounds[i-1])
+		}
+	}
+	if bucketLabels[numBuckets] != "+Inf" {
+		t.Fatalf("last label = %q", bucketLabels[numBuckets])
+	}
+}
+
+func TestHistogramObserveAndWrite(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(50 * time.Microsecond)  // below first bound → bucket 0
+	h.Observe(100 * time.Microsecond) // == first bound → bucket 0 (le is inclusive)
+	h.Observe(150 * time.Microsecond) // bucket 1
+	h.Observe(1 * time.Hour)          // beyond last finite bound → +Inf only
+	h.Observe(-1 * time.Second)       // clamped to 0 → bucket 0
+
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+
+	var buf bytes.Buffer
+	h.Write(&buf, "test_seconds", "test help")
+	out := buf.String()
+
+	if !strings.Contains(out, "# HELP test_seconds test help\n") ||
+		!strings.Contains(out, "# TYPE test_seconds histogram\n") {
+		t.Fatalf("missing HELP/TYPE lines:\n%s", out)
+	}
+	if !strings.Contains(out, `test_seconds_bucket{le="0.0001"} 3`) {
+		t.Fatalf("first bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `test_seconds_bucket{le="+Inf"} 5`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "test_seconds_count 5\n") {
+		t.Fatalf("count wrong:\n%s", out)
+	}
+
+	// Cumulative buckets must be monotone and end at count.
+	last := int64(-1)
+	var buf2 bytes.Buffer
+	h.WriteBuckets(&buf2, "test_seconds", "")
+	sc := bufio.NewScanner(&buf2)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "test_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("buckets not cumulative: %d after %d", v, last)
+		}
+		last = v
+	}
+	if last != 5 {
+		t.Fatalf("final cumulative bucket = %d, want 5", last)
+	}
+}
+
+func TestHistogramLabeledFamily(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	var buf bytes.Buffer
+	WriteHeader(&buf, "fam_seconds", "labeled family")
+	a.WriteBuckets(&buf, "fam_seconds", `node="a"`)
+	b.WriteBuckets(&buf, "fam_seconds", `node="b"`)
+	out := buf.String()
+	if strings.Count(out, "# TYPE fam_seconds histogram") != 1 {
+		t.Fatalf("TYPE line must appear exactly once:\n%s", out)
+	}
+	if !strings.Contains(out, `fam_seconds_bucket{node="a",le="+Inf"} 1`) ||
+		!strings.Contains(out, `fam_seconds_bucket{node="b",le="+Inf"} 1`) {
+		t.Fatalf("labeled buckets missing:\n%s", out)
+	}
+	if !strings.Contains(out, `fam_seconds_count{node="a"} 1`) {
+		t.Fatalf("labeled count missing:\n%s", out)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines while
+// concurrently writing, then checks conservation: every observation lands
+// in exactly one finite-or-Inf bucket and the cumulative +Inf bucket
+// equals the count. Run with -race in CI.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(seed*perWorker+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			h.Write(&buf, "c_seconds", "concurrent")
+			// Mid-flight snapshots must still be internally consistent.
+			if err := checkConsistent(buf.String(), "c_seconds"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// checkConsistent verifies cumulative monotonicity and bucket/count
+// agreement in one exposition dump.
+func checkConsistent(out, name string) error {
+	var last, count int64
+	last = -1
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		val := func() int64 {
+			v, _ := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			return v
+		}
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			v := val()
+			if v < last {
+				return fmt.Errorf("non-monotone buckets: %d after %d", v, last)
+			}
+			last = v
+		case strings.HasPrefix(line, name+"_count"):
+			count = val()
+		}
+	}
+	if last != count {
+		return fmt.Errorf("+Inf bucket %d != count %d", last, count)
+	}
+	return nil
+}

@@ -401,6 +401,16 @@ func (d *Repo) SetSpan(i int) (off, length int64, card int, ok bool) {
 	return d.offs[i], d.offs[i+1] - d.offs[i], int(d.cards[i]), true
 }
 
+// DataBytes implements stream.ByteSized: the byte length of the set-data
+// section — what one full pass decodes. 0 when the seek index is absent (the
+// span arithmetic needs it); the trace field it feeds is best-effort.
+func (d *Repo) DataBytes() int64 {
+	if d.offs == nil || d.m == 0 {
+		return 0
+	}
+	return d.offs[d.m] - d.offs[0]
+}
+
 // Err returns the first decode error ANY pass has hit since the repository
 // was opened. It is a diagnostic, deliberately sticky: once a pass has
 // failed, Err keeps reporting that first failure even after later passes

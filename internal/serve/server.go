@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -47,6 +50,11 @@ type Config struct {
 	// Empty disables the tier. The directory should exist and be writable;
 	// failures degrade to counted misses, never errors.
 	CacheDir string
+	// Logger receives one structured line per solve (request id, instance,
+	// algorithm, outcome, phase timings) and per cache-served response. nil
+	// discards — the library default; cmd/setcoverd wires -log-level/-log-json
+	// here.
+	Logger *slog.Logger
 }
 
 // DefaultMaxQueue is a reasonable queue depth for daemon deployments
@@ -91,6 +99,16 @@ type job struct {
 	err     *APIError
 	errCode int // HTTP status for err
 	done    chan struct{}
+	// requestID is the admitting client's correlation id, stamped into the
+	// solve log line and the job view (coalesced clients keep their own ids
+	// on their responses; the shared solve logs under the admitter's).
+	requestID string
+	// admittedAt anchors the queue-wait measurement (admission → slot).
+	admittedAt time.Time
+	// trace is the solve's phase breakdown, filled at terminal status.
+	// Timings are job-local facts; per-response fields (request id, lookup,
+	// total) are overlaid at write time and never stored or cached.
+	trace *SolveTrace
 }
 
 // jobView is the wire form of a job (GET /v1/jobs/{id} and sync solve
@@ -111,6 +129,15 @@ type jobView struct {
 	Coalesced bool         `json:"coalesced,omitempty"`
 	Result    *SolveResult `json:"result,omitempty"`
 	Error     *APIError    `json:"error,omitempty"`
+	// RequestID is this response's correlation id (also echoed in the
+	// X-Request-ID header): client-supplied, or router-generated, or minted
+	// here. Job views fetched by id report the admitting request's id.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the phase-timing breakdown, present only when the request set
+	// trace:true. It rides the envelope, OUTSIDE Result — Result is what the
+	// cache stores and the determinism contract compares; timings are
+	// per-response facts and are never cached.
+	Trace *SolveTrace `json:"trace,omitempty"`
 }
 
 // Server is the HTTP solver service over a Catalog. Create with NewServer,
@@ -142,16 +169,32 @@ type Server struct {
 	coalesced     atomic.Int64
 	rejected      atomic.Int64
 	running       atomic.Int64
+
+	// Latency histograms surfaced on /metrics (fixed log-spaced buckets,
+	// see internal/obs), plus the process anchor for uptime.
+	histSolve *obs.Histogram // solve execution (checkout + algorithm)
+	histQueue *obs.Histogram // admission → concurrency slot
+	histPass  *obs.Histogram // one engine pass
+	start     time.Time
+	log       *slog.Logger
 }
 
 // NewServer builds a server over the catalog.
 func NewServer(cat *Catalog, cfg Config) *Server {
 	s := &Server{
-		cat:      cat,
-		cfg:      cfg.withDefaults(),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
-		mux:      http.NewServeMux(),
+		cat:       cat,
+		cfg:       cfg.withDefaults(),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		mux:       http.NewServeMux(),
+		histSolve: obs.NewHistogram(),
+		histQueue: obs.NewHistogram(),
+		histPass:  obs.NewHistogram(),
+		start:     time.Now(),
+	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	s.cache = newResultCache(s.cfg.CacheSize)
 	if s.cfg.CacheDir != "" {
@@ -222,8 +265,22 @@ func (s *Server) engineOptions(req *SolveRequest) EngineRequest {
 	return eng
 }
 
+// msOf converts a duration to the wire's fractional milliseconds.
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
 // handleSolve admits, caches, or rejects one solve request.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	handlerStart := time.Now()
+	// Correlation id: honor the caller's (the fleet router stamps one per
+	// client request before fanning out), mint one otherwise, echo it on
+	// every response — errors included — so router, daemon, and client logs
+	// join on one id.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
@@ -276,6 +333,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// have solved it already); a disk hit is promoted into the memory LRU so
 	// the file is read once.
 	key := req.cacheKey(inst.Digest)
+	lookupStart := time.Now()
 	res, hit := s.cache.get(key)
 	if !hit && s.disk != nil {
 		if res, hit = s.disk.get(key); hit {
@@ -283,11 +341,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.cache.put(key, res)
 		}
 	}
+	lookup := time.Since(lookupStart)
 	if hit {
 		s.cacheHits.Add(1)
-		s.writeSolveOK(w, req, jobView{
-			Status: jobDone, Instance: inst, Request: req, Cached: true, Result: res,
-		})
+		s.writeCacheHit(w, req, inst, res, reqID, handlerStart, lookup)
 		return
 	}
 
@@ -308,7 +365,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
-		s.joinJob(w, req, j)
+		s.joinJob(w, req, j, reqID, handlerStart, lookup)
 		return
 	}
 	// Recheck the memory tier under the lock: the winning job may have
@@ -316,9 +373,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if res, ok := s.cache.get(key); ok {
 		s.mu.Unlock()
 		s.cacheHits.Add(1)
-		s.writeSolveOK(w, req, jobView{
-			Status: jobDone, Instance: inst, Request: req, Cached: true, Result: res,
-		})
+		s.writeCacheHit(w, req, inst, res, reqID, handlerStart, lookup)
 		return
 	}
 	if s.admitted >= s.cfg.MaxConcurrent+s.cfg.MaxQueue {
@@ -332,11 +387,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.admitted++
 	s.nextID++
 	j := &job{
-		id:     fmt.Sprintf("job-%d", s.nextID),
-		req:    req,
-		inst:   inst,
-		status: jobQueued,
-		done:   make(chan struct{}),
+		id:         fmt.Sprintf("job-%d", s.nextID),
+		req:        req,
+		inst:       inst,
+		status:     jobQueued,
+		done:       make(chan struct{}),
+		requestID:  reqID,
+		admittedAt: time.Now(),
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
@@ -348,14 +405,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	go s.runJob(j, key)
 
 	if !req.wait() {
-		writeJSON(w, http.StatusAccepted, jobView{ID: j.id, Status: jobQueued, Instance: inst, Request: req})
+		writeJSON(w, http.StatusAccepted, jobView{ID: j.id, Status: jobQueued, Instance: inst, Request: req, RequestID: reqID})
 		return
 	}
 	<-j.done
 	s.mu.Lock()
 	view := jobView{ID: j.id, Status: j.status, Instance: inst, Request: req,
-		Result: j.result, Error: j.err}
+		Result: j.result, Error: j.err, RequestID: reqID}
 	code := j.errCode
+	trace := j.trace
 	s.mu.Unlock()
 	if view.Error != nil {
 		// Keep the job id on the error envelope too: the failed job is
@@ -363,41 +421,80 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorBody{Error: view.Error, JobID: j.id})
 		return
 	}
+	view.Trace = overlayTrace(req, trace, reqID, handlerStart, lookup)
 	s.writeSolveOK(w, req, view)
+}
+
+// writeCacheHit answers a cache-served solve, with the lookup-only trace
+// overlay and the cache-path log line.
+func (s *Server) writeCacheHit(w http.ResponseWriter, req *SolveRequest, inst *Instance,
+	res *SolveResult, reqID string, handlerStart time.Time, lookup time.Duration) {
+	view := jobView{
+		Status: jobDone, Instance: inst, Request: req, Cached: true, Result: res,
+		RequestID: reqID,
+	}
+	view.Trace = overlayTrace(req, nil, reqID, handlerStart, lookup)
+	s.log.Info("solve served",
+		"request_id", reqID, "instance", req.Instance, "algo", req.Algo,
+		"status", "cached", "total_ms", msOf(time.Since(handlerStart)))
+	s.writeSolveOK(w, req, view)
+}
+
+// overlayTrace builds the response's trace: the job's stored phase timings
+// (nil for cache hits — no solve ran on this path) overlaid with the
+// per-response facts: this client's request id, ITS cache-lookup time, and
+// ITS end-to-end total. Returns nil unless the request opted in.
+func overlayTrace(req *SolveRequest, jobTrace *SolveTrace, reqID string,
+	handlerStart time.Time, lookup time.Duration) *SolveTrace {
+	if !req.Trace {
+		return nil
+	}
+	t := SolveTrace{}
+	if jobTrace != nil {
+		t = *jobTrace // Passes slice shared read-only; never mutated after publish
+	}
+	t.RequestID = reqID
+	t.LookupMillis = msOf(lookup)
+	t.TotalMillis = msOf(time.Since(handlerStart))
+	return &t
 }
 
 // joinJob attaches a coalesced request to another request's in-flight job:
 // async callers get the shared job's id to poll, synchronous callers block on
 // the same done channel the owner does and relay whatever it produced —
 // result or error — so every client of one solve sees one answer.
-func (s *Server) joinJob(w http.ResponseWriter, req *SolveRequest, j *job) {
+func (s *Server) joinJob(w http.ResponseWriter, req *SolveRequest, j *job,
+	reqID string, handlerStart time.Time, lookup time.Duration) {
 	if !req.wait() {
 		s.mu.Lock()
 		status := j.status
 		s.mu.Unlock()
 		if status == jobDone || status == jobFailed {
 			// Terminal already: answer inline like a cache hit would.
-			s.relayJob(w, req, j, true)
+			s.relayJob(w, req, j, true, reqID, handlerStart, lookup)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, jobView{ID: j.id, Status: status, Instance: j.inst, Request: req, Coalesced: true})
+		writeJSON(w, http.StatusAccepted, jobView{ID: j.id, Status: status, Instance: j.inst, Request: req, Coalesced: true, RequestID: reqID})
 		return
 	}
 	<-j.done
-	s.relayJob(w, req, j, true)
+	s.relayJob(w, req, j, true, reqID, handlerStart, lookup)
 }
 
 // relayJob writes job j's terminal outcome for req.
-func (s *Server) relayJob(w http.ResponseWriter, req *SolveRequest, j *job, coalesced bool) {
+func (s *Server) relayJob(w http.ResponseWriter, req *SolveRequest, j *job, coalesced bool,
+	reqID string, handlerStart time.Time, lookup time.Duration) {
 	s.mu.Lock()
 	view := jobView{ID: j.id, Status: j.status, Instance: j.inst, Request: req,
-		Coalesced: coalesced, Result: j.result, Error: j.err}
+		Coalesced: coalesced, Result: j.result, Error: j.err, RequestID: reqID}
 	code := j.errCode
+	trace := j.trace
 	s.mu.Unlock()
 	if view.Error != nil {
 		writeJSON(w, code, errorBody{Error: view.Error, JobID: j.id})
 		return
 	}
+	view.Trace = overlayTrace(req, trace, reqID, handlerStart, lookup)
 	s.writeSolveOK(w, req, view)
 }
 
@@ -408,18 +505,31 @@ func (s *Server) runJob(j *job, cacheKey string) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
+	queueWait := time.Since(j.admittedAt)
+	s.histQueue.Observe(queueWait)
+
 	s.mu.Lock()
 	j.status = jobRunning
 	s.mu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
+	// Every solve runs traced: the tracer feeds the per-pass latency
+	// histogram unconditionally and records the wire-form views for the
+	// trace:true breakdown (a handful of small records per solve). Tracing is
+	// read-only by the engine's contract, so results are byte-identical to an
+	// untraced solve.
+	tracer := &solveTracer{hist: s.histPass}
 	engReq := s.engineOptions(j.req)
-	res, err := runSolve(j.inst, j.req, engine.Options{
+	solveStart := time.Now()
+	res, checkout, err := runSolve(j.inst, j.req, engine.Options{
 		Workers:          engReq.Workers,
 		BatchSize:        engReq.BatchSize,
 		DisableSegmented: engReq.DisableSegmented,
+		Tracer:           tracer,
 	})
+	solveWall := time.Since(solveStart)
+	s.histSolve.Observe(solveWall)
 
 	// Persist BEFORE publishing (and outside s.mu — it is file I/O): once
 	// waiters wake, a restarted sibling may already be asked for this key.
@@ -427,8 +537,24 @@ func (s *Server) runJob(j *job, cacheKey string) {
 		s.disk.put(cacheKey, res)
 	}
 
+	trace := &SolveTrace{
+		QueueMillis:    msOf(queueWait),
+		CheckoutMillis: msOf(checkout),
+		SolveMillis:    msOf(solveWall),
+		Passes:         tracer.views(),
+	}
+	outcome := "done"
+	if err != nil {
+		outcome = "failed"
+	}
+	s.log.Info("solve finished",
+		"request_id", j.requestID, "job", j.id, "instance", j.req.Instance,
+		"algo", j.req.Algo, "status", outcome, "queue_ms", trace.QueueMillis,
+		"solve_ms", trace.SolveMillis, "passes", len(trace.Passes))
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j.trace = trace
 	if err != nil {
 		status, code := classify(err)
 		j.status = jobFailed
@@ -448,6 +574,44 @@ func (s *Server) runJob(j *job, cacheKey string) {
 	// Decrement admitted only once the job is terminal: a queued-or-running
 	// job holds its admission slot for its whole life.
 	s.admitted--
+}
+
+// solveTracer is the per-solve engine tracer: every pass feeds the server's
+// pass-latency histogram, and the wire-form views accumulate for the
+// trace:true response breakdown. Safe for concurrent TracePass (the engine
+// emits sequentially, but the contract asks for safety).
+type solveTracer struct {
+	hist *obs.Histogram
+	mu   sync.Mutex
+	seen []PassTraceView
+}
+
+func (t *solveTracer) TracePass(p obs.PassTrace) {
+	t.hist.Observe(p.Wall)
+	v := PassTraceView{
+		Index:      p.Index,
+		Kind:       p.Kind,
+		Items:      p.Items,
+		Elems:      p.Elems,
+		Bytes:      p.Bytes,
+		Segmented:  p.Segmented,
+		Workers:    p.Workers,
+		BatchSize:  p.BatchSize,
+		WallMillis: msOf(p.Wall),
+	}
+	if p.Err != nil {
+		v.Error = p.Err.Error()
+	}
+	t.mu.Lock()
+	t.seen = append(t.seen, v)
+	t.mu.Unlock()
+}
+
+// views returns the accumulated pass views; call after the solve finished.
+func (t *solveTracer) views() []PassTraceView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
 }
 
 // evictJobsLocked forgets the oldest TERMINAL jobs beyond JobHistory.
@@ -481,9 +645,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	var view jobView
 	if ok {
 		// A failed job reports its error in the body; the GET itself
-		// succeeded, so the status code stays 200.
+		// succeeded, so the status code stays 200. The view carries the
+		// ADMITTING request's correlation id (and, when that request opted
+		// into tracing, the solve's phase breakdown) so a polled job can be
+		// joined to the fleet logs that produced it.
 		view = jobView{ID: j.id, Status: j.status, Instance: j.inst, Request: j.req,
-			Result: j.result, Error: j.err}
+			Result: j.result, Error: j.err, RequestID: j.requestID}
+		if j.req.Trace && j.trace != nil {
+			t := *j.trace
+			t.RequestID = j.requestID
+			view.Trace = &t
+		}
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -504,12 +676,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves a Prometheus-style plain-text counter dump.
+// handleMetrics serves a Prometheus-style plain-text exposition. The output
+// order is DETERMINISTIC and pinned by a test: build info, uptime, the
+// counters (their pre-existing order preserved for scrape configs), then the
+// latency histograms. Only the values vary between scrapes.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	admitted := s.admitted
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	goVersion, revision := obs.BuildInfo()
+	fmt.Fprintf(w, "# HELP setcoverd_build_info Build metadata (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE setcoverd_build_info gauge\n")
+	fmt.Fprintf(w, "setcoverd_build_info{go_version=%q,revision=%q} 1\n", goVersion, revision)
+	fmt.Fprintf(w, "setcoverd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
 	fmt.Fprintf(w, "setcoverd_solves_total %d\n", s.solvesTotal.Load())
 	fmt.Fprintf(w, "setcoverd_solve_failures_total %d\n", s.solveFailures.Load())
 	fmt.Fprintf(w, "setcoverd_cache_hits_total %d\n", s.cacheHits.Load())
@@ -522,6 +702,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "setcoverd_jobs_admitted %d\n", admitted)
 	fmt.Fprintf(w, "setcoverd_jobs_running %d\n", s.running.Load())
 	fmt.Fprintf(w, "setcoverd_instances %d\n", s.cat.Len())
+	s.histSolve.Write(w, "setcoverd_solve_seconds", "Solve execution latency (checkout + algorithm).")
+	s.histQueue.Write(w, "setcoverd_queue_wait_seconds", "Admission-to-slot queue wait.")
+	s.histPass.Write(w, "setcoverd_pass_seconds", "Single engine pass latency.")
 }
 
 // streamChunkSize is how many cover set IDs one NDJSON chunk line carries.

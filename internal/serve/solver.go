@@ -93,6 +93,50 @@ type SolveRequest struct {
 	// envelope and status code. Requires wait (the default); stream with
 	// wait:false is a 400.
 	Stream bool `json:"stream,omitempty"`
+	// Trace: when true, the response envelope carries a SolveTrace — phase
+	// timings (queue wait, cache lookup, repo checkout, solve) and the
+	// per-pass engine breakdown. Purely observational: it is NOT part of the
+	// result-cache key (a traced and an untraced request for the same solve
+	// coalesce and hit the same cache row) and timings are never cached —
+	// the trace describes THIS response's path, the result describes the
+	// solve, and only the latter is subject to the determinism contract.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// SolveTrace is the wire form of one response's timing breakdown, returned
+// in the envelope (outside the cached SolveResult payload) when the request
+// sets trace:true. A freshly-solved response carries every phase; a cache
+// hit carries only lookup and total (no solve ran on this path); a
+// coalesced response carries the shared solve's phases with this client's
+// own request id and total.
+type SolveTrace struct {
+	RequestID string `json:"request_id,omitempty"`
+	// QueueMillis is how long the job waited for a concurrency slot.
+	QueueMillis float64 `json:"queue_ms"`
+	// LookupMillis is the result-cache lookup (memory + disk tier).
+	LookupMillis float64 `json:"lookup_ms"`
+	// CheckoutMillis is acquiring the instance's repository handle.
+	CheckoutMillis float64 `json:"checkout_ms"`
+	// SolveMillis is the algorithm execution (checkout included).
+	SolveMillis float64 `json:"solve_ms"`
+	// TotalMillis is this response's end-to-end handler time.
+	TotalMillis float64 `json:"total_ms"`
+	// Passes is the engine's per-pass breakdown, in execution order.
+	Passes []PassTraceView `json:"passes,omitempty"`
+}
+
+// PassTraceView is the wire form of one engine pass trace (obs.PassTrace).
+type PassTraceView struct {
+	Index      int     `json:"index"`
+	Kind       string  `json:"kind"`
+	Items      int     `json:"items"`
+	Elems      int64   `json:"elems,omitempty"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	Segmented  bool    `json:"segmented,omitempty"`
+	Workers    int     `json:"workers"`
+	BatchSize  int     `json:"batch_size"`
+	WallMillis float64 `json:"wall_ms"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // normalize applies the CLI-matching defaults in place.
@@ -250,17 +294,21 @@ type SolveResult struct {
 }
 
 // runSolve executes one admitted solve: fresh repository, dispatch, snapshot.
-func runSolve(inst *Instance, req *SolveRequest, engOpts engine.Options) (*SolveResult, error) {
+// checkout reports how long acquiring the repository handle took (pool reuse
+// vs a cold file open) — a trace-only measurement.
+func runSolve(inst *Instance, req *SolveRequest, engOpts engine.Options) (*SolveResult, time.Duration, error) {
+	checkoutStart := time.Now()
 	repo, release, err := inst.Open()
 	if err != nil {
-		return nil, fmt.Errorf("open instance %q: %w", inst.Name, err)
+		return nil, 0, fmt.Errorf("open instance %q: %w", inst.Name, err)
 	}
+	checkout := time.Since(checkoutStart)
 	defer release()
 
 	start := time.Now()
 	st, bestK, err := dispatch(repo, req, engOpts)
 	if err != nil {
-		return nil, err
+		return nil, checkout, err
 	}
 	cover := st.Cover
 	if cover == nil {
@@ -280,7 +328,7 @@ func runSolve(inst *Instance, req *SolveRequest, engOpts engine.Options) (*Solve
 		BestK:       bestK,
 		WallMillis:  float64(time.Since(start).Microseconds()) / 1000,
 		CoverWeight: coverWeight,
-	}, nil
+	}, checkout, nil
 }
 
 // dispatch maps the wire algorithm name to the library call, mirroring

@@ -133,6 +133,17 @@ type SegmentedRepository interface {
 	BeginSegmented() (src SegmentSource, ok bool)
 }
 
+// ByteSized is the optional capability a Repository may implement when its
+// stream has a well-defined encoded size: DataBytes returns the byte length
+// of the data section one full pass decodes (the SCB1 set-data section for a
+// disk repository). It is a measurement surface only — the pass engine
+// stamps it into trace records (internal/obs) so per-pass throughput can be
+// computed — and never affects what a pass yields. In-memory and generated
+// repositories, whose passes decode no bytes, simply do not implement it.
+type ByteSized interface {
+	DataBytes() int64
+}
+
 // Recycler is an optional interface a Reader may implement when its sets are
 // decoded into buffers the reader owns (disk-backed repositories): Recycle
 // hands a batch previously returned by NextBatch back to the reader once
