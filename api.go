@@ -59,6 +59,7 @@ import (
 	"repro/internal/offline"
 	"repro/internal/pd"
 	"repro/internal/scdisk"
+	"repro/internal/scdyn"
 	"repro/internal/serve"
 	"repro/internal/setcover"
 	"repro/internal/stream"
@@ -518,6 +519,63 @@ type (
 // echoed by setcoverd and minted/propagated by setcoverrt, so one id joins
 // client, router, backend log line, and job view.
 const RequestIDHeader = obs.RequestIDHeader
+
+// Dynamic instances (internal/scdyn, DESIGN.md §11): a mutable repository
+// over an SCB1 base file plus an additive delta log (append set / tombstone
+// set), where every mutation mints a fresh content digest — a mutated
+// instance is a NEW identity, so no digest-keyed cache anywhere in the stack
+// can alias pre- and post-mutation results. Snapshot Views at any generation
+// are ordinary Repositories; an incremental Solver maintains the exact
+// greedy cover across delta batches, byte-identical to a from-scratch solve.
+// Served via Catalog.AddDynamic / Catalog.Mutate, cmd/setcoverd -dyn,
+// POST /v1/instances/{name}/mutate, and {"algo":"dyn","resolve":"delta"}.
+type (
+	// DynamicRepo is a mutable instance: SCB1 base + append-only delta log.
+	DynamicRepo = scdyn.Repo
+	// DynamicView is an immutable snapshot of a DynamicRepo at one
+	// generation — a Repository usable with every solver.
+	DynamicView = scdyn.View
+	// DynamicOp is one mutation (append a set, or tombstone one by id).
+	DynamicOp = scdyn.Op
+	// DynamicOpKind tags a DynamicOp.
+	DynamicOpKind = scdyn.OpKind
+	// DynamicSolver maintains an exact greedy cover across mutations,
+	// re-solving only the disturbed suffix of the selection trace.
+	DynamicSolver = scdyn.Solver
+	// MutateRequest is the body of POST /v1/instances/{name}/mutate.
+	MutateRequest = serve.MutateRequest
+	// MutateResponse reports the post-mutation identity (digest, generation).
+	MutateResponse = serve.MutateResponse
+)
+
+const (
+	// DynamicOpAppend appends a new set (ids are assigned densely after the
+	// current maximum).
+	DynamicOpAppend = scdyn.OpAppend
+	// DynamicOpTombstone removes a set by id (the id stays allocated; the
+	// set becomes empty).
+	DynamicOpTombstone = scdyn.OpTombstone
+	// DynamicLogSuffix is the delta-log filename suffix next to the base
+	// SCB1 file.
+	DynamicLogSuffix = scdyn.LogSuffix
+)
+
+var (
+	// OpenDynamic opens (or creates alongside) a dynamic instance at an
+	// SCB1 path, replaying and verifying any existing delta log.
+	OpenDynamic = scdyn.Open
+	// NewDynamicSolver builds an incremental solver over a DynamicRepo.
+	NewDynamicSolver = scdyn.NewSolver
+	// DynamicSolve runs the density-level greedy once over any Repository —
+	// the stateless form of the incremental solver (algo "dyn").
+	DynamicSolve = scdyn.Solve
+)
+
+// InstanceDigestHeader is the response header ("X-Instance-Digest") on which
+// setcoverd reports the digest it actually resolved an instance to; the
+// fleet router invalidates its name→digest cache the moment this disagrees
+// with its routing decision.
+const InstanceDigestHeader = obs.InstanceDigestHeader
 
 // NewRequestID mints a 16-hex-digit correlation id.
 var NewRequestID = obs.NewRequestID

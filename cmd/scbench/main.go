@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/scdisk"
+	"repro/internal/scdyn"
 	"repro/internal/setcover"
 )
 
@@ -326,8 +328,160 @@ func runMatrix(quick bool, runs int, progress io.Writer) (*BenchReport, error) {
 		rep.Cases = append(rep.Cases, bc)
 		d.Close()
 	}
+	// The dynamic-maintenance pair: a from-scratch solve of a mutable uniform
+	// family versus an incremental re-solve after a 1% mutation batch. The
+	// pair is the recorded evidence for the dynamic layer's contract — the
+	// delta path must stay well under the from-scratch wall time (it skips
+	// the whole stream decode and replays only the disturbed greedy suffix).
+	dynCases, err := measureDynPair(files["uniform"], size, runs)
+	if err != nil {
+		return nil, err
+	}
+	for _, bc := range dynCases {
+		fmt.Fprintf(progress, "scbench: %-28s %8.2fms %8.1f MB/s  pool_locks=%d\n",
+			bc.Name, float64(bc.NsPerPass)/1e6, bc.MBPerSec, bc.PoolLocks)
+		rep.Cases = append(rep.Cases, bc)
+	}
 	sort.Slice(rep.Cases, func(i, j int) bool { return rep.Cases[i].Name < rep.Cases[j].Name })
 	return rep, nil
+}
+
+// measureDynPair measures the dynamic set cover maintenance path on the
+// uniform family: "solve/dyn/full" is a from-scratch density-level solve of
+// the current view (one full stream decode + greedy), "solve/dyn/delta" is
+// one sustained maintenance step — apply a mutation batch touching ~1% of
+// the sets (half tombstones, half appends, so the live count stays put),
+// then EnsureAt the new generation incrementally. Both report per-(re)solve
+// nanoseconds over the same family bytes, so the two numbers are directly
+// comparable.
+func measureDynPair(path string, size matrixSize, runs int) ([]BenchCase, error) {
+	r, err := scdyn.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	eng := engine.Options{Workers: 1}
+	bytes := func() int64 {
+		d, err := scdisk.Open(path)
+		if err != nil {
+			return 0
+		}
+		defer d.Close()
+		return dataBytes(d)
+	}()
+
+	full := BenchCase{Name: "solve/dyn/full/uniform", Sets: r.NumSets(), Bytes: bytes, Runs: runs}
+	solveView := func() error {
+		st, err := scdyn.Solve(r.View(), eng)
+		if err != nil {
+			return err
+		}
+		if !st.Valid {
+			return fmt.Errorf("%s: invalid cover", full.Name)
+		}
+		return nil
+	}
+	if err := measureFn(&full, runs, solveView); err != nil {
+		return nil, err
+	}
+	rec := &obs.Recorder{}
+	if _, err := scdyn.Solve(r.View(), engine.Options{Workers: 1, Tracer: rec}); err != nil {
+		return nil, fmt.Errorf("%s: traced run: %w", full.Name, err)
+	}
+	traceFill(&full, rec)
+
+	// The maintained solver, primed once (untimed) so every timed iteration
+	// starts from live state — the steady state of a serving daemon.
+	s := scdyn.NewSolver(r)
+	if _, _, err := s.EnsureAt(r.Generation(), eng); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(271828))
+	batch := size.m / 100
+	if batch < 2 {
+		batch = 2
+	}
+	// Tombstone targets rotate through previously appended sets once any
+	// exist, so the live set count — and with it the per-iteration workload —
+	// stays essentially constant however many samples the timing loop takes.
+	// dead tracks ids tombstoned in earlier batches: Apply rejects a second
+	// tombstone of the same id.
+	var appended []int
+	dead := make(map[int]bool)
+	mutateAndSolve := func() error {
+		ops := make([]scdyn.Op, 0, batch)
+		for i := 0; i < batch/2; i++ {
+			var id int
+			if len(appended) > 0 {
+				id, appended = appended[0], appended[1:]
+			} else {
+				for id = rng.Intn(size.m); dead[id]; id = rng.Intn(size.m) {
+				}
+			}
+			dead[id] = true
+			ops = append(ops, scdyn.Op{Kind: scdyn.OpTombstone, ID: id})
+		}
+		nextID := r.NumSets()
+		for i := batch / 2; i < batch; i++ {
+			elems := make([]setcover.Elem, 0, size.light)
+			seen := map[setcover.Elem]bool{}
+			for len(elems) < size.light {
+				e := setcover.Elem(rng.Intn(size.n))
+				if !seen[e] {
+					seen[e] = true
+					elems = append(elems, e)
+				}
+			}
+			sort.Slice(elems, func(a, b int) bool { return elems[a] < elems[b] })
+			ops = append(ops, scdyn.Op{Kind: scdyn.OpAppend, Elems: elems})
+			appended = append(appended, nextID)
+			nextID++
+		}
+		if _, err := r.Apply(ops); err != nil {
+			return err
+		}
+		st, _, err := s.EnsureAt(r.Generation(), eng)
+		if err != nil {
+			return err
+		}
+		if st.Passes != 0 {
+			return fmt.Errorf("delta re-solve took %d stream passes, want 0", st.Passes)
+		}
+		return nil
+	}
+	delta := BenchCase{Name: "solve/dyn/delta1pct/uniform", Sets: r.NumSets(), Bytes: bytes, Runs: runs}
+	if err := measureFn(&delta, runs, mutateAndSolve); err != nil {
+		return nil, err
+	}
+	return []BenchCase{full, delta}, nil
+}
+
+// measureFn is measure without a disk repo to read pool-lock counters from —
+// the dynamic cases go through their own repository plumbing.
+func measureFn(bc *BenchCase, runs int, fn func() error) error {
+	start := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	est := time.Since(start).Nanoseconds()
+	reps := 1
+	if est < minSampleNs {
+		reps = int(minSampleNs/float64(est)) + 1
+	}
+	bc.NsPerPass = est
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		if ns := time.Since(start).Nanoseconds() / int64(reps); ns < bc.NsPerPass {
+			bc.NsPerPass = ns
+		}
+	}
+	bc.MBPerSec = float64(bc.Bytes) / (float64(bc.NsPerPass) / 1e9) / (1 << 20)
+	return nil
 }
 
 // writeFamily spills a generated family to an indexed SCB1 file.

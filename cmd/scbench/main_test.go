@@ -135,6 +135,9 @@ func TestRunCompareExitCodes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the quick matrix twice")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation multiplies the quick matrix past the package timeout; the non-race cmd stage runs this end to end")
+	}
 	dir := t.TempDir()
 	out := dir + "/bench.json"
 	if code := run([]string{"-quick", "-runs", "1", "-out", out}, io.Discard, io.Discard); code != 0 {

@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The quick-matrix CLI test skips under race: instrumentation
+// multiplies the solve-heavy matrix past any reasonable package timeout,
+// and the non-race cmd stage runs the same path end to end.
+const raceEnabled = true

@@ -13,7 +13,10 @@
 // greedyn (n-pass greedy), threshold (SG09-style thresholding), sg09
 // (repeated max-k-cover, the faithful SG09 loop), er14 (Emek–Rosén), cw16
 // (Chakrabarti–Wirth), dimv14 (element sampling), pd (batched primal-dual;
-// tune with -pd-mode, -pd-eps, -pd-batch).
+// tune with -pd-mode, -pd-eps, -pd-batch), dyn (the density-level exact
+// greedy that backs dynamic instances: one pass to ingest, identical cover
+// to greedyn's exact greedy, and the algorithm setcoverd re-solves mutable
+// instances with).
 //
 // On weighted instances (-format disk files carrying an SCWT weight section,
 // written by scgen -weights) every algorithm minimizes total cost instead of
@@ -55,7 +58,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("setcover", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		algo       = fs.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14|pd")
+		algo       = fs.String("algo", "iter", "algorithm: iter|greedy1|greedyn|threshold|sg09|er14|cw16|dimv14|pd|dyn")
 		inPath     = fs.String("in", "-", "instance file ('-' = stdin)")
 		format     = fs.String("format", "text", "instance access: text|binary (in-memory) | disk (stream the SCB1 file out-of-core)")
 		delta      = fs.Float64("delta", 0.5, "delta for iter/dimv14 (passes 2/delta, space ~ m*n^delta)")
@@ -162,6 +165,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		st, err = ssc.ChakrabartiWirthPartial(repo, *passes, *eps, engOpts)
 	case "dimv14":
 		st, err = ssc.DIMV14(repo, ssc.DIMV14Options{Delta: *delta, Seed: *seed}, engOpts)
+	case "dyn":
+		st, err = ssc.DynamicSolve(repo, engOpts)
 	case "pd":
 		var mode ssc.PDMode
 		if mode, err = ssc.ParsePDMode(*pdMode); err == nil {

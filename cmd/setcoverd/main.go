@@ -23,7 +23,12 @@
 //
 // Instances: -instance name=path registers an SCB1 file (repeatable);
 // -gen name:n=N,m=M,k=K,seed=S registers an in-process planted generator
-// (repeatable) solved straight from the generator without materializing.
+// (repeatable) solved straight from the generator without materializing;
+// -dyn name=path registers an SCB1 file as a MUTABLE instance (repeatable):
+// POST /v1/instances/{name}/mutate appends or tombstones sets, every
+// mutation mints a fresh content digest, and {"algo":"dyn","resolve":"delta"}
+// re-solves incrementally from the maintained greedy state. Mutations are
+// journaled to path.scdl and replayed (chain-verified) on restart.
 //
 // SIGINT/SIGTERM drain gracefully: new requests get 503 while in-flight
 // solves finish their passes (bounded by -drain-timeout).
@@ -76,9 +81,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		logJSON       = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it off public interfaces)")
 	)
-	var instances, gens []string
+	var instances, gens, dyns []string
 	fs.Func("instance", "register an SCB1 file as name=path (repeatable; bare path uses the filename as name)", func(v string) error {
 		instances = append(instances, v)
+		return nil
+	})
+	fs.Func("dyn", "register an SCB1 file as a MUTABLE instance, name=path (repeatable; delta log journaled to path.scdl)", func(v string) error {
+		dyns = append(dyns, v)
 		return nil
 	})
 	fs.Func("gen", "register a planted generator as name:n=N,m=M,k=K,seed=S (repeatable)", func(v string) error {
@@ -120,6 +129,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 			return fatal(err)
 		}
 		fmt.Fprintf(stdout, "registered %s: n=%d m=%d digest=%s\n", inst.Name, inst.N, inst.M, shortDigest(inst.Digest))
+	}
+	for _, spec := range dyns {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			path = spec
+			name = strings.TrimSuffix(strings.TrimSuffix(pathBase(spec), ".scb"), ".bin")
+		}
+		inst, err := cat.AddDynamic(name, path)
+		if err != nil {
+			return fatal(err)
+		}
+		fmt.Fprintf(stdout, "registered %s (dynamic): n=%d m=%d gen=%d digest=%s\n", inst.Name, inst.N, inst.M, inst.Generation, shortDigest(inst.Digest))
 	}
 	for _, spec := range gens {
 		inst, err := registerPlanted(cat, spec)

@@ -1,0 +1,308 @@
+package fleet
+
+// Mutable instances meet the router: the name→digest cache is only a hint
+// once mutations can move a name, so these tests pin the two invalidation
+// signals (a routed 404 under a resolved name, and a backend reporting a
+// different X-Instance-Digest than the router routed by) and the mutate
+// forwarding path that keeps the cache fresh without waiting for either.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/scdisk"
+	"repro/internal/serve"
+)
+
+// startDynFleet boots one node whose catalog holds a DYNAMIC planted
+// instance named "dyn", plus a router in front of it. One node, because a
+// mutation lands on a single node's catalog (multi-node catalog convergence
+// is a named ROADMAP gap, not this layer's job).
+func startDynFleet(t *testing.T) (*fleetNode, *httptest.Server) {
+	t.Helper()
+	in, _, _, err := gen.Planted(gen.PlantedConfig{N: 300, M: 200, K: 10, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dyn.scb")
+	if err := scdisk.WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	cat := serve.NewCatalog()
+	if _, err := cat.AddDynamic("dyn", path); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(cat, serve.Config{MaxConcurrent: 2, MaxQueue: 16})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	rt, err := NewRouter(Config{Nodes: []string{ts.URL}, AttemptTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	return &fleetNode{srv: srv, ts: ts}, rts
+}
+
+// mutateVia posts a mutation through url and decodes the response.
+func mutateVia(t *testing.T, url, name string, ops string) (int, serve.MutateResponse, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/instances/"+name+"/mutate", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"ops":[%s]}`, ops)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mr serve.MutateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, mr, resp.Header
+}
+
+// TestFleetRouterAdoptsPostMutationDigest: a mutation applied BEHIND the
+// router's back (directly on the node) moves the name; the next routed solve
+// must serve post-mutation content and the router must adopt the fresh
+// digest from the backend's X-Instance-Digest report.
+func TestFleetRouterAdoptsPostMutationDigest(t *testing.T) {
+	node, rts := startDynFleet(t)
+
+	body := `{"instance":"dyn","algo":"dyn"}`
+	out := solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK || out.view.Result == nil {
+		t.Fatalf("pre-mutation solve: status %d err %v", out.status, out.apiErr)
+	}
+	cover0 := out.view.Result.Cover
+	oldDigest := digestOf(t, node.url(), "dyn")
+
+	// Mutate directly on the node: the router's cache is now stale.
+	status, mr, _ := mutateVia(t, node.url(), "dyn",
+		fmt.Sprintf(`{"op":"tombstone","id":%d}`, cover0[0]))
+	if status != http.StatusOK || mr.Digest == oldDigest {
+		t.Fatalf("direct mutate: status %d digest %.12s", status, mr.Digest)
+	}
+
+	// Routed solve by name: the backend resolves the name to the NEW digest
+	// and the router must relay fresh content, not fail.
+	out = solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK || out.view.Result == nil {
+		t.Fatalf("post-mutation solve: status %d err %v", out.status, out.apiErr)
+	}
+	for _, id := range out.view.Result.Cover {
+		if id == cover0[0] {
+			t.Fatalf("routed cover contains tombstoned set %d", cover0[0])
+		}
+	}
+	m := nodeMetrics(t, rts.URL)
+	if m["setcoverrt_digest_invalidations_total"] < 1 {
+		t.Fatalf("invalidations = %d, want >= 1", m["setcoverrt_digest_invalidations_total"])
+	}
+
+	// The retired digest is 404 through the router (relayed, not retried into
+	// oblivion), and the fresh digest resolves.
+	out = solveVia(t, rts.URL, fmt.Sprintf(`{"instance":%q,"algo":"dyn"}`, oldDigest))
+	if out.status != http.StatusNotFound {
+		t.Fatalf("old digest through router: status %d", out.status)
+	}
+	out = solveVia(t, rts.URL, fmt.Sprintf(`{"instance":%q,"algo":"dyn"}`, mr.Digest))
+	if out.status != http.StatusOK {
+		t.Fatalf("new digest through router: status %d err %v", out.status, out.apiErr)
+	}
+}
+
+// digestOf reads an instance's current digest off a node's catalog listing.
+func digestOf(t *testing.T, url, name string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Instances []struct {
+			Name   string `json:"name"`
+			Digest string `json:"digest"`
+		} `json:"instances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range listing.Instances {
+		if inst.Name == name {
+			return inst.Digest
+		}
+	}
+	t.Fatalf("instance %q not listed", name)
+	return ""
+}
+
+// TestFleetRouterForwardsMutate: mutations posted to the ROUTER are relayed
+// to the digest's owner node and the router adopts the new digest
+// immediately — the next solve routes by the post-mutation identity with no
+// invalidation round trip.
+func TestFleetRouterForwardsMutate(t *testing.T) {
+	_, rts := startDynFleet(t)
+
+	body := `{"instance":"dyn","algo":"dyn"}`
+	out := solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK || out.view.Result == nil {
+		t.Fatalf("pre-mutation solve: status %d err %v", out.status, out.apiErr)
+	}
+	cover0 := out.view.Result.Cover
+
+	status, mr, hdr := mutateVia(t, rts.URL, "dyn",
+		fmt.Sprintf(`{"op":"tombstone","id":%d}`, cover0[0]))
+	if status != http.StatusOK || mr.Generation != 1 {
+		t.Fatalf("routed mutate: status %d resp %+v", status, mr)
+	}
+	if hdr.Get(NodeHeader) == "" {
+		t.Fatal("routed mutate response missing the fleet node header")
+	}
+	if hdr.Get(obs.InstanceDigestHeader) != mr.Digest {
+		t.Fatalf("mutate digest header %q != body digest %q",
+			hdr.Get(obs.InstanceDigestHeader), mr.Digest)
+	}
+
+	out = solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK || out.view.Result == nil {
+		t.Fatalf("post-mutation solve: status %d err %v", out.status, out.apiErr)
+	}
+	for _, id := range out.view.Result.Cover {
+		if id == cover0[0] {
+			t.Fatal("post-mutation routed cover contains the tombstoned set")
+		}
+	}
+	m := nodeMetrics(t, rts.URL)
+	if m["setcoverrt_mutations_total"] != 1 {
+		t.Fatalf("mutations_total = %d, want 1", m["setcoverrt_mutations_total"])
+	}
+	// Mutate forwarding already adopted the digest, so the post-mutation
+	// solve needed no 404-triggered invalidation.
+	if m["setcoverrt_digest_invalidations_total"] != 0 {
+		t.Fatalf("invalidations = %d, want 0 (mutate adopted the digest up front)",
+			m["setcoverrt_digest_invalidations_total"])
+	}
+}
+
+// TestFleetRouterReroutesOnStale404 is the satellite regression for the
+// 404-triggered path with fake backends and CONTROLLED rendezvous: the stale
+// digest routes to a node that 404s the name, the fresh digest routes to the
+// other node. Before the fix the router relayed the 404; now it must
+// invalidate, re-resolve from the catalogs, and re-route once.
+func TestFleetRouterReroutesOnStale404(t *testing.T) {
+	var current atomic.Value // the digest the fleet currently lists for "inst"
+	var nodeASolves, nodeBSolves atomic.Int64
+
+	listing := func(w http.ResponseWriter) {
+		fmt.Fprintf(w, `{"instances":[{"name":"inst","digest":%q}]}`, current.Load().(string))
+	}
+	solve := func(w http.ResponseWriter, owned string, hits *atomic.Int64) {
+		hits.Add(1)
+		cur := current.Load().(string)
+		if cur != owned {
+			// This node's catalog no longer resolves the name: the moment the
+			// pre-fix router's stale cache turns into a client-visible 404.
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"unknown_instance","message":"no instance"}}`)
+			return
+		}
+		w.Header().Set(obs.InstanceDigestHeader, owned)
+		fmt.Fprintf(w, `{"status":"done","result":{"algorithm":"greedy1","cover":[1],"cover_size":1,"valid":true}}`)
+	}
+	// The owned digests depend on the listener URLs (rendezvous control), and
+	// the URLs on the servers — so the handlers read them from atomics set
+	// after both are known.
+	var ownedA, ownedB atomic.Value
+	mk := func(owned *atomic.Value, hits *atomic.Int64) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/instances", func(w http.ResponseWriter, r *http.Request) { listing(w) })
+		mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+			solve(w, owned.Load().(string), hits)
+		})
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	nodeA, nodeB := mk(&ownedA, &nodeASolves), mk(&ownedB, &nodeBSolves)
+	urls := []string{nodeA.URL, nodeB.URL}
+
+	// Pick digests whose rendezvous-first node is the one we want: dStale
+	// routes to node A, dNew to node B.
+	pick := func(wantURL string) string {
+		for i := 0; i < 1000; i++ {
+			d := fmt.Sprintf("digest-%d", i)
+			if rendezvousOrder(d, urls)[0] == wantURL {
+				return d
+			}
+		}
+		t.Fatal("no digest found rendezvous-first on the wanted node")
+		return ""
+	}
+	dStale, dNew := pick(nodeA.URL), pick(nodeB.URL)
+	ownedA.Store(dStale)
+	ownedB.Store(dNew)
+	current.Store(dStale)
+
+	rt, err := NewRouter(Config{Nodes: urls, AttemptTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+
+	// Prime the cache: inst → dStale, served by node A.
+	body := `{"instance":"inst","algo":"greedy1"}`
+	out := solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK || nodeASolves.Load() != 1 {
+		t.Fatalf("prime: status %d, A solves %d", out.status, nodeASolves.Load())
+	}
+
+	// The mutation: the fleet now lists inst under dNew; node A 404s it.
+	current.Store(dNew)
+
+	out = solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK {
+		t.Fatalf("post-move solve: status %d err %v (stale 404 relayed to the client?)",
+			out.status, out.apiErr)
+	}
+	if got := nodeBSolves.Load(); got != 1 {
+		t.Fatalf("node B solves = %d, want 1 (re-route under the fresh digest)", got)
+	}
+	if got := nodeASolves.Load(); got != 2 {
+		t.Fatalf("node A solves = %d, want 2 (prime + the stale 404)", got)
+	}
+	m := nodeMetrics(t, rts.URL)
+	if m["setcoverrt_digest_invalidations_total"] != 1 {
+		t.Fatalf("invalidations = %d, want 1", m["setcoverrt_digest_invalidations_total"])
+	}
+	// The re-route is not a transport retry: no failover was recorded.
+	if m["setcoverrt_retries_total"] != 0 {
+		t.Fatalf("retries = %d, want 0", m["setcoverrt_retries_total"])
+	}
+
+	// Cache is fresh now: the next solve goes straight to node B.
+	out = solveVia(t, rts.URL, body)
+	if out.status != http.StatusOK || nodeBSolves.Load() != 2 || nodeASolves.Load() != 2 {
+		t.Fatalf("fresh-cache solve: status %d, A %d B %d",
+			out.status, nodeASolves.Load(), nodeBSolves.Load())
+	}
+
+	// A digest that is simply GONE everywhere stays a 404 — the router
+	// re-resolves once, finds nothing fresher, and relays the failure
+	// instead of looping.
+	out = solveVia(t, rts.URL, fmt.Sprintf(`{"instance":%q,"algo":"greedy1"}`, dStale))
+	if out.status != http.StatusNotFound {
+		t.Fatalf("dead digest: status %d, want 404", out.status)
+	}
+}

@@ -63,10 +63,12 @@ type Router struct {
 
 	wg sync.WaitGroup
 
-	requests  atomic.Int64
-	retries   atomic.Int64
-	exhausted atomic.Int64
-	perNode   map[string]*atomic.Int64 // node → responses relayed from it
+	requests      atomic.Int64
+	retries       atomic.Int64
+	exhausted     atomic.Int64
+	mutations     atomic.Int64
+	invalidations atomic.Int64
+	perNode       map[string]*atomic.Int64 // node → responses relayed from it
 
 	// Latency histograms (fixed log-spaced buckets, internal/obs): one
 	// attempt histogram per node — failed attempts included, so failover
@@ -119,6 +121,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		rt.log = slog.New(slog.DiscardHandler)
 	}
 	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	rt.mux.HandleFunc("POST /v1/instances/{name}/mutate", rt.handleMutate)
 	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
 	rt.mux.HandleFunc("GET /v1/instances", rt.handleInstances)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
@@ -196,6 +199,58 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	_ = json.Unmarshal(body, &peek)
 	key := rt.resolveDigest(r.Context(), peek.Instance)
 
+	// Mutable instances can move a name to a new digest at any moment, so a
+	// cached resolution is only a HINT. A backend 404 under a resolved name
+	// is the staleness signal: invalidate the cache entry, re-resolve from
+	// the fleet's catalogs, and re-route ONCE under the fresh digest before
+	// relaying the failure. (Without this, the lazily-refreshed map pins a
+	// mutated instance to its pre-mutation digest forever: every routed
+	// solve for the name 404s even though the fleet serves it fine.)
+	for reroute := 0; ; reroute++ {
+		resp, node, attempts, failures := rt.routeSolve(r.Context(), key, body, reqID)
+		if resp == nil {
+			rt.exhausted.Add(1)
+			rt.log.Warn("fleet exhausted", "request_id", reqID, "attempts", attempts)
+			writeError(w, http.StatusServiceUnavailable, CodeFleetExhausted,
+				"all %d eligible nodes failed: %s", attempts, strings.Join(failures, "; "))
+			return
+		}
+		if resp.StatusCode == http.StatusNotFound && reroute == 0 && peek.Instance != "" {
+			if fresh, moved := rt.invalidate(r.Context(), peek.Instance, key); moved {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				rt.invalidations.Add(1)
+				rt.log.Info("digest cache invalidated",
+					"request_id", reqID, "instance", peek.Instance,
+					"stale", key, "fresh", fresh)
+				key = fresh
+				continue
+			}
+		}
+		// The backend reports which digest it actually resolved; a mismatch
+		// means a mutation landed between our resolve and its answer. The
+		// response is still the current instance's result — adopt the fresh
+		// digest so the NEXT request routes by the current identity.
+		if d := resp.Header.Get(obs.InstanceDigestHeader); d != "" && d != key {
+			rt.invalidations.Add(1)
+			rt.adoptDigest(peek.Instance, key, d)
+		}
+		rt.perNode[node].Add(1)
+		rt.relay(w, node, resp)
+		rt.histSolve.Observe(time.Since(solveStart))
+		rt.log.Info("solve relayed",
+			"request_id", reqID, "node", node, "attempts", attempts,
+			"status", resp.StatusCode,
+			"total_ms", float64(time.Since(solveStart).Microseconds())/1000)
+		return
+	}
+}
+
+// routeSolve walks key's rendezvous order and returns the first live backend
+// response (body unread) with the node that produced it and how many attempts
+// it took. A nil response means every eligible node failed; failures carries
+// the per-node reasons for the error body.
+func (rt *Router) routeSolve(ctx context.Context, key string, body []byte, reqID string) (*http.Response, string, int, []string) {
 	order := rendezvousOrder(key, rt.cfg.Nodes)
 	if len(order) > rt.cfg.MaxAttempts {
 		order = order[:rt.cfg.MaxAttempts]
@@ -206,7 +261,7 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			rt.retries.Add(1)
 		}
 		attemptStart := time.Now()
-		resp, err := rt.attempt(r.Context(), node, body, reqID)
+		resp, err := rt.attempt(ctx, node, body, reqID)
 		// Failed attempts are observed too: the per-node histogram is the
 		// failover-latency surface (how long a dead node costs before the
 		// router moves on), not just the happy path.
@@ -217,17 +272,102 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
 			continue
 		}
-		rt.perNode[node].Add(1)
+		return resp, node, i + 1, nil
+	}
+	return nil, "", len(order), failures
+}
+
+// invalidate drops the cached resolution for name (and the stale digest's
+// self-entry), re-resolves from the fleet's catalogs, and reports whether the
+// name now maps to a different digest than the one the request routed by.
+func (rt *Router) invalidate(ctx context.Context, name, stale string) (string, bool) {
+	rt.mu.Lock()
+	delete(rt.digests, name)
+	delete(rt.digests, stale)
+	rt.mu.Unlock()
+	fresh := rt.resolveDigest(ctx, name)
+	return fresh, fresh != stale
+}
+
+// adoptDigest rebinds name to the digest a backend reported, retiring the
+// stale self-entry (the old digest no longer resolves anywhere).
+func (rt *Router) adoptDigest(name, stale, fresh string) {
+	rt.mu.Lock()
+	if name != "" {
+		rt.digests[name] = fresh
+	}
+	if stale != fresh {
+		delete(rt.digests, stale)
+	}
+	rt.digests[fresh] = fresh
+	rt.mu.Unlock()
+}
+
+// handleMutate forwards a mutation to the node that owns the instance's
+// current digest — the same rendezvous position its solve traffic lands on —
+// then adopts the post-mutation digest from the response so subsequent solves
+// route by the new identity without waiting for a 404 round trip. A mutation
+// lands on ONE node's catalog; converging the other nodes' catalogs is the
+// deployment's job (see ROADMAP: single-node mutation ownership).
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !rt.enter(w) {
+		return
+	}
+	defer rt.wg.Done()
+	rt.mutations.Add(1)
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
+		return
+	}
+	key := rt.resolveDigest(r.Context(), name)
+	order := rendezvousOrder(key, rt.cfg.Nodes)
+	if len(order) > rt.cfg.MaxAttempts {
+		order = order[:rt.cfg.MaxAttempts]
+	}
+	var failures []string
+	for i, node := range order {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.AttemptTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			node+"/v1/instances/"+name+"/mutate", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.RequestIDHeader, reqID)
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			rt.log.Warn("mutate attempt failed",
+				"request_id", reqID, "node", node, "attempt", i+1, "error", err.Error())
+			failures = append(failures, fmt.Sprintf("%s: %v", node, err))
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			cancel()
+			failures = append(failures, fmt.Sprintf("%s: %v", node, errNodeDraining))
+			continue
+		}
+		if d := resp.Header.Get(obs.InstanceDigestHeader); resp.StatusCode == http.StatusOK && d != "" {
+			rt.adoptDigest(name, key, d)
+			rt.log.Info("mutation relayed",
+				"request_id", reqID, "node", node, "instance", name, "digest", d)
+		}
 		rt.relay(w, node, resp)
-		rt.histSolve.Observe(time.Since(solveStart))
-		rt.log.Info("solve relayed",
-			"request_id", reqID, "node", node, "attempts", i+1,
-			"status", resp.StatusCode,
-			"total_ms", float64(time.Since(solveStart).Microseconds())/1000)
+		cancel()
 		return
 	}
 	rt.exhausted.Add(1)
-	rt.log.Warn("fleet exhausted", "request_id", reqID, "attempts", len(order))
 	writeError(w, http.StatusServiceUnavailable, CodeFleetExhausted,
 		"all %d eligible nodes failed: %s", len(order), strings.Join(failures, "; "))
 }
@@ -283,6 +423,11 @@ func (rt *Router) relay(w http.ResponseWriter, node string, resp *http.Response)
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
+	// The resolved-digest report passes through: a client (or a router
+	// stacked on this one) invalidates its own caches off the same signal.
+	if d := resp.Header.Get(obs.InstanceDigestHeader); d != "" {
+		w.Header().Set(obs.InstanceDigestHeader, d)
+	}
 	w.Header().Set(NodeHeader, node)
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
@@ -304,10 +449,14 @@ func (rt *Router) relay(w http.ResponseWriter, node string, resp *http.Response)
 }
 
 // resolveDigest maps an instance name to its content digest via the fleet's
-// catalogs, caching positives (a digest is content-addressed — it cannot go
-// stale while the fleet serves the same files). Unknown names fall back to the
-// raw string: it may BE a digest the router has not seen listed, and if it is
-// simply wrong, the backend answers 404 exactly as it would un-routed.
+// catalogs, caching positives. The digest→digest self-entries never go stale
+// (content addressing), but NAME entries can: a mutation moves the name to a
+// new digest. handleSolve treats a routed 404 and the InstanceDigestHeader
+// mismatch as the invalidation signals (see invalidate/adoptDigest) — this
+// cache alone must not be trusted across mutations. Unknown names fall back
+// to the raw string: it may BE a digest the router has not seen listed, and
+// if it is simply wrong, the backend answers 404 exactly as it would
+// un-routed.
 func (rt *Router) resolveDigest(ctx context.Context, name string) string {
 	if name == "" {
 		return ""
@@ -535,6 +684,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "setcoverrt_requests_total %d\n", rt.requests.Load())
 	fmt.Fprintf(w, "setcoverrt_retries_total %d\n", rt.retries.Load())
 	fmt.Fprintf(w, "setcoverrt_exhausted_total %d\n", rt.exhausted.Load())
+	fmt.Fprintf(w, "setcoverrt_mutations_total %d\n", rt.mutations.Load())
+	fmt.Fprintf(w, "setcoverrt_digest_invalidations_total %d\n", rt.invalidations.Load())
 	fmt.Fprintf(w, "setcoverrt_nodes %d\n", len(rt.cfg.Nodes))
 	fmt.Fprintf(w, "setcoverrt_uptime_seconds %.3f\n", time.Since(rt.start).Seconds())
 	nodes := make([]string, 0, len(rt.perNode))

@@ -116,6 +116,13 @@ func (r *Recorder) Reset() {
 // id follows a request through router → node → engine pass.
 const RequestIDHeader = "X-Request-ID"
 
+// InstanceDigestHeader is the HTTP header on which a backend reports the
+// content digest it actually resolved the request's instance to. Mutable
+// instances make this load-bearing: a router that cached name→digest can
+// compare its routing digest against this header and invalidate its entry
+// the moment a mutation moves the name — without a second round trip.
+const InstanceDigestHeader = "X-Instance-Digest"
+
 // NewRequestID returns a fresh 16-hex-character correlation id.
 func NewRequestID() string {
 	var b [8]byte

@@ -1,0 +1,101 @@
+package scdyn
+
+import (
+	"testing"
+
+	"repro/internal/setcover"
+)
+
+// FuzzDeltaLog throws mutated log images at decodeLog, the delta-log trust
+// boundary. Invariants:
+//
+//   - decoding never panics and never allocates proportionally to a length
+//     field rather than to bytes actually present;
+//   - an accepted log is ALWAYS a coherent history: record IDs in range, no
+//     double tombstones, every stored digest equal to the recomputed chain
+//     value (acceptance of a tampered image would let a mutated family
+//     masquerade under a foreign identity — the exact aliasing bug the
+//     digest chain exists to kill);
+//   - acceptance round-trips: re-encoding the decoded records reproduces
+//     the digest chain.
+//
+// The seed corpus is a genuine two-record log captured from Repo.Apply,
+// plus a bare header and an empty input.
+func FuzzDeltaLog(f *testing.F) {
+	const (
+		n         = 32
+		baseM     = 4
+		baseDigst = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	)
+	// Build a genuine log image by hand with the package's own encoders.
+	var seed []byte
+	seed = append(seed, logMagic[:]...)
+	seed = append(seed, logVersion)
+	seed = appendUvarintBytes(seed, uint64(len(baseDigst)))
+	seed = append(seed, baseDigst...)
+	prev := baseDigst
+	for _, rec := range []record{
+		{kind: kindAppend, id: baseM, elems: []setcover.Elem{1, 5, 31}},
+		{kind: kindTombstone, id: 2},
+	} {
+		recBytes := encodeRecord(nil, rec)
+		prev = chainDigest(prev, recBytes)
+		seed = append(seed, recBytes...)
+		seed = appendUvarintBytes(seed, uint64(len(prev)))
+		seed = append(seed, prev...)
+	}
+	f.Add(seed)
+	f.Add(seed[:5+1+len(baseDigst)]) // header only: an empty, valid log
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, digests, err := decodeLog(data, n, baseM, baseDigst)
+		if err != nil {
+			return // rejected: fine
+		}
+		if len(recs) != len(digests) {
+			t.Fatalf("decoded %d records but %d digests", len(recs), len(digests))
+		}
+		// Accepted: the history must be coherent and reproduce its chain.
+		m := baseM
+		tomb := map[int]bool{}
+		prev := baseDigst
+		for i, rec := range recs {
+			switch rec.kind {
+			case kindAppend:
+				if rec.id != m {
+					t.Fatalf("record %d: append id %d, want %d", i, rec.id, m)
+				}
+				last := setcover.Elem(-1)
+				for _, e := range rec.elems {
+					if e <= last || int(e) >= n {
+						t.Fatalf("record %d: accepted invalid elems %v", i, rec.elems)
+					}
+					last = e
+				}
+				m++
+			case kindTombstone:
+				if rec.id < 0 || rec.id >= m || tomb[rec.id] {
+					t.Fatalf("record %d: accepted invalid tombstone %d", i, rec.id)
+				}
+				tomb[rec.id] = true
+			default:
+				t.Fatalf("record %d: accepted unknown kind %d", i, rec.kind)
+			}
+			want := chainDigest(prev, encodeRecord(nil, rec))
+			if digests[i] != want {
+				t.Fatalf("record %d: accepted digest %q, chain says %q", i, digests[i], want)
+			}
+			prev = want
+		}
+	})
+}
+
+// appendUvarintBytes is binary.AppendUvarint without importing it twice.
+func appendUvarintBytes(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}

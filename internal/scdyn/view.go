@@ -1,0 +1,194 @@
+package scdyn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/setcover"
+	"repro/internal/stream"
+)
+
+// View is a read-only snapshot of the family at one generation. It
+// implements stream.Repository with its own pass counter, so the serving
+// layer can pool and reuse it like any other backend; Close is a no-op (the
+// underlying base file belongs to the Repo). A view stays valid — and keeps
+// streaming exactly its generation's content — across any number of later
+// mutations, because the delta log is append-only.
+type View struct {
+	r      *Repo
+	gen    int
+	m      int
+	digest string
+	tomb   map[int]bool      // ids tombstoned by generation gen (nil if none)
+	app    [][]setcover.Elem // appended sets' elements, index = id - baseM
+	passes atomic.Int64
+}
+
+// View returns a snapshot pinned at the current generation.
+func (r *Repo) View() *View {
+	r.mu.Lock()
+	gen := len(r.recs)
+	r.mu.Unlock()
+	v, err := r.ViewAt(gen)
+	if err != nil {
+		// Generations never shrink, so the current one always exists.
+		panic(err)
+	}
+	return v
+}
+
+// ViewAt returns a snapshot pinned at an earlier generation.
+func (r *Repo) ViewAt(gen int) (*View, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gen < 0 || gen > len(r.recs) {
+		return nil, fmt.Errorf("scdyn: generation %d out of [0, %d]", gen, len(r.recs))
+	}
+	v := &View{r: r, gen: gen, m: r.baseM, digest: r.digestLocked(gen)}
+	for _, rec := range r.recs[:gen] {
+		switch rec.kind {
+		case kindAppend:
+			v.app = append(v.app, rec.elems)
+			v.m++
+		case kindTombstone:
+			if v.tomb == nil {
+				v.tomb = make(map[int]bool)
+			}
+			v.tomb[rec.id] = true
+		}
+	}
+	return v, nil
+}
+
+// UniverseSize returns n.
+func (v *View) UniverseSize() int { return v.r.n }
+
+// NumSets returns m at this view's generation (tombstoned sets included —
+// they hold their stream positions).
+func (v *View) NumSets() int { return v.m }
+
+// Generation returns the generation this view is pinned to.
+func (v *View) Generation() int { return v.gen }
+
+// Digest returns the content digest of this view's generation.
+func (v *View) Digest() string { return v.digest }
+
+// Passes returns the number of passes started on this view.
+func (v *View) Passes() int { return int(v.passes.Load()) }
+
+// ResetPasses zeroes the pass counter, mirroring scdisk.Repo so pooled
+// handles start every checkout with a clean budget.
+func (v *View) ResetPasses() { v.passes.Store(0) }
+
+// Close is a no-op: the base file is owned by the Repo. It exists so a view
+// satisfies the same pooled-handle shape as scdisk.Repo.
+func (v *View) Close() error { return nil }
+
+// Begin starts a pass: the base family in file order (tombstoned sets
+// streaming empty), then the appended sets.
+func (v *View) Begin() stream.Reader {
+	v.passes.Add(1)
+	var base stream.Reader
+	if v.r.baseM > 0 {
+		base = v.r.base.Begin()
+	}
+	return &viewReader{v: v, base: base}
+}
+
+// Materialize drains one pass into an in-memory instance — the bridge to
+// in-memory solvers and tests. Tombstoned sets come back as empty (non-nil)
+// slices so indices keep lining up with IDs.
+func (v *View) Materialize() (*setcover.Instance, error) {
+	sets := make([]setcover.Set, v.m)
+	it := v.Begin()
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		sets[s.ID] = setcover.Set{ID: s.ID, Elems: append([]setcover.Elem{}, s.Elems...)}
+	}
+	if err := stream.ReaderErr(it); err != nil {
+		return nil, err
+	}
+	for i := range sets {
+		sets[i].ID = i
+		if sets[i].Elems == nil {
+			sets[i].Elems = []setcover.Elem{}
+		}
+	}
+	return &setcover.Instance{N: v.UniverseSize(), Sets: sets}, nil
+}
+
+// viewReader streams one pass of a view. The base reader's sets are handed
+// out directly (scdisk's Next allocates fresh element slices), appended sets
+// share the repo's read-only record storage — either way the engine-side
+// no-retention discipline is what protects them.
+type viewReader struct {
+	v    *View
+	base stream.Reader // nil once the base portion is exhausted
+	pos  int
+	err  error
+}
+
+// Next implements stream.Reader.
+func (it *viewReader) Next() (setcover.Set, bool) {
+	if it.err != nil {
+		return setcover.Set{}, false
+	}
+	v := it.v
+	if it.pos < v.r.baseM {
+		s, ok := it.base.Next()
+		if !ok {
+			if err := stream.ReaderErr(it.base); err != nil {
+				it.err = err
+			} else {
+				it.err = fmt.Errorf("scdyn: base stream ended at set %d of %d", it.pos, v.r.baseM)
+			}
+			return setcover.Set{}, false
+		}
+		s.ID = it.pos
+		if v.tomb[it.pos] {
+			s.Elems = nil
+		}
+		it.pos++
+		return s, true
+	}
+	idx := it.pos - v.r.baseM
+	if idx >= len(v.app) {
+		return setcover.Set{}, false
+	}
+	s := setcover.Set{ID: it.pos}
+	if !v.tomb[it.pos] {
+		s.Elems = v.app[idx]
+	}
+	it.pos++
+	return s, true
+}
+
+// NextBatch implements stream.BatchReader by looping Next — the engine's
+// batched path and single path must yield identical streams, and this keeps
+// the amortization without a second decode implementation.
+func (it *viewReader) NextBatch(dst []setcover.Set) int {
+	n := 0
+	for n < cap(dst) {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst = dst[:n+1]
+		dst[n] = s
+		n++
+	}
+	return n
+}
+
+// Err implements stream.ErrorReader: a base-file decode failure or a short
+// base stream ends the pass early and must fail the solve, never pass as a
+// complete scan.
+func (it *viewReader) Err() error { return it.err }
+
+var (
+	_ stream.BatchReader = (*viewReader)(nil)
+	_ stream.ErrorReader = (*viewReader)(nil)
+)

@@ -3,12 +3,22 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/scdisk"
+	"repro/internal/scdyn"
 	"repro/internal/setcover"
 	"repro/internal/stream"
+)
+
+// Catalog resolution/mutation errors, for HTTP status mapping.
+var (
+	// ErrUnknownInstance reports a name that resolves to nothing (404).
+	ErrUnknownInstance = errors.New("serve: unknown instance")
+	// ErrNotDynamic reports a mutation aimed at a non-dynamic instance (400).
+	ErrNotDynamic = errors.New("serve: instance is not dynamic")
 )
 
 // Instance is one registered entry of a Catalog: enough metadata to list and
@@ -31,10 +41,19 @@ type Instance struct {
 	// N and M are the universe size and family size.
 	N int `json:"n"`
 	M int `json:"m"`
-	// Kind is "disk" for SCB1 files, "generator" for named generators.
+	// Kind is "disk" for SCB1 files, "generator" for named generators,
+	// "dynamic" for mutable instances (SCB1 base + scdyn delta log).
 	Kind string `json:"kind"`
-	// Path is the backing file for disk instances ("" for generators).
+	// Path is the backing file for disk and dynamic instances ("" for
+	// generators).
 	Path string `json:"path,omitempty"`
+	// Generation is how many mutations a dynamic instance has absorbed (0 and
+	// omitted for the other kinds). An Instance value is PINNED: a mutation
+	// does not change it but registers a successor under the same name with
+	// the next generation and a new digest, so everything holding this value —
+	// an in-flight job, a cache key, a router decision — keeps describing the
+	// content it was resolved against.
+	Generation int `json:"generation,omitempty"`
 	// Weighted reports whether the instance carries per-set costs (an SCWT
 	// section on disk instances); WeightMin/WeightMax are the cost extremes
 	// when it does. Requests assert against these via their weights block.
@@ -43,8 +62,13 @@ type Instance struct {
 	WeightMax float64 `json:"weight_max,omitempty"`
 
 	open func() (stream.Repository, func() error, error)
-	// closePool releases pooled repository handles (disk instances only).
+	// closePool releases pooled repository handles (disk and dynamic
+	// instances).
 	closePool func() error
+	// dyn is the shared mutable state behind a dynamic instance (nil for the
+	// other kinds). Every generation's Instance of one name points at the
+	// same entry.
+	dyn *dynEntry
 }
 
 // Open returns a fresh repository view over the instance plus a release
@@ -65,33 +89,59 @@ func (inst *Instance) Open() (stream.Repository, func() error, error) {
 // descriptors for hundreds of registered instances.
 const repoPoolSize = 4
 
-// repoPool is one disk instance's free list of open handles. After close,
+// poolable is what a pooled repository handle must support: streaming, a
+// resettable pass counter (per-solve counts stay exact on reuse), and Close.
+// scdisk.Repo and scdyn.View both qualify.
+type poolable interface {
+	stream.Repository
+	ResetPasses()
+	Close() error
+}
+
+// poolEntry is one idle handle, BOUND to the content digest it was opened
+// under. The binding is the staleness fix for mutable instances: a handle
+// pooled before a mutation carries the old digest and can never be checked
+// out for the new content — without it, the pool would happily hand a
+// post-mutation solve a pre-mutation view (the exact bug the digest-on-
+// mutation design exists to kill).
+type poolEntry struct {
+	repo   poolable
+	digest string
+}
+
+// repoPool is one instance's free list of open handles. After close,
 // releases close their handle instead of re-pooling it, so a drained catalog
 // cannot re-accumulate descriptors from solves that were in flight.
 type repoPool struct {
 	mu     sync.Mutex
-	free   []*scdisk.Repo
+	free   []poolEntry
 	closed bool
 }
 
-// get checks out an idle handle, or nil when none is pooled.
-func (p *repoPool) get() *scdisk.Repo {
+// get checks out an idle handle opened under digest, or nil when none
+// matches. Handles bound to any OTHER digest are stale — their instance
+// mutated since they were pooled — and are closed on sight rather than
+// skipped: nothing will ever legitimately ask for them again.
+func (p *repoPool) get(digest string) poolable {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.free) == 0 {
-		return nil
+	for len(p.free) > 0 {
+		e := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if e.digest == digest {
+			return e.repo
+		}
+		e.repo.Close()
 	}
-	r := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	return r
+	return nil
 }
 
-// put returns a handle to the free list, closing it when the pool is full or
-// closed.
-func (p *repoPool) put(r *scdisk.Repo) error {
+// put returns a handle to the free list under the digest it served, closing
+// it when the pool is full or closed.
+func (p *repoPool) put(r poolable, digest string) error {
 	p.mu.Lock()
 	if !p.closed && len(p.free) < repoPoolSize {
-		p.free = append(p.free, r)
+		p.free = append(p.free, poolEntry{repo: r, digest: digest})
 		p.mu.Unlock()
 		return nil
 	}
@@ -107,8 +157,8 @@ func (p *repoPool) close() error {
 	p.free, p.closed = nil, true
 	p.mu.Unlock()
 	var first error
-	for _, r := range free {
-		if err := r.Close(); err != nil && first == nil {
+	for _, e := range free {
+		if err := e.repo.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -184,20 +234,21 @@ func (c *Catalog) AddFile(name, path string) (*Instance, error) {
 	// release returns to the pool, or closes when the pool is full or the
 	// catalog has been closed.
 	pool := &repoPool{}
-	pool.put(d)
+	pool.put(d, digest)
 	inst := &Instance{
 		Name: name, Digest: digest, N: n, M: m, Kind: "disk", Path: path,
 		open: func() (stream.Repository, func() error, error) {
-			r := pool.get()
+			r := pool.get(digest)
 			if r == nil {
-				var err error
-				if r, err = scdisk.Open(path); err != nil {
+				fresh, err := scdisk.Open(path)
+				if err != nil {
 					return nil, nil, err
 				}
+				r = fresh
 			}
 			// Exact per-solve pass counts on a reused handle.
 			r.ResetPasses()
-			return r, func() error { return pool.put(r) }, nil
+			return r, func() error { return pool.put(r, digest) }, nil
 		},
 		closePool: pool.close,
 	}
@@ -256,6 +307,130 @@ func (c *Catalog) AddGenerator(name string, n, m int, tag string, gen func(id in
 		},
 	}
 	return inst, c.add(inst)
+}
+
+// dynEntry is the shared mutable state behind one dynamic NAME: the scdyn
+// repository, the pooled view handles (all generations share one pool — the
+// digest binding on entries keeps generations apart), and the incremental
+// solver whose state survives across mutations. Mutations serialize on mu so
+// apply-log-and-swap-instance is atomic per name.
+type dynEntry struct {
+	mu     sync.Mutex
+	repo   *scdyn.Repo
+	pool   *repoPool
+	solver *scdyn.Solver
+}
+
+// instanceAt builds the pinned Instance for de's generation gen. The open
+// recipe checks the shared pool for a view bound to THIS generation's digest
+// and otherwise pins a fresh snapshot — mutations after this point are
+// invisible to it.
+func (de *dynEntry) instanceAt(name, path string, gen int) (*Instance, error) {
+	view, err := de.repo.ViewAt(gen)
+	if err != nil {
+		return nil, err
+	}
+	digest := view.Digest()
+	inst := &Instance{
+		Name: name, Digest: digest, N: view.UniverseSize(), M: view.NumSets(),
+		Kind: "dynamic", Path: path, Generation: gen, dyn: de,
+		open: func() (stream.Repository, func() error, error) {
+			r := de.pool.get(digest)
+			if r == nil {
+				v, err := de.repo.ViewAt(gen)
+				if err != nil {
+					return nil, nil, err
+				}
+				r = v
+			}
+			r.ResetPasses()
+			return r, func() error { return de.pool.put(r, digest) }, nil
+		},
+		closePool: func() error {
+			err := de.pool.close()
+			if cerr := de.repo.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		},
+	}
+	return inst, nil
+}
+
+// AddDynamic registers the SCB1 file at path as a MUTABLE instance under
+// name: its family can grow (append set) and shrink (tombstone set) after
+// registration via Mutate, with every mutation minting a new content digest
+// (see internal/scdyn). An existing delta log next to the file is replayed —
+// the instance registers at its persisted generation. Weighted base files
+// are rejected: per-set costs for appended sets have no representation in
+// the delta log yet (a named ROADMAP gap).
+func (c *Catalog) AddDynamic(name, path string) (*Instance, error) {
+	c.mu.RLock()
+	verify := c.verify
+	c.mu.RUnlock()
+	var opts []scdyn.Option
+	if verify {
+		opts = append(opts, scdyn.VerifyBase())
+	}
+	r, err := scdyn.Open(path, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: register %q: %w", name, err)
+	}
+	if r.HasBaseWeights() {
+		r.Close()
+		return nil, fmt.Errorf("serve: register %q: weighted instances cannot be dynamic (no weight representation for appended sets)", name)
+	}
+	de := &dynEntry{repo: r, pool: &repoPool{}, solver: scdyn.NewSolver(r)}
+	inst, err := de.instanceAt(name, path, r.Generation())
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("serve: register %q: %w", name, err)
+	}
+	if err := c.add(inst); err != nil {
+		inst.closePool()
+		return nil, err
+	}
+	return inst, nil
+}
+
+// Mutate applies ops to the dynamic instance registered under name (names
+// only — a digest addresses immutable content and cannot be a mutation
+// target) and swaps in the successor Instance: same name, next generation,
+// NEW digest. The old digest stops resolving immediately — digest-addressed
+// requests for it get a 404, which is the invalidation signal the fleet
+// router keys on. Instance values resolved before the mutation stay valid
+// and keep streaming their own generation.
+func (c *Catalog) Mutate(name string, ops []scdyn.Op) (*Instance, error) {
+	c.mu.RLock()
+	inst, ok := c.byName[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, name)
+	}
+	if inst.dyn == nil {
+		return nil, fmt.Errorf("%w: %q is kind %q", ErrNotDynamic, name, inst.Kind)
+	}
+	de := inst.dyn
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	if _, err := de.repo.Apply(ops); err != nil {
+		return nil, err
+	}
+	next, err := de.instanceAt(name, inst.Path, de.repo.Generation())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	old := c.byName[name]
+	c.byName[name] = next
+	if old != nil && c.byDigest[old.Digest] == old {
+		delete(c.byDigest, old.Digest)
+	}
+	if _, dup := c.byDigest[next.Digest]; !dup {
+		c.byDigest[next.Digest] = next
+	}
+	c.mu.Unlock()
+	return next, nil
 }
 
 func (c *Catalog) add(inst *Instance) error {

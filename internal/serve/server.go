@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -15,6 +17,8 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/scdyn"
+	"repro/internal/setcover"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -169,6 +173,7 @@ type Server struct {
 	coalesced     atomic.Int64
 	rejected      atomic.Int64
 	running       atomic.Int64
+	mutations     atomic.Int64
 
 	// Latency histograms surfaced on /metrics (fixed log-spaced buckets,
 	// see internal/obs), plus the process anchor for uptime.
@@ -205,6 +210,7 @@ func NewServer(cat *Catalog, cfg Config) *Server {
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/instances/{name}/mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /v1/instances", s.handleInstances)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -309,6 +315,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	inst, ok := s.cat.Get(req.Instance)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeUnknownInstance, "instance %q not registered", req.Instance)
+		return
+	}
+	// Report the digest this request RESOLVED to, on every outcome from here
+	// on. For mutable instances this is the staleness tripwire: a fleet
+	// router that routed by a cached name→digest mapping compares this header
+	// against its cache and invalidates on mismatch.
+	w.Header().Set(obs.InstanceDigestHeader, inst.Digest)
+	if req.deltaResolve() && inst.dyn == nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"resolve:delta requires a dynamic instance (%q is kind %q)", inst.Name, inst.Kind)
 		return
 	}
 	if err := req.checkWeights(inst); err != nil {
@@ -634,6 +650,126 @@ func (s *Server) evictJobsLocked() {
 	s.jobOrder = kept
 }
 
+// maxMutateOps bounds one mutation batch: enough for any realistic delta,
+// small enough that a single request cannot commit the server to an
+// unbounded log write.
+const maxMutateOps = 1 << 12
+
+// MutateOp is one wire-form mutation: {"op":"append","elems":[...]} or
+// {"op":"tombstone","id":N}.
+type MutateOp struct {
+	Op    string `json:"op"`
+	Elems []int  `json:"elems,omitempty"`
+	ID    *int   `json:"id,omitempty"`
+}
+
+// MutateRequest is the body of POST /v1/instances/{name}/mutate.
+type MutateRequest struct {
+	Ops []MutateOp `json:"ops"`
+}
+
+// MutateResponse reports the post-mutation identity: the NEW digest under
+// which all future solves of this name cache and route.
+type MutateResponse struct {
+	Instance   string `json:"instance"`
+	Digest     string `json:"digest"`
+	Generation int    `json:"generation"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	Applied    int    `json:"applied"`
+}
+
+// handleMutate applies a mutation batch to a dynamic instance. The swap is
+// atomic per name: after a 200, the name resolves to the new generation and
+// digest, the old digest returns 404, and solves admitted before the
+// mutation keep their pinned pre-mutation views.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is draining")
+		return
+	}
+
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	mreq := &MutateRequest{}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(mreq); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "parsing body: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "trailing data after request object")
+		return
+	}
+	if len(mreq.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty ops")
+		return
+	}
+	if len(mreq.Ops) > maxMutateOps {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%d ops exceeds limit %d", len(mreq.Ops), maxMutateOps)
+		return
+	}
+	ops := make([]scdyn.Op, 0, len(mreq.Ops))
+	for i, op := range mreq.Ops {
+		switch op.Op {
+		case "append":
+			elems := make([]setcover.Elem, 0, len(op.Elems))
+			for _, e := range op.Elems {
+				if e < 0 || e > math.MaxInt32 {
+					writeError(w, http.StatusBadRequest, CodeBadRequest, "ops[%d]: element %d out of range", i, e)
+					return
+				}
+				elems = append(elems, setcover.Elem(e))
+			}
+			ops = append(ops, scdyn.Op{Kind: scdyn.OpAppend, Elems: elems})
+		case "tombstone":
+			if op.ID == nil {
+				writeError(w, http.StatusBadRequest, CodeBadRequest, "ops[%d]: tombstone needs an id", i)
+				return
+			}
+			ops = append(ops, scdyn.Op{Kind: scdyn.OpTombstone, ID: *op.ID})
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "ops[%d]: unknown op %q (want append or tombstone)", i, op.Op)
+			return
+		}
+	}
+
+	next, err := s.cat.Mutate(name, ops)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownInstance):
+			writeError(w, http.StatusNotFound, CodeUnknownInstance, "%v", err)
+		default:
+			// Not-dynamic and op-validation failures are both client errors.
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		}
+		return
+	}
+	s.mutations.Add(1)
+	w.Header().Set(obs.InstanceDigestHeader, next.Digest)
+	s.log.Info("instance mutated",
+		"request_id", reqID, "instance", name, "ops", len(ops),
+		"generation", next.Generation, "digest", next.Digest)
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Instance: name, Digest: next.Digest, Generation: next.Generation,
+		N: next.N, M: next.M, Applied: len(ops),
+	})
+}
+
 func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"instances": s.cat.List()})
 }
@@ -702,6 +838,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "setcoverd_jobs_admitted %d\n", admitted)
 	fmt.Fprintf(w, "setcoverd_jobs_running %d\n", s.running.Load())
 	fmt.Fprintf(w, "setcoverd_instances %d\n", s.cat.Len())
+	fmt.Fprintf(w, "setcoverd_mutations_total %d\n", s.mutations.Load())
 	s.histSolve.Write(w, "setcoverd_solve_seconds", "Solve execution latency (checkout + algorithm).")
 	s.histQueue.Write(w, "setcoverd_queue_wait_seconds", "Admission-to-slot queue wait.")
 	s.histPass.Write(w, "setcoverd_pass_seconds", "Single engine pass latency.")

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/maxcover"
 	"repro/internal/pd"
+	"repro/internal/scdyn"
 	"repro/internal/setcover"
 	"repro/internal/stream"
 )
@@ -18,7 +19,7 @@ import (
 // Algorithms the service dispatches, by wire name — the same names
 // cmd/setcover's -algo flag accepts, with the same parameter defaults, so a
 // service solve is byte-identical to a CLI solve of the same request.
-var algoNames = []string{"iter", "greedy1", "greedyn", "threshold", "sg09", "er14", "cw16", "dimv14", "pd"}
+var algoNames = []string{"iter", "greedy1", "greedyn", "threshold", "sg09", "er14", "cw16", "dimv14", "pd", "dyn"}
 
 // pdElemBatch is the element-batch size of algo=pd solves. It is PINNED, not a
 // request knob: the batch size changes the primal-dual's result, but the
@@ -71,6 +72,15 @@ type SolveRequest struct {
 	// readings live in [0,1) and both change the result, so one wire field
 	// and one cache-key slot cover both.
 	Eps float64 `json:"eps,omitempty"`
+	// Resolve selects how an algo=dyn solve is produced: "full" (or empty,
+	// the default) ingests the instance from its stream and solves from
+	// scratch; "delta" reuses the instance's maintained incremental solver —
+	// only valid on dynamic instances — catching its state up from the last
+	// solved generation by replaying the delta records, with no stream pass
+	// at all when the state is warm. The two modes return byte-identical
+	// covers (the conformance suite pins this) but are cached under distinct
+	// keys: their Passes/SpaceWords accounting legitimately differs.
+	Resolve string `json:"resolve,omitempty"`
 	// Weights optionally asserts the instance's cost model (see
 	// WeightsRequest); a mismatch is a 400.
 	Weights *WeightsRequest `json:"weights,omitempty"`
@@ -209,6 +219,15 @@ func (r *SolveRequest) validate() error {
 	if r.Stream && !r.wait() {
 		return errors.New("stream:true requires wait:true (a 202 job handle has no body to stream)")
 	}
+	switch r.Resolve {
+	case "", "full":
+	case "delta":
+		if r.Algo != "dyn" {
+			return fmt.Errorf("resolve:delta requires algo:dyn (got %q)", r.Algo)
+		}
+	default:
+		return fmt.Errorf("unknown resolve %q (want full or delta)", r.Resolve)
+	}
 	if wr := r.Weights; wr != nil {
 		if wr.Min != nil && (!(*wr.Min > 0) || *wr.Min > math.MaxFloat64) {
 			return fmt.Errorf("weights.min %v not a finite positive cost", *wr.Min)
@@ -265,8 +284,18 @@ func (r *SolveRequest) streaming() bool { return r.Stream }
 // (δ for greedy1, say): keys stay cheap to build and a few redundant cache
 // rows are harmless.
 func (r *SolveRequest) cacheKey(digest string) string {
-	return fmt.Sprintf("%s|%s|d=%g|p=%d|e=%g|s=%d", digest, r.Algo, r.Delta, r.Passes, r.Eps, *r.Seed)
+	key := fmt.Sprintf("%s|%s|d=%g|p=%d|e=%g|s=%d", digest, r.Algo, r.Delta, r.Passes, r.Eps, *r.Seed)
+	// Delta re-solves return the same COVER as full ones but different
+	// accounting (Passes, SpaceWords), so they get their own cache rows; the
+	// bare key keeps its historical format for every pre-existing mode.
+	if r.deltaResolve() {
+		key += "|r=delta"
+	}
+	return key
 }
+
+// deltaResolve reports whether the request asks for the incremental path.
+func (r *SolveRequest) deltaResolve() bool { return r.Resolve == "delta" }
 
 // SolveResult is the per-solve stats snapshot returned in responses: the
 // cover plus the coordinates the paper's Figure 1.1 measures algorithms by
@@ -297,6 +326,9 @@ type SolveResult struct {
 // checkout reports how long acquiring the repository handle took (pool reuse
 // vs a cold file open) — a trace-only measurement.
 func runSolve(inst *Instance, req *SolveRequest, engOpts engine.Options) (*SolveResult, time.Duration, error) {
+	if req.deltaResolve() {
+		return runDeltaSolve(inst, engOpts)
+	}
 	checkoutStart := time.Now()
 	repo, release, err := inst.Open()
 	if err != nil {
@@ -369,8 +401,43 @@ func dispatch(repo stream.Repository, req *SolveRequest, engOpts engine.Options)
 			Epsilon: req.Eps, ElemBatch: pdElemBatch, Engine: engOpts,
 		})
 		return res.Stats, 0, err
+	case "dyn":
+		// The from-scratch path of the dynamic solver: works on ANY backend
+		// (this is what resolve:full and non-dynamic instances run); the
+		// incremental path branches off earlier in runSolve.
+		st, err := scdyn.Solve(repo, engOpts)
+		return st, 0, err
 	}
 	return setcover.Stats{}, 0, fmt.Errorf("unknown algo %q", req.Algo) // unreachable after validate
+}
+
+// runDeltaSolve answers an algo=dyn resolve:delta request from the dynamic
+// instance's maintained solver, pinned to the instance's generation: warm
+// state replays only the delta records (zero stream passes), cold state
+// falls back to one ingest pass. No repository checkout happens — the solver
+// owns its mirror — so checkout is reported as zero.
+func runDeltaSolve(inst *Instance, engOpts engine.Options) (*SolveResult, time.Duration, error) {
+	if inst.dyn == nil {
+		return nil, 0, fmt.Errorf("resolve:delta on non-dynamic instance %q (kind %q)", inst.Name, inst.Kind)
+	}
+	start := time.Now()
+	st, _, err := inst.dyn.solver.EnsureAt(inst.Generation, engOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	cover := st.Cover
+	if cover == nil {
+		cover = []int{}
+	}
+	return &SolveResult{
+		Algorithm:  st.Algorithm,
+		Cover:      cover,
+		CoverSize:  len(st.Cover),
+		Valid:      st.Valid,
+		Passes:     st.Passes,
+		SpaceWords: st.SpaceWords,
+		WallMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}, 0, nil
 }
 
 // classify maps a solve error to (HTTP status, error code): infeasibility is

@@ -173,6 +173,38 @@ type Weighted interface {
 	Weight(id int) float64
 }
 
+// Mutable is the optional capability of a repository whose set family can
+// CHANGE after creation: sets may be appended (new IDs at the end of the
+// stream) and tombstoned (the set keeps its ID but streams empty from then
+// on). It is the write-side counterpart of Repository, implemented by
+// internal/scdyn over an SCB1 base file plus an additive delta log.
+//
+// The identity contract is the load-bearing part: every successful mutation
+// produces a NEW content digest (a hash chain over the base digest and every
+// delta record), so a mutated family can never alias a cache entry, a routing
+// decision, or a pooled handle that was keyed by the pre-mutation digest.
+// Generation counts applied mutations; (Generation, ContentDigest) advance
+// together and a given generation's digest never changes once minted.
+//
+// Mutations are serialized by the implementation and safe to call
+// concurrently with passes over previously obtained views — a view is a
+// snapshot pinned to the generation it was taken at, which is what lets a
+// solve that started before a mutation finish against pre-mutation content.
+type Mutable interface {
+	// AppendSet adds a set with the given sorted-unique elements in [0, n)
+	// and returns its new ID (always the current NumSets) and the
+	// post-mutation content digest.
+	AppendSet(elems []setcover.Elem) (id int, digest string, err error)
+	// Tombstone empties the set with the given ID (it keeps its stream
+	// position) and returns the post-mutation content digest. Tombstoning an
+	// unknown or already-tombstoned ID is an error.
+	Tombstone(id int) (digest string, err error)
+	// ContentDigest returns the digest identifying the CURRENT family.
+	ContentDigest() string
+	// Generation returns how many mutations have been applied.
+	Generation() int
+}
+
 // HasWeights reports whether r carries a per-set cost vector.
 func HasWeights(r Repository) bool {
 	w, ok := r.(Weighted)
